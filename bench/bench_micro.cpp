@@ -1,0 +1,189 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: logic/fault
+// simulation, PODEM, reseeding, SAT decoding, CAN response-time analysis.
+#include <benchmark/benchmark.h>
+
+#include "atpg/podem.hpp"
+#include "bist/reseeding.hpp"
+#include "can/bus.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dse/decoder.hpp"
+#include "dse/routing_encoding.hpp"
+#include "dse/objectives.hpp"
+#include "netlist/random_circuit.hpp"
+#include "bist/fault_dictionary.hpp"
+#include "bist/scan_sim.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/transition_fault.hpp"
+#include "util/rng.hpp"
+
+using namespace bistdse;
+
+namespace {
+
+const netlist::Netlist& Cut() {
+  static const netlist::Netlist cut = [] {
+    auto spec = casestudy::ScaledCutSpec(1);
+    return netlist::GenerateRandomCircuit(spec);
+  }();
+  return cut;
+}
+
+void BM_LogicSim64Patterns(benchmark::State& state) {
+  const auto& cut = Cut();
+  sim::LogicSimulator simulator(cut);
+  util::SplitMix64 rng(1);
+  std::vector<sim::PatternWord> words(cut.CoreInputs().size());
+  for (auto& w : words) w = rng();
+  for (auto _ : state) {
+    simulator.Simulate(words);
+    benchmark::DoNotOptimize(simulator.ValueOf(cut.CoreOutputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cut.CombinationalGateCount()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LogicSim64Patterns);
+
+void BM_FaultSimBlock(benchmark::State& state) {
+  const auto& cut = Cut();
+  sim::FaultSimulator fsim(cut);
+  const auto faults = sim::CollapsedFaults(cut);
+  util::SplitMix64 rng(2);
+  std::vector<sim::PatternWord> words(cut.CoreInputs().size());
+  for (auto& w : words) w = rng();
+  fsim.SetPatternBlock(words);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsim.DetectWord(faults[i]));
+    i = (i + 997) % faults.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultSimBlock);
+
+void BM_PodemEasyFault(benchmark::State& state) {
+  const auto& cut = Cut();
+  atpg::Podem podem(cut, 100);
+  const auto faults = sim::CollapsedFaults(cut);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(podem.Generate(faults[i]));
+    i = (i + 131) % faults.size();
+  }
+}
+BENCHMARK(BM_PodemEasyFault);
+
+void BM_ReseedingEncode(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(Cut().CoreInputs().size());
+  bist::ReseedingEncoder encoder(width);
+  util::SplitMix64 rng(3);
+  atpg::TestCube cube;
+  cube.bits.assign(width, atpg::Value3::X);
+  for (int k = 0; k < 24; ++k) {
+    cube.bits[rng.Below(width)] =
+        rng.Chance(0.5) ? atpg::Value3::One : atpg::Value3::Zero;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(cube));
+  }
+}
+BENCHMARK(BM_ReseedingEncode);
+
+void BM_SatDecode(benchmark::State& state) {
+  static auto cs = casestudy::BuildCaseStudy();
+  static dse::SatDecoder decoder(cs.spec, cs.augmentation);
+  util::SplitMix64 rng(4);
+  for (auto _ : state) {
+    const auto genotype = moea::RandomGenotype(decoder.GenotypeSize(), rng);
+    benchmark::DoNotOptimize(decoder.Decode(genotype));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SatDecode);
+
+void BM_RoutedSatDecode(benchmark::State& state) {
+  // The complete time-indexed routing encoding (Eqs. 2b-2g searched by the
+  // solver) vs the derived-routing decoder above.
+  static auto profiles = [] {
+    auto p = casestudy::PaperTableI();
+    p.resize(4);
+    return p;
+  }();
+  static auto cs = casestudy::BuildCaseStudy(profiles, 42);
+  static dse::RoutedSatDecoder decoder(cs.spec, cs.augmentation);
+  util::SplitMix64 rng(6);
+  for (auto _ : state) {
+    const auto genotype = moea::RandomGenotype(decoder.GenotypeSize(), rng);
+    benchmark::DoNotOptimize(decoder.Decode(genotype));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sat_vars"] =
+      static_cast<double>(decoder.VariableCount());
+}
+BENCHMARK(BM_RoutedSatDecode);
+
+void BM_EvaluateObjectives(benchmark::State& state) {
+  static auto cs = casestudy::BuildCaseStudy();
+  static dse::SatDecoder decoder(cs.spec, cs.augmentation);
+  util::SplitMix64 rng(5);
+  const auto impl =
+      decoder.Decode(moea::RandomGenotype(decoder.GenotypeSize(), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dse::EvaluateImplementation(cs.spec, cs.augmentation, *impl));
+  }
+}
+BENCHMARK(BM_EvaluateObjectives);
+
+void BM_ScanShiftCapture(benchmark::State& state) {
+  const auto& cut = Cut();
+  bist::ScanChainSimulator scan(cut, 100);
+  util::SplitMix64 rng(7);
+  sim::BitPattern pattern(cut.CoreInputs().size());
+  for (auto& b : pattern) b = rng.Chance(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.ApplyAndObserve(pattern));
+  }
+  state.counters["cycles/pattern"] =
+      static_cast<double>(scan.CyclesPerPattern());
+}
+BENCHMARK(BM_ScanShiftCapture);
+
+void BM_TransitionFaultDetect(benchmark::State& state) {
+  const auto& cut = Cut();
+  sim::TransitionFaultSimulator tsim(cut);
+  const auto faults = sim::TransitionFaults(cut);
+  util::SplitMix64 rng(8);
+  std::vector<sim::PatternWord> v1(cut.CoreInputs().size());
+  for (auto& w : v1) w = rng();
+  const auto v2 = sim::TransitionFaultSimulator::LaunchOnCapture(cut, v1);
+  tsim.SetPatternPairBlock(v1, v2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsim.DetectWord(faults[i]));
+    i = (i + 613) % faults.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransitionFaultDetect);
+
+void BM_CanResponseTimeAnalysis(benchmark::State& state) {
+  can::CanBus bus("b", 500e3);
+  for (int i = 0; i < 20; ++i) {
+    can::CanMessage m;
+    m.id = static_cast<can::CanId>(i * 16);
+    m.payload_bytes = 1 + i % 8;
+    m.period_ms = 5.0 * (1 + i % 5);
+    m.name = "m" + std::to_string(i);
+    bus.AddMessage(m);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.AllResponseTimes());
+  }
+}
+BENCHMARK(BM_CanResponseTimeAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bistdse::bench {
+
+/// Reads an unsigned environment override, e.g. BISTDSE_EVALS=100000.
+inline std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bistdse::bench

@@ -1,0 +1,50 @@
+// Regenerates a BIST profile table (the paper's Table I pipeline) for a
+// synthetic full-scan CUT: pseudo-random fault simulation with dropping,
+// PODEM top-up of random-resistant faults, LFSR-reseeding encoding, and the
+// runtime/storage model of the STUMPS session.
+//
+// Build & run:  ./build/examples/bist_profile_generation [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bist/profile_generator.hpp"
+#include "casestudy/casestudy.hpp"
+
+using namespace bistdse;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  const auto cut_spec = casestudy::ScaledCutSpec(seed);
+  std::printf("generating synthetic CUT (seed %llu)...\n",
+              static_cast<unsigned long long>(seed));
+  const auto cut = netlist::GenerateRandomCircuit(cut_spec);
+  std::printf("  %zu gates, %zu flops, %zu PIs, %zu POs\n",
+              cut.CombinationalGateCount(), cut.Flops().size(),
+              cut.PrimaryInputs().size(), cut.PrimaryOutputs().size());
+
+  bist::ProfileGeneratorConfig config;
+  config.stumps = casestudy::PaperStumpsConfig();
+  // A reduced PRP sweep keeps the example snappy; bench_table1 runs the full
+  // Table-I matrix.
+  config.prp_counts = {500, 2000, 8000};
+  config.coverage_targets_percent = {100.0, 98.0, 95.0};
+  config.fill_seeds = {11, 11, 11};
+
+  bist::ProfileGenerator generator(cut, config);
+  const auto profiles = generator.GenerateAll();
+  const auto& stats = generator.Stats();
+
+  std::printf("\ncollapsed faults: %zu (paper CUT: %llu)\n",
+              stats.total_collapsed_faults,
+              static_cast<unsigned long long>(casestudy::kPaperCollapsedFaults));
+  std::printf("random-detectable at max PRPs: %zu, untestable: %zu, "
+              "ATPG-aborted: %zu\n\n",
+              stats.random_detected_at_max_prps, stats.untestable,
+              stats.aborted);
+  std::printf("%s\n", bist::FormatProfileTable(profiles).c_str());
+  std::printf(
+      "(s(b) shrinks as #PRPs grows: random patterns absorb the easy faults\n"
+      " and fewer encoded deterministic patterns remain — Table I's shape.)\n");
+  return 0;
+}

@@ -1,0 +1,371 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bistdse::atpg {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+Value3 EvalGate3(GateType type, std::span<const Value3> fanins) {
+  switch (type) {
+    case GateType::Buf:
+      return fanins[0];
+    case GateType::Not:
+      return Not3(fanins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Value3 v = Value3::One;
+      for (Value3 f : fanins) v = And3(v, f);
+      return type == GateType::And ? v : Not3(v);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Value3 v = Value3::Zero;
+      for (Value3 f : fanins) v = Or3(v, f);
+      return type == GateType::Or ? v : Not3(v);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Value3 v = Value3::Zero;
+      for (Value3 f : fanins) v = Xor3(v, f);
+      return type == GateType::Xor ? v : Not3(v);
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      throw std::logic_error("EvalGate3 called on source node");
+  }
+  return Value3::X;
+}
+
+Podem::Podem(const Netlist& netlist, std::uint32_t backtrack_limit)
+    : netlist_(netlist),
+      backtrack_limit_(backtrack_limit),
+      input_index_of_(netlist.NodeCount(), static_cast<std::uint32_t>(-1)) {
+  if (!netlist.IsFinalized())
+    throw std::invalid_argument("netlist must be finalized");
+  const auto inputs = netlist.CoreInputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    input_index_of_[inputs[i]] = static_cast<std::uint32_t>(i);
+}
+
+std::pair<Value3, Value3> Podem::EvaluateNode(netlist::NodeId id) const {
+  const auto fanins = netlist_.FaninsOf(id);
+  std::vector<Value3> gvals, fvals;
+  gvals.reserve(fanins.size());
+  fvals.reserve(fanins.size());
+  for (std::size_t pin = 0; pin < fanins.size(); ++pin) {
+    gvals.push_back(good_[fanins[pin]]);
+    Value3 fv = faulty_[fanins[pin]];
+    if (id == fault_.node && static_cast<int>(pin) == fault_.fanin_index) {
+      fv = FromBool(fault_.stuck_value);
+    }
+    fvals.push_back(fv);
+  }
+  Value3 g = EvalGate3(netlist_.TypeOf(id), gvals);
+  Value3 f = EvalGate3(netlist_.TypeOf(id), fvals);
+  if (id == fault_.node && fault_.IsStem()) f = FromBool(fault_.stuck_value);
+  return {g, f};
+}
+
+void Podem::AssignAndPropagate(std::uint32_t input_index, Value3 value) {
+  assignment_[input_index] = value;
+  const netlist::NodeId input = netlist_.CoreInputs()[input_index];
+  good_[input] = value;
+  faulty_[input] = (fault_.IsStem() && input == fault_.node)
+                       ? FromBool(fault_.stuck_value)
+                       : value;
+
+  if (level_buckets_.size() != netlist_.MaxLevel() + 1) {
+    level_buckets_.assign(netlist_.MaxLevel() + 1, {});
+    in_queue_.assign(netlist_.NodeCount(), 0);
+  }
+
+  std::uint32_t min_level = netlist_.MaxLevel() + 1;
+  std::uint32_t max_level = 0;
+  auto enqueue_fanouts = [&](netlist::NodeId id) {
+    for (netlist::NodeId out : netlist_.FanoutsOf(id)) {
+      if (netlist_.TypeOf(out) == GateType::Dff) continue;
+      if (in_queue_[out]) continue;
+      in_queue_[out] = 1;
+      const std::uint32_t lvl = netlist_.LevelOf(out);
+      level_buckets_[lvl].push_back(out);
+      min_level = std::min(min_level, lvl);
+      max_level = std::max(max_level, lvl);
+    }
+  };
+  enqueue_fanouts(input);
+
+  for (std::uint32_t lvl = min_level; lvl <= max_level && lvl < level_buckets_.size(); ++lvl) {
+    auto& bucket = level_buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const netlist::NodeId id = bucket[i];
+      in_queue_[id] = 0;
+      const auto [g, f] = EvaluateNode(id);
+      if (g == good_[id] && f == faulty_[id]) continue;
+      good_[id] = g;
+      faulty_[id] = f;
+      enqueue_fanouts(id);
+    }
+    bucket.clear();
+  }
+}
+
+void Podem::SimulateBothPlanes() {
+  const auto inputs = netlist_.CoreInputs();
+  good_.assign(netlist_.NodeCount(), Value3::X);
+  faulty_.assign(netlist_.NodeCount(), Value3::X);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    good_[inputs[i]] = assignment_[i];
+    faulty_[inputs[i]] = assignment_[i];
+  }
+
+  // Inject stem faults at source nodes directly.
+  if (fault_.IsStem()) faulty_[fault_.node] = FromBool(fault_.stuck_value);
+
+  std::vector<Value3> vals;
+  for (NodeId id : netlist_.TopologicalOrder()) {
+    const auto fanins = netlist_.FaninsOf(id);
+    vals.clear();
+    for (NodeId f : fanins) vals.push_back(good_[f]);
+    good_[id] = EvalGate3(netlist_.TypeOf(id), vals);
+
+    vals.clear();
+    for (std::size_t pin = 0; pin < fanins.size(); ++pin) {
+      Value3 v = faulty_[fanins[pin]];
+      if (id == fault_.node && static_cast<int>(pin) == fault_.fanin_index)
+        v = FromBool(fault_.stuck_value);
+      vals.push_back(v);
+    }
+    Value3 fv = EvalGate3(netlist_.TypeOf(id), vals);
+    if (id == fault_.node && fault_.IsStem()) fv = FromBool(fault_.stuck_value);
+    faulty_[id] = fv;
+  }
+  // Re-force stems on source nodes (Input/Dff) that the loop above skipped.
+  if (fault_.IsStem()) faulty_[fault_.node] = FromBool(fault_.stuck_value);
+}
+
+bool Podem::Detected() const {
+  // Flop D-branch faults are observed directly at the flop's PPO slot.
+  if (!fault_.IsStem() && netlist_.TypeOf(fault_.node) == GateType::Dff) {
+    const Value3 g = good_[netlist_.FaninsOf(fault_.node)[0]];
+    return g != Value3::X && g != FromBool(fault_.stuck_value);
+  }
+  for (NodeId id : netlist_.CoreOutputs()) {
+    if (good_[id] != Value3::X && faulty_[id] != Value3::X &&
+        good_[id] != faulty_[id]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::pair<NodeId, Value3>> Podem::Objective() {
+  // Flop D-branch: single objective — drive the D net to the opposite value.
+  if (!fault_.IsStem() && netlist_.TypeOf(fault_.node) == GateType::Dff) {
+    const NodeId driver = netlist_.FaninsOf(fault_.node)[0];
+    if (good_[driver] != Value3::X) return std::nullopt;  // conflict or done
+    return std::make_pair(driver, Not3(FromBool(fault_.stuck_value)));
+  }
+
+  // Activation: the fault site (stem) or faulted pin's driver must carry the
+  // opposite of the stuck value in the good circuit.
+  const NodeId site_net = fault_.IsStem()
+                              ? fault_.node
+                              : netlist_.FaninsOf(fault_.node)[fault_.fanin_index];
+  const Value3 want = Not3(FromBool(fault_.stuck_value));
+  if (good_[site_net] == Value3::X) return std::make_pair(site_net, want);
+  if (good_[site_net] != want) return std::nullopt;  // unactivatable here
+
+  // Propagation: pick a D-frontier gate and set one of its X inputs to the
+  // non-controlling value. For a branch fault the site gate itself is in the
+  // frontier: its faulted pin carries D by the forced value, even though the
+  // driver net's planes agree.
+  for (NodeId id : netlist_.TopologicalOrder()) {
+    if (good_[id] != Value3::X && faulty_[id] != Value3::X) continue;
+    bool has_d_input = false;
+    if (id == fault_.node && !fault_.IsStem()) {
+      has_d_input = true;  // activation was checked above
+    }
+    for (NodeId f : netlist_.FaninsOf(id)) {
+      if (has_d_input) break;
+      if (good_[f] != Value3::X && faulty_[f] != Value3::X &&
+          good_[f] != faulty_[f]) {
+        has_d_input = true;
+      }
+    }
+    if (!has_d_input) continue;
+    const GateType type = netlist_.TypeOf(id);
+    for (NodeId f : netlist_.FaninsOf(id)) {
+      if (good_[f] != Value3::X) continue;
+      const int ctrl = netlist::ControllingValue(type);
+      const Value3 v = ctrl < 0 ? Value3::Zero : Not3(FromBool(ctrl == 1));
+      return std::make_pair(f, v);
+    }
+  }
+  return std::nullopt;  // no D-frontier gate with an X input
+}
+
+std::optional<std::pair<std::uint32_t, Value3>> Podem::Backtrace(
+    NodeId node, Value3 value) const {
+  // Follow X-valued nets toward a core input, inverting the target value
+  // through inverting gates.
+  NodeId cur = node;
+  Value3 v = value;
+  for (;;) {
+    const GateType type = netlist_.TypeOf(cur);
+    if (type == GateType::Input || type == GateType::Dff) {
+      const std::uint32_t idx = input_index_of_[cur];
+      if (assignment_[idx] != Value3::X) return std::nullopt;  // already set
+      return std::make_pair(idx, v);
+    }
+    const Value3 v_in = IsInverting(type) ? Not3(v) : v;
+    // Choose an X-valued input. If the required value is the controlling
+    // value, any single input suffices ("easiest": lowest level). Otherwise
+    // all inputs must eventually get it, start with the hardest (highest
+    // level) to fail fast.
+    const int ctrl = netlist::ControllingValue(type);
+    NodeId chosen = netlist::kInvalidNode;
+    const bool want_easiest = ctrl >= 0 && v_in == FromBool(ctrl == 1);
+    std::uint32_t best_level = 0;
+    for (NodeId f : netlist_.FaninsOf(cur)) {
+      if (good_[f] != Value3::X) continue;
+      const std::uint32_t lvl = netlist_.LevelOf(f);
+      if (chosen == netlist::kInvalidNode ||
+          (want_easiest ? lvl < best_level : lvl > best_level)) {
+        chosen = f;
+        best_level = lvl;
+      }
+    }
+    if (chosen == netlist::kInvalidNode) return std::nullopt;
+    if (type == GateType::Xor || type == GateType::Xnor) {
+      // XOR heuristic: pick the value that yields the desired output parity
+      // assuming the remaining X inputs settle at 0; backtracking corrects
+      // wrong guesses.
+      Value3 parity = type == GateType::Xnor ? Value3::One : Value3::Zero;
+      for (NodeId f : netlist_.FaninsOf(cur)) {
+        if (f == chosen) continue;
+        if (good_[f] == Value3::One) parity = Not3(parity);
+      }
+      v = Xor3(v, parity);
+    } else {
+      v = v_in;
+    }
+    cur = chosen;
+  }
+}
+
+bool Podem::XPathExists() const {
+  // A fault effect can still reach an observation point if some node that
+  // carries D (planes differ) or X faulty value has a forward path of
+  // X-valued nodes to a core output. Conservative check: BFS from D-carrying
+  // nodes through X nodes.
+  std::vector<std::uint8_t> carries_d(netlist_.NodeCount(), 0);
+  std::vector<NodeId> frontier;
+  for (NodeId id = 0; id < netlist_.NodeCount(); ++id) {
+    if (good_[id] != Value3::X && faulty_[id] != Value3::X &&
+        good_[id] != faulty_[id]) {
+      carries_d[id] = 1;
+      frontier.push_back(id);
+    }
+  }
+  if (frontier.empty()) {
+    const NodeId site_net =
+        fault_.IsStem() ? fault_.node
+                        : netlist_.FaninsOf(fault_.node)[fault_.fanin_index];
+    if (good_[site_net] == Value3::X) return true;  // activation still open
+    if (good_[site_net] == FromBool(fault_.stuck_value)) return false;
+    // Branch fault activated at the pin but not yet visible at the site
+    // gate's output: propagation is possible iff that output is still
+    // undetermined in some plane.
+    if (!fault_.IsStem() && netlist_.TypeOf(fault_.node) != GateType::Dff &&
+        (good_[fault_.node] == Value3::X ||
+         faulty_[fault_.node] == Value3::X)) {
+      carries_d[fault_.node] = 1;
+      frontier.push_back(fault_.node);
+    }
+    if (frontier.empty()) return false;
+  }
+
+  std::vector<std::uint8_t> visited(netlist_.NodeCount(), 0);
+  std::vector<std::uint8_t> observed(netlist_.NodeCount(), 0);
+  for (NodeId id : netlist_.CoreOutputs()) observed[id] = 1;
+
+  while (!frontier.empty()) {
+    const NodeId id = frontier.back();
+    frontier.pop_back();
+    if (observed[id]) return true;
+    for (NodeId out : netlist_.FanoutsOf(id)) {
+      if (netlist_.TypeOf(out) == GateType::Dff) continue;
+      if (visited[out]) continue;
+      visited[out] = 1;
+      // Propagation is possible through nodes whose value is not yet fixed
+      // identically in both planes.
+      if (good_[out] == Value3::X || faulty_[out] == Value3::X ||
+          good_[out] != faulty_[out]) {
+        frontier.push_back(out);
+      }
+    }
+  }
+  return false;
+}
+
+PodemResult Podem::Generate(const sim::StuckAtFault& fault) {
+  fault_ = fault;
+  assignment_.assign(netlist_.CoreInputs().size(), Value3::X);
+  decisions_.clear();
+  PodemResult result;
+
+  SimulateBothPlanes();
+  for (;;) {
+    if (Detected()) {
+      result.outcome = PodemOutcome::Detected;
+      result.cube.bits = assignment_;
+      return result;
+    }
+
+    bool dead_end = false;
+    std::optional<std::pair<std::uint32_t, Value3>> next;
+    if (!XPathExists()) {
+      dead_end = true;
+    } else if (auto obj = Objective()) {
+      next = Backtrace(obj->first, obj->second);
+      dead_end = !next.has_value();
+    } else {
+      dead_end = true;
+    }
+
+    if (dead_end) {
+      // Backtrack: flip the most recent unflipped decision.
+      for (;;) {
+        if (decisions_.empty()) {
+          result.outcome = PodemOutcome::Untestable;
+          return result;
+        }
+        Decision& d = decisions_.back();
+        if (!d.flipped) {
+          d.flipped = true;
+          d.value = Not3(d.value);
+          assignment_[d.input_index] = d.value;
+          ++result.backtracks;
+          break;
+        }
+        assignment_[d.input_index] = Value3::X;
+        decisions_.pop_back();
+      }
+      if (result.backtracks > backtrack_limit_) {
+        result.outcome = PodemOutcome::Aborted;
+        return result;
+      }
+      SimulateBothPlanes();  // un-refining X values needs a full recompute
+      continue;
+    }
+
+    decisions_.push_back({next->first, next->second, false});
+    AssignAndPropagate(next->first, next->second);
+  }
+}
+
+}  // namespace bistdse::atpg

@@ -1,0 +1,88 @@
+// PODEM (Path-Oriented DEcision Making) deterministic test generation.
+//
+// The generator operates on the full-scan combinational core: decisions are
+// made only at core inputs (PIs and flop Qs); values propagate by two-plane
+// three-valued simulation (a fault-free plane and a faulty plane with the
+// target fault injected). A fault is detected when some core output differs
+// between the planes with both values known.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/value3.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/fault.hpp"
+
+namespace bistdse::atpg {
+
+/// A test cube: one Value3 per core input (CoreInputs() order). X positions
+/// are don't-cares to be filled (randomly for BIST top-up patterns).
+struct TestCube {
+  std::vector<Value3> bits;
+
+  std::size_t CareBitCount() const {
+    std::size_t n = 0;
+    for (Value3 v : bits) n += v != Value3::X;
+    return n;
+  }
+};
+
+enum class PodemOutcome : std::uint8_t {
+  Detected,    ///< Cube generated.
+  Untestable,  ///< Proven redundant (search space exhausted).
+  Aborted,     ///< Backtrack limit hit.
+};
+
+struct PodemResult {
+  PodemOutcome outcome = PodemOutcome::Aborted;
+  TestCube cube;                 ///< Valid iff outcome == Detected.
+  std::uint32_t backtracks = 0;  ///< Search effort spent.
+};
+
+class Podem {
+ public:
+  /// `backtrack_limit` bounds search effort per fault.
+  explicit Podem(const netlist::Netlist& netlist,
+                 std::uint32_t backtrack_limit = 200);
+
+  /// Attempts to generate a test cube for `fault`.
+  PodemResult Generate(const sim::StuckAtFault& fault);
+
+ private:
+  struct Decision {
+    std::uint32_t input_index;  ///< Index into CoreInputs().
+    Value3 value;
+    bool flipped;
+  };
+
+  void SimulateBothPlanes();
+  /// Incremental forward propagation after assigning one core input (both
+  /// planes). Sound because forward decisions only refine X values (Kleene
+  /// monotonicity); backtracking falls back to SimulateBothPlanes().
+  void AssignAndPropagate(std::uint32_t input_index, Value3 value);
+  /// Recomputes one node's planes from its fanins (with fault overrides).
+  std::pair<Value3, Value3> EvaluateNode(netlist::NodeId id) const;
+  bool Detected() const;
+  /// Next objective (node, value) or nullopt if the search hit a dead end.
+  std::optional<std::pair<netlist::NodeId, Value3>> Objective();
+  /// Maps an objective to a core-input assignment.
+  std::optional<std::pair<std::uint32_t, Value3>> Backtrace(
+      netlist::NodeId node, Value3 value) const;
+  bool XPathExists() const;
+
+  const netlist::Netlist& netlist_;
+  std::uint32_t backtrack_limit_;
+  sim::StuckAtFault fault_{};
+  std::vector<Value3> assignment_;  // per core input
+  std::vector<Value3> good_;        // per node
+  std::vector<Value3> faulty_;      // per node
+  std::vector<std::uint32_t> input_index_of_;  // NodeId -> core input index
+  std::vector<Decision> decisions_;
+  // Event propagation scratch (lazily sized).
+  std::vector<std::vector<netlist::NodeId>> level_buckets_;
+  std::vector<std::uint8_t> in_queue_;
+};
+
+}  // namespace bistdse::atpg

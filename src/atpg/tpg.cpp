@@ -1,0 +1,181 @@
+#include "atpg/tpg.hpp"
+
+#include <algorithm>
+
+#include "sim/fault_sim.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse::atpg {
+
+using sim::BitPattern;
+using sim::FaultSimulator;
+using sim::PatternWord;
+using sim::StuckAtFault;
+
+namespace {
+
+BitPattern FillCube(const TestCube& cube, util::SplitMix64& rng) {
+  BitPattern p(cube.bits.size());
+  for (std::size_t i = 0; i < cube.bits.size(); ++i) {
+    switch (cube.bits[i]) {
+      case Value3::Zero: p[i] = 0; break;
+      case Value3::One: p[i] = 1; break;
+      case Value3::X: p[i] = rng.Chance(0.5) ? 1 : 0; break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<TestCube> MergeCompatibleCubes(std::span<const TestCube> cubes) {
+  auto compatible = [](const TestCube& a, const TestCube& b) {
+    for (std::size_t i = 0; i < a.bits.size(); ++i) {
+      if (a.bits[i] != Value3::X && b.bits[i] != Value3::X &&
+          a.bits[i] != b.bits[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<TestCube> merged;
+  for (const TestCube& cube : cubes) {
+    bool placed = false;
+    for (TestCube& target : merged) {
+      if (target.bits.size() == cube.bits.size() &&
+          compatible(target, cube)) {
+        for (std::size_t i = 0; i < cube.bits.size(); ++i) {
+          if (cube.bits[i] != Value3::X) target.bits[i] = cube.bits[i];
+        }
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) merged.push_back(cube);
+  }
+  return merged;
+}
+
+DeterministicTpgResult GenerateDeterministicPatterns(
+    const netlist::Netlist& netlist, std::span<const StuckAtFault> targets,
+    const DeterministicTpgOptions& options) {
+  DeterministicTpgResult result;
+  util::SplitMix64 rng(options.seed);
+  Podem podem(netlist, options.backtrack_limit);
+  FaultSimulator fsim(netlist);
+  const std::size_t width = netlist.CoreInputs().size();
+
+  std::vector<StuckAtFault> remaining(targets.begin(), targets.end());
+  enum : std::uint8_t { kPending, kDropped, kUntestable };
+  std::vector<std::uint8_t> status(remaining.size(), kPending);
+
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    if (status[i] != kPending) continue;
+    const PodemResult pr = podem.Generate(remaining[i]);
+    if (pr.outcome == PodemOutcome::Untestable) {
+      status[i] = kUntestable;
+      ++result.untestable;
+      continue;
+    }
+    if (pr.outcome == PodemOutcome::Aborted) {
+      // Stays pending: a later pattern may catch it by chance.
+      ++result.aborted;
+      continue;
+    }
+
+    const BitPattern pattern = FillCube(pr.cube, rng);
+    std::vector<PatternWord> words(width);
+    for (std::size_t k = 0; k < width; ++k)
+      words[k] = pattern[k] ? ~PatternWord{0} : PatternWord{0};
+    // A single pattern replicated across all 64 lanes: DetectWord != 0 means
+    // "this pattern detects the fault". Scan the whole list so previously
+    // aborted faults can still be dropped by serendipitous detection.
+    fsim.SetPatternBlock(words);
+    for (std::size_t j = 0; j < remaining.size(); ++j) {
+      if (status[j] != kPending) continue;
+      if (fsim.DetectWord(remaining[j]) != 0) {
+        status[j] = kDropped;
+        ++result.detected;
+      }
+    }
+    result.total_care_bits += pr.cube.CareBitCount();
+    result.cubes.push_back(pr.cube);
+    result.patterns.push_back(pattern);
+  }
+
+  if (options.static_compaction && !result.cubes.empty()) {
+    // Merge, refill, and recount: detection of each original target is
+    // preserved because every original cube's care bits survive in some
+    // merged cube.
+    auto merged = MergeCompatibleCubes(result.cubes);
+    result.cubes = std::move(merged);
+    result.patterns.clear();
+    result.total_care_bits = 0;
+    for (const TestCube& cube : result.cubes) {
+      result.patterns.push_back(FillCube(cube, rng));
+      result.total_care_bits += cube.CareBitCount();
+    }
+  }
+
+  if (options.reverse_compaction && !result.patterns.empty()) {
+    std::vector<bool> keep;
+    auto compacted = CompactPatterns(netlist, result.patterns, targets, &keep);
+    std::vector<TestCube> kept_cubes;
+    std::size_t care = 0;
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      if (!keep[i]) continue;
+      care += result.cubes[i].CareBitCount();
+      kept_cubes.push_back(std::move(result.cubes[i]));
+    }
+    result.cubes = std::move(kept_cubes);
+    result.patterns = std::move(compacted);
+    result.total_care_bits = care;
+  }
+  return result;
+}
+
+std::vector<BitPattern> CompactPatterns(
+    const netlist::Netlist& netlist, std::span<const BitPattern> patterns,
+    std::span<const StuckAtFault> targets, std::vector<bool>* keep_mask_out) {
+  FaultSimulator fsim(netlist);
+  const std::size_t width = netlist.CoreInputs().size();
+
+  std::vector<StuckAtFault> remaining(targets.begin(), targets.end());
+  std::vector<bool> keep(patterns.size(), false);
+
+  // Walk patterns in reverse order; keep a pattern iff it detects at least
+  // one still-undetected fault. Later patterns (generated for the hardest
+  // faults last) tend to detect many easy faults, making early patterns
+  // redundant.
+  std::vector<PatternWord> words(width);
+  for (std::size_t rev = patterns.size(); rev-- > 0;) {
+    if (remaining.empty()) break;
+    const BitPattern& p = patterns[rev];
+    for (std::size_t k = 0; k < width; ++k)
+      words[k] = p[k] ? ~PatternWord{0} : PatternWord{0};
+    fsim.SetPatternBlock(words);
+    bool useful = false;
+    std::vector<StuckAtFault> still;
+    still.reserve(remaining.size());
+    for (const StuckAtFault& f : remaining) {
+      if (fsim.DetectWord(f) != 0) {
+        useful = true;
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (useful) {
+      keep[rev] = true;
+      remaining = std::move(still);
+    }
+  }
+
+  std::vector<BitPattern> out;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (keep[i]) out.push_back(patterns[i]);
+  }
+  if (keep_mask_out) *keep_mask_out = std::move(keep);
+  return out;
+}
+
+}  // namespace bistdse::atpg

@@ -1,0 +1,43 @@
+// Three-valued (0/1/X) logic used by the PODEM test generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/gate.hpp"
+
+namespace bistdse::atpg {
+
+enum class Value3 : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+constexpr Value3 FromBool(bool b) { return b ? Value3::One : Value3::Zero; }
+
+constexpr Value3 Not3(Value3 v) {
+  if (v == Value3::X) return Value3::X;
+  return v == Value3::Zero ? Value3::One : Value3::Zero;
+}
+
+/// Kleene AND over two values.
+constexpr Value3 And3(Value3 a, Value3 b) {
+  if (a == Value3::Zero || b == Value3::Zero) return Value3::Zero;
+  if (a == Value3::One && b == Value3::One) return Value3::One;
+  return Value3::X;
+}
+
+/// Kleene OR over two values.
+constexpr Value3 Or3(Value3 a, Value3 b) {
+  if (a == Value3::One || b == Value3::One) return Value3::One;
+  if (a == Value3::Zero && b == Value3::Zero) return Value3::Zero;
+  return Value3::X;
+}
+
+/// Kleene XOR over two values.
+constexpr Value3 Xor3(Value3 a, Value3 b) {
+  if (a == Value3::X || b == Value3::X) return Value3::X;
+  return a == b ? Value3::Zero : Value3::One;
+}
+
+/// Evaluates one gate in 3-valued logic.
+Value3 EvalGate3(netlist::GateType type, std::span<const Value3> fanins);
+
+}  // namespace bistdse::atpg

@@ -1,0 +1,197 @@
+#include "bist/diagnosis.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "bist/misr.hpp"
+#include "bist/pattern_source.hpp"
+#include "bist/reseeding.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/pattern_set.hpp"
+
+namespace bistdse::bist {
+
+using sim::BitPattern;
+using sim::FaultSimulator;
+using sim::PatternWord;
+using sim::StuckAtFault;
+
+SignatureDiagnosis::SignatureDiagnosis(
+    const netlist::Netlist& netlist, StumpsConfig config,
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic)
+    : netlist_(netlist),
+      config_(config),
+      num_random_(num_random),
+      deterministic_(deterministic.begin(), deterministic.end()) {
+  const std::uint64_t total = num_random_ + deterministic_.size();
+  window_ = config_.EffectiveWindow(total);
+  window_count_ = static_cast<std::uint32_t>((total + window_ - 1) / window_);
+}
+
+namespace {
+
+/// Walks the session's pattern stream in blocks of <= 64 patterns, invoking
+/// `visit(block, base_index)` for each block.
+template <typename Visitor>
+void ForEachPatternBlock(const netlist::Netlist& netlist,
+                         const StumpsConfig& config, std::uint64_t num_random,
+                         std::span<const EncodedPattern> deterministic,
+                         Visitor&& visit) {
+  const std::size_t width = netlist.CoreInputs().size();
+  ReseedingEncoder expander(static_cast<std::uint32_t>(width));
+  PatternSource prpg(config, width);
+
+  std::vector<BitPattern> block;
+  block.reserve(64);
+  std::uint64_t base = 0;
+  std::size_t det_next = 0;
+  auto flush = [&] {
+    if (block.empty()) return;
+    visit(std::span<const BitPattern>(block), base);
+    base += block.size();
+    block.clear();
+  };
+  for (std::uint64_t i = 0; i < num_random; ++i) {
+    block.push_back(prpg.Next());
+    if (block.size() == 64) flush();
+  }
+  while (det_next < deterministic.size()) {
+    block.push_back(expander.Expand(deterministic[det_next++]));
+    if (block.size() == 64) flush();
+  }
+  flush();
+}
+
+}  // namespace
+
+std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
+    std::span<const FailDatum> fail_data,
+    std::span<const StuckAtFault> candidates, std::size_t top_k) const {
+  const std::size_t width = netlist_.CoreInputs().size();
+  const std::size_t num_outputs = netlist_.CoreOutputs().size();
+  FaultSimulator fsim(netlist_);
+
+  // ---- Stage 1: failing-window set match ---------------------------------
+  const std::size_t wwords = (window_count_ + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> predicted(
+      candidates.size(), std::vector<std::uint64_t>(wwords, 0));
+
+  ForEachPatternBlock(
+      netlist_, config_, num_random_, deterministic_,
+      [&](std::span<const BitPattern> block, std::uint64_t base) {
+        fsim.SetPatternBlock(
+            sim::PackPatternBlock(block, 0, block.size(), width));
+        const PatternWord mask = sim::BlockMask(block.size());
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          PatternWord det = fsim.DetectWord(candidates[c]) & mask;
+          while (det != 0) {
+            const int k = std::countr_zero(det);
+            det &= det - 1;
+            const std::uint64_t w =
+                (base + static_cast<std::uint64_t>(k)) / window_;
+            predicted[c][w / 64] |= std::uint64_t{1} << (w % 64);
+          }
+        }
+      });
+
+  std::vector<std::uint64_t> observed(wwords, 0);
+  for (const FailDatum& f : fail_data) {
+    observed[f.window_index / 64] |= std::uint64_t{1} << (f.window_index % 64);
+  }
+
+  std::vector<DiagnosisCandidate> ranked;
+  ranked.reserve(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::uint64_t inter = 0, uni = 0;
+    for (std::size_t w = 0; w < wwords; ++w) {
+      inter += std::popcount(predicted[c][w] & observed[w]);
+      uni += std::popcount(predicted[c][w] | observed[w]);
+    }
+    const double score =
+        uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+    ranked.push_back({candidates[c], score});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+                     return a.score > b.score;
+                   });
+
+  // ---- Stage 2: signature match on failing windows -----------------------
+  // Window sets alone cannot separate faults failing (nearly) every window;
+  // the observed MISR signatures can. Re-rank the short list by reproducing
+  // the signatures of a few failing windows per candidate. Requires strong
+  // windows (per-window MISR reset) so windows are independent.
+  if (!fail_data.empty() && config_.reset_misr_per_window && !ranked.empty()) {
+    // Tie-aware shortlist: extend past the nominal cut while stage-1 scores
+    // tie, so equal-scoring candidates all get the signature test.
+    std::size_t shortlist =
+        std::min(ranked.size(), std::max<std::size_t>(top_k * 8, 32));
+    while (shortlist < ranked.size() &&
+           ranked[shortlist].score == ranked[shortlist - 1].score) {
+      ++shortlist;
+    }
+    constexpr std::size_t kMaxWindows = 8;
+    std::vector<const FailDatum*> selected;
+    for (const FailDatum& f : fail_data) {
+      selected.push_back(&f);
+      if (selected.size() >= kMaxWindows) break;
+    }
+
+    // Collect the patterns of the selected windows.
+    std::map<std::uint32_t, std::vector<BitPattern>> window_patterns;
+    for (const FailDatum* f : selected) window_patterns[f->window_index] = {};
+    ForEachPatternBlock(
+        netlist_, config_, num_random_, deterministic_,
+        [&](std::span<const BitPattern> block, std::uint64_t base) {
+          for (std::size_t k = 0; k < block.size(); ++k) {
+            const auto w = static_cast<std::uint32_t>((base + k) / window_);
+            auto it = window_patterns.find(w);
+            if (it != window_patterns.end()) it->second.push_back(block[k]);
+          }
+        });
+
+    // Per candidate and selected window, reproduce the window signature.
+    // Loop order is window-major so each pattern block is good-simulated
+    // once for all shortlist candidates.
+    std::vector<std::vector<Misr>> misrs(
+        shortlist,
+        std::vector<Misr>(selected.size(), Misr(config_.misr_width)));
+    for (std::size_t wi = 0; wi < selected.size(); ++wi) {
+      const auto& pats = window_patterns.at(selected[wi]->window_index);
+      for (std::size_t base = 0; base < pats.size(); base += 64) {
+        const std::size_t count = std::min<std::size_t>(64, pats.size() - base);
+        fsim.SetPatternBlock(sim::PackPatternBlock(pats, base, count, width));
+        for (std::size_t r = 0; r < shortlist; ++r) {
+          const auto response = fsim.FaultyResponse(ranked[r].fault);
+          for (std::size_t k = 0; k < count; ++k) {
+            for (std::size_t j = 0; j < num_outputs; ++j) {
+              misrs[r][wi].AbsorbBit((response[j] >> k) & 1);
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t r = 0; r < shortlist; ++r) {
+      std::size_t matches = 0;
+      for (std::size_t wi = 0; wi < selected.size(); ++wi) {
+        if (misrs[r][wi].Signature() == selected[wi]->observed_signature)
+          ++matches;
+      }
+      // Signature evidence dominates ties: exact reproduction of the
+      // observed failing signatures is the strongest possible match.
+      ranked[r].score +=
+          static_cast<double>(matches) / static_cast<double>(selected.size());
+    }
+    std::stable_sort(
+        ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(shortlist),
+        [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+          return a.score > b.score;
+        });
+  }
+
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace bistdse::bist

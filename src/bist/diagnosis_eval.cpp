@@ -1,0 +1,52 @@
+#include "bist/diagnosis_eval.hpp"
+
+namespace bistdse::bist {
+
+DiagnosisAccuracy EvaluateDiagnosisAccuracy(
+    const netlist::Netlist& netlist, const StumpsConfig& config,
+    const DiagnosisEvalOptions& options) {
+  DiagnosisAccuracy accuracy;
+  accuracy.k = options.top_k;
+
+  const auto faults = sim::CollapsedFaults(netlist);
+  StumpsSession session(netlist, config);
+  SignatureDiagnosis diagnosis(netlist, config, options.num_random_patterns,
+                               {});
+
+  double rank_sum = 0.0;
+  std::size_t sampled = 0;
+  for (std::size_t fi = 0; fi < faults.size() && sampled < options.max_samples;
+       fi += options.sample_stride) {
+    ++sampled;
+    const auto result =
+        session.Run(options.num_random_patterns, {}, faults[fi]);
+    if (result.fail_data.empty()) {
+      ++accuracy.escaped;
+      continue;
+    }
+    ++accuracy.injected;
+    // Rank against the full candidate universe.
+    const auto ranked =
+        diagnosis.Diagnose(result.fail_data, faults, faults.size());
+    std::size_t rank = ranked.size();
+    for (std::size_t r = 0; r < ranked.size(); ++r) {
+      if (ranked[r].fault == faults[fi]) {
+        rank = r + 1;
+        break;
+      }
+    }
+    rank_sum += static_cast<double>(rank);
+    if (rank == 1 ||
+        (ranked.size() > 1 && rank <= ranked.size() &&
+         ranked[0].score == ranked[rank - 1].score)) {
+      ++accuracy.top1;  // first or tied with the first
+    }
+    if (rank <= options.top_k) ++accuracy.topk;
+  }
+  accuracy.mean_rank =
+      accuracy.injected ? rank_sum / static_cast<double>(accuracy.injected)
+                        : 0.0;
+  return accuracy;
+}
+
+}  // namespace bistdse::bist

@@ -1,0 +1,44 @@
+// Diagnosis accuracy evaluation: injects sampled faults, runs the BIST
+// session, diagnoses from the fail data, and scores how well the true
+// defect is recovered — the quantitative backing for the paper's claim that
+// the collected fail data suffices for chip-level diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/diagnosis.hpp"
+#include "bist/stumps.hpp"
+
+namespace bistdse::bist {
+
+struct DiagnosisAccuracy {
+  std::size_t injected = 0;    ///< Faults actually producing fail data.
+  std::size_t escaped = 0;     ///< Sampled faults the session misses.
+  std::size_t top1 = 0;        ///< True fault ranked first (incl. ties).
+  std::size_t topk = 0;        ///< True fault within top k.
+  double mean_rank = 0.0;      ///< Mean rank of the true fault (1-based).
+  std::size_t k = 5;
+
+  double Top1Rate() const {
+    return injected ? static_cast<double>(top1) / injected : 0.0;
+  }
+  double TopkRate() const {
+    return injected ? static_cast<double>(topk) / injected : 0.0;
+  }
+};
+
+struct DiagnosisEvalOptions {
+  std::uint64_t num_random_patterns = 512;
+  std::size_t sample_stride = 37;  ///< Every stride-th collapsed fault.
+  std::size_t top_k = 5;
+  std::size_t max_samples = 200;
+};
+
+/// Runs the inject -> session -> diagnose loop over a sample of the
+/// collapsed fault universe of `netlist`.
+DiagnosisAccuracy EvaluateDiagnosisAccuracy(const netlist::Netlist& netlist,
+                                            const StumpsConfig& config,
+                                            const DiagnosisEvalOptions& options = {});
+
+}  // namespace bistdse::bist

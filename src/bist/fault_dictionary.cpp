@@ -1,0 +1,168 @@
+#include "bist/fault_dictionary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <bit>
+
+#include "bist/misr.hpp"
+#include "bist/pattern_source.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace bistdse::bist {
+
+using sim::BitPattern;
+using sim::FaultSimulator;
+using sim::PatternWord;
+
+FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
+                                 const StumpsConfig& config,
+                                 std::uint64_t num_random,
+                                 std::span<const EncodedPattern> deterministic,
+                                 std::vector<sim::StuckAtFault> faults)
+    : faults_(std::move(faults)) {
+  if (!config.reset_misr_per_window) {
+    throw std::invalid_argument(
+        "fault dictionary requires strong windows (per-window MISR reset)");
+  }
+  const std::size_t width = netlist.CoreInputs().size();
+  const std::size_t num_outputs = netlist.CoreOutputs().size();
+  const std::uint64_t total = num_random + deterministic.size();
+  const std::uint64_t window = config.EffectiveWindow(total);
+  window_count_ = static_cast<std::uint32_t>((total + window - 1) / window);
+  words_per_fault_ = (window_count_ + 63) / 64;
+  windows_.assign(faults_.size() * words_per_fault_, 0);
+  signatures_.resize(faults_.size());
+
+  // Materialize the full pattern stream window by window.
+  PatternSource source(config, width);
+  ReseedingEncoder expander(static_cast<std::uint32_t>(width));
+  std::size_t det_next = 0;
+  std::uint64_t emitted = 0;
+  auto next_pattern = [&]() -> BitPattern {
+    if (emitted < num_random) {
+      ++emitted;
+      return source.Next();
+    }
+    ++emitted;
+    return expander.Expand(deterministic[det_next++]);
+  };
+
+  FaultSimulator fsim(netlist);
+  for (std::uint32_t w = 0; w < window_count_; ++w) {
+    const std::uint64_t remaining = total - static_cast<std::uint64_t>(w) * window;
+    const std::size_t in_window =
+        static_cast<std::size_t>(std::min<std::uint64_t>(window, remaining));
+    std::vector<BitPattern> patterns;
+    patterns.reserve(in_window);
+    for (std::size_t i = 0; i < in_window; ++i) patterns.push_back(next_pattern());
+
+    // Pass 1: detection words per block (cheap fault propagation) identify
+    // the faults whose signature can differ in this window at all.
+    const std::size_t num_blocks = (in_window + 63) / 64;
+    std::vector<std::size_t> active;  // fault indices detected in this window
+    {
+      std::vector<std::uint8_t> is_active(faults_.size(), 0);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        const std::size_t base = b * 64;
+        const std::size_t count = std::min<std::size_t>(64, in_window - base);
+        fsim.SetPatternBlock(sim::PackPatternBlock(patterns, base, count, width));
+        const PatternWord mask = sim::BlockMask(count);
+        for (std::size_t f = 0; f < faults_.size(); ++f) {
+          if (!is_active[f] && (fsim.DetectWord(faults_[f]) & mask) != 0) {
+            is_active[f] = 1;
+          }
+        }
+      }
+      for (std::size_t f = 0; f < faults_.size(); ++f) {
+        if (is_active[f]) active.push_back(f);
+      }
+    }
+
+    // Pass 2: golden signature plus faulty signatures of the active faults.
+    Misr golden_misr(config.misr_width);
+    std::vector<Misr> fault_misrs(active.size(), Misr(config.misr_width));
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const std::size_t base = b * 64;
+      const std::size_t count = std::min<std::size_t>(64, in_window - base);
+      fsim.SetPatternBlock(sim::PackPatternBlock(patterns, base, count, width));
+      std::vector<PatternWord> good;
+      good.reserve(num_outputs);
+      for (netlist::NodeId id : netlist.CoreOutputs())
+        good.push_back(fsim.Good().ValueOf(id));
+      for (std::size_t k = 0; k < count; ++k) {
+        for (std::size_t j = 0; j < num_outputs; ++j) {
+          golden_misr.AbsorbBit((good[j] >> k) & 1);
+        }
+      }
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const auto response = fsim.FaultyResponse(faults_[active[a]]);
+        for (std::size_t k = 0; k < count; ++k) {
+          for (std::size_t j = 0; j < num_outputs; ++j) {
+            fault_misrs[a].AbsorbBit((response[j] >> k) & 1);
+          }
+        }
+      }
+    }
+
+    const std::uint64_t golden_signature = golden_misr.Signature();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const std::uint64_t sig = fault_misrs[a].Signature();
+      if (sig != golden_signature) {
+        const std::size_t f = active[a];
+        windows_[f * words_per_fault_ + w / 64] |= std::uint64_t{1} << (w % 64);
+        signatures_[f].push_back(sig);
+      }
+    }
+  }
+}
+
+std::vector<DiagnosisCandidate> FaultDictionary::Diagnose(
+    std::span<const FailDatum> fail_data, std::size_t top_k) const {
+  std::vector<std::uint64_t> observed(words_per_fault_, 0);
+  for (const FailDatum& fd : fail_data) {
+    observed[fd.window_index / 64] |= std::uint64_t{1} << (fd.window_index % 64);
+  }
+
+  std::vector<DiagnosisCandidate> ranked;
+  ranked.reserve(faults_.size());
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    const auto fw = WindowsOf(f);
+    std::uint64_t inter = 0, uni = 0;
+    for (std::size_t w = 0; w < words_per_fault_; ++w) {
+      inter += std::popcount(fw[w] & observed[w]);
+      uni += std::popcount(fw[w] | observed[w]);
+    }
+    double score =
+        uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+
+    // Signature bonus: fraction of observed failing windows whose stored
+    // faulty signature matches exactly.
+    if (!fail_data.empty()) {
+      std::size_t matches = 0;
+      for (const FailDatum& fd : fail_data) {
+        const std::uint32_t w = fd.window_index;
+        if (!((fw[w / 64] >> (w % 64)) & 1)) continue;
+        // Rank of window w among this fault's failing windows.
+        std::size_t rank = 0;
+        for (std::uint32_t ww = 0; ww < w; ++ww) {
+          if ((fw[ww / 64] >> (ww % 64)) & 1) ++rank;
+        }
+        if (rank < signatures_[f].size() &&
+            signatures_[f][rank] == fd.observed_signature) {
+          ++matches;
+        }
+      }
+      score += static_cast<double>(matches) /
+               static_cast<double>(fail_data.size());
+    }
+    ranked.push_back({faults_[f], score});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+                     return a.score > b.score;
+                   });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace bistdse::bist

@@ -1,0 +1,51 @@
+// Fault dictionary: precomputed per-fault failing-window sets (and window
+// signatures) for one session configuration. Building it costs one full
+// fault-simulation sweep; afterwards each diagnosis is a dictionary match —
+// the classic trade when many field returns of the same ECU generation are
+// diagnosed against the same BIST session.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bist/diagnosis.hpp"
+#include "bist/stumps.hpp"
+
+namespace bistdse::bist {
+
+class FaultDictionary {
+ public:
+  /// Builds the dictionary for the given session (pattern stream defined by
+  /// `config`, `num_random`, `deterministic`) over the candidate `faults`.
+  FaultDictionary(const netlist::Netlist& netlist, const StumpsConfig& config,
+                  std::uint64_t num_random,
+                  std::span<const EncodedPattern> deterministic,
+                  std::vector<sim::StuckAtFault> faults);
+
+  std::size_t FaultCount() const { return faults_.size(); }
+  std::uint32_t WindowCount() const { return window_count_; }
+
+  /// Ranks candidates against observed fail data by failing-window-set
+  /// Jaccard match (ties broken by stored-signature equality on the listed
+  /// windows). Equivalent to SignatureDiagnosis but O(candidates) per query
+  /// with no re-simulation.
+  std::vector<DiagnosisCandidate> Diagnose(
+      std::span<const FailDatum> fail_data, std::size_t top_k) const;
+
+  /// Failing-window bitmask words of fault `i` (testing/inspection).
+  std::span<const std::uint64_t> WindowsOf(std::size_t i) const {
+    return {windows_.data() + i * words_per_fault_, words_per_fault_};
+  }
+
+ private:
+  std::vector<sim::StuckAtFault> faults_;
+  std::uint32_t window_count_ = 0;
+  std::size_t words_per_fault_ = 0;
+  std::vector<std::uint64_t> windows_;  // faults x words_per_fault_
+  /// Per fault, per *failing* window: the faulty MISR signature (sparse,
+  /// aligned with the set bits of `windows_` in window order).
+  std::vector<std::vector<std::uint64_t>> signatures_;
+};
+
+}  // namespace bistdse::bist

@@ -1,0 +1,52 @@
+// Multiple-Input Signature Register: the response compactor (TRE) of the
+// STUMPS architecture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bistdse::bist {
+
+/// Serial-absorption MISR model. Hardware MISRs absorb one word per scan
+/// cycle; for signature computation the absorption order only has to be
+/// deterministic and identical between golden and observed runs, so the
+/// session engine feeds response bits in a fixed order.
+class Misr {
+ public:
+  /// `poly` is the feedback polynomial as a bitmask over x^1..x^width
+  /// (bit i-1 represents x^i); `width` <= 64.
+  explicit Misr(std::uint32_t width = 32, std::uint64_t poly = 0xC0000401u)
+      : width_(width), poly_(poly) {}
+
+  void Reset() { state_ = 0; }
+
+  void AbsorbBit(bool bit) {
+    const std::uint64_t msb = (state_ >> (width_ - 1)) & 1;
+    state_ = (state_ << 1) & MaskBits();
+    if (msb) state_ ^= poly_ & MaskBits();
+    state_ ^= static_cast<std::uint64_t>(bit);
+  }
+
+  /// Absorbs the low `n` bits of `word`, LSB first.
+  void AbsorbWord(std::uint64_t word, std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) AbsorbBit((word >> i) & 1);
+  }
+
+  void AbsorbBits(std::span<const std::uint8_t> bits) {
+    for (std::uint8_t b : bits) AbsorbBit(b & 1);
+  }
+
+  std::uint64_t Signature() const { return state_; }
+  std::uint32_t Width() const { return width_; }
+
+ private:
+  std::uint64_t MaskBits() const {
+    return width_ >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width_) - 1);
+  }
+
+  std::uint32_t width_;
+  std::uint64_t poly_;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace bistdse::bist

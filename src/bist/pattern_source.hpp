@@ -1,0 +1,40 @@
+// The pseudo-random pattern source of a BIST session: a PRPG LFSR, fed
+// either directly into the scan stream or through the phase shifter
+// (StumpsConfig::use_phase_shifter). Every module that replays a session's
+// stream (session engine, profile generator, diagnosis) constructs its
+// source from the same StumpsConfig, so all replays are consistent by
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "bist/phase_shifter.hpp"
+#include "bist/stumps.hpp"
+
+namespace bistdse::bist {
+
+class PatternSource {
+ public:
+  PatternSource(const StumpsConfig& config, std::size_t width)
+      : width_(width),
+        lfsr_(Lfsr::DefaultPolynomial(config.prpg_degree), config.prpg_seed) {
+    if (config.use_phase_shifter) {
+      shifter_.emplace(config.num_scan_chains, config.prpg_degree,
+                       config.phase_shifter_seed);
+    }
+  }
+
+  /// Next pseudo-random test pattern.
+  sim::BitPattern Next() {
+    return shifter_ ? shifter_->EmitPattern(lfsr_, width_)
+                    : lfsr_.Emit(width_);
+  }
+
+ private:
+  std::size_t width_;
+  Lfsr lfsr_;
+  std::optional<PhaseShifter> shifter_;
+};
+
+}  // namespace bistdse::bist

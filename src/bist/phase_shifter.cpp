@@ -1,0 +1,54 @@
+#include "bist/phase_shifter.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bistdse::bist {
+
+PhaseShifter::PhaseShifter(std::uint32_t num_chains, std::uint32_t degree,
+                           std::uint64_t seed) {
+  if (num_chains == 0) throw std::invalid_argument("need at least one chain");
+  if (degree < 3) throw std::invalid_argument("LFSR too small for 3 taps");
+  util::SplitMix64 rng(seed ^ (std::uint64_t{degree} << 32));
+  taps_.reserve(num_chains);
+  for (std::uint32_t c = 0; c < num_chains; ++c) {
+    std::array<std::uint32_t, 3> taps{};
+    taps[0] = static_cast<std::uint32_t>(rng.Below(degree));
+    do {
+      taps[1] = static_cast<std::uint32_t>(rng.Below(degree));
+    } while (taps[1] == taps[0]);
+    do {
+      taps[2] = static_cast<std::uint32_t>(rng.Below(degree));
+    } while (taps[2] == taps[0] || taps[2] == taps[1]);
+    taps_.push_back(taps);
+  }
+}
+
+std::vector<std::uint8_t> PhaseShifter::ShiftCycle(Lfsr& lfsr) const {
+  const auto state = lfsr.State();
+  std::vector<std::uint8_t> bits(taps_.size());
+  for (std::size_t c = 0; c < taps_.size(); ++c) {
+    bits[c] = static_cast<std::uint8_t>(state[taps_[c][0]] ^
+                                        state[taps_[c][1]] ^
+                                        state[taps_[c][2]]);
+  }
+  lfsr.Step();
+  return bits;
+}
+
+sim::BitPattern PhaseShifter::EmitPattern(Lfsr& lfsr, std::size_t width) const {
+  const std::size_t chains = taps_.size();
+  const std::size_t chain_len = (width + chains - 1) / chains;
+  sim::BitPattern pattern(width, 0);
+  for (std::size_t s = 0; s < chain_len; ++s) {
+    const auto bits = ShiftCycle(lfsr);
+    for (std::size_t c = 0; c < chains; ++c) {
+      const std::size_t pos = c * chain_len + s;
+      if (pos < width) pattern[pos] = bits[c];
+    }
+  }
+  return pattern;
+}
+
+}  // namespace bistdse::bist

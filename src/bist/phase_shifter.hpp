@@ -1,0 +1,41 @@
+// Phase shifter: the STUMPS block between the PRPG LFSR and the parallel
+// scan chains (paper Fig. 1). Adjacent LFSR stages are heavily correlated;
+// the phase shifter XORs a few stages per chain so each chain receives a
+// decorrelated (but still linear) pseudo-random stream — which keeps
+// reseeding encoding solvable over the same GF(2) machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bist/lfsr.hpp"
+#include "sim/pattern_set.hpp"
+
+namespace bistdse::bist {
+
+class PhaseShifter {
+ public:
+  /// `num_chains` output taps over an LFSR of `degree` stages; tap positions
+  /// are drawn deterministically from `seed` (3 XOR taps per chain).
+  PhaseShifter(std::uint32_t num_chains, std::uint32_t degree,
+               std::uint64_t seed = 0xF5);
+
+  std::uint32_t ChainCount() const {
+    return static_cast<std::uint32_t>(taps_.size());
+  }
+
+  /// Scan-in bits of all chains for the LFSR's current state (one shift
+  /// cycle), then advances the LFSR by one step.
+  std::vector<std::uint8_t> ShiftCycle(Lfsr& lfsr) const;
+
+  /// Emits one full test pattern of `width` bits. Chains cover contiguous
+  /// input blocks: chain c holds positions [c*L, min((c+1)*L, width)) with
+  /// L = ceil(width / num_chains); bit (c, s) comes from shift cycle s.
+  sim::BitPattern EmitPattern(Lfsr& lfsr, std::size_t width) const;
+
+ private:
+  std::vector<std::array<std::uint32_t, 3>> taps_;
+};
+
+}  // namespace bistdse::bist

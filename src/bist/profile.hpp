@@ -1,0 +1,36 @@
+// BIST profile: the per-session characterization used by the DSE (paper
+// Table I). Each CUT offers a set of profiles trading fault coverage c(b),
+// session runtime l(b) and encoded data size s(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bistdse::bist {
+
+struct BistProfile {
+  std::uint32_t profile_number = 0;    ///< 1-based, as in Table I.
+  std::uint64_t num_random_patterns = 0;
+  double fault_coverage_percent = 0.0;   ///< c(b) [%] — stuck-at coverage.
+  /// Optional extension metric: launch-on-capture transition coverage of the
+  /// same session (0 when not measured). The paper's diagnosis flow "is not
+  /// limited to" stuck-at; this quantifies the session under a second model.
+  double transition_coverage_percent = 0.0;
+  double runtime_ms = 0.0;               ///< l(b) [ms] — incl. state restore.
+  std::uint64_t data_bytes = 0;          ///< s(b) [Bytes] — encoded det. + response data.
+
+  // Provenance fields (zero for externally supplied tables).
+  std::uint64_t num_deterministic_patterns = 0;
+  std::uint64_t care_bits = 0;
+};
+
+/// The fail-data transfer is fixed per session (paper: ~638 bytes).
+inline constexpr std::uint64_t kFailDataBytes = 638;
+
+std::string ToString(const BistProfile& p);
+
+/// Renders a profile set as an aligned text table with Table I's columns.
+std::string FormatProfileTable(const std::vector<BistProfile>& profiles);
+
+}  // namespace bistdse::bist

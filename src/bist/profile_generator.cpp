@@ -1,0 +1,265 @@
+#include <bit>
+#include "bist/profile_generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "bist/pattern_source.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/pattern_set.hpp"
+#include "sim/transition_fault.hpp"
+
+namespace bistdse::bist {
+
+using atpg::DeterministicTpgOptions;
+using atpg::GenerateDeterministicPatterns;
+using netlist::Netlist;
+using sim::BitPattern;
+using sim::FaultSimulator;
+using sim::PatternWord;
+using sim::StuckAtFault;
+
+std::string ToString(const BistProfile& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "profile %2u: %8llu PRPs  c=%6.2f%%  l=%9.2f ms  s=%12llu B",
+                p.profile_number,
+                static_cast<unsigned long long>(p.num_random_patterns),
+                p.fault_coverage_percent, p.runtime_ms,
+                static_cast<unsigned long long>(p.data_bytes));
+  return buf;
+}
+
+std::string FormatProfileTable(const std::vector<BistProfile>& profiles) {
+  bool has_tdf = false;
+  for (const BistProfile& p : profiles) {
+    has_tdf |= p.transition_coverage_percent > 0.0;
+  }
+  std::string out =
+      has_tdf
+          ? "profile |   #PRPs   |  c(b) [%] | tdf [%] |  l(b) [ms] |  s(b) "
+            "[Bytes]\n"
+            "--------+-----------+-----------+---------+------------+-------"
+            "-------\n"
+          : "profile |   #PRPs   |  c(b) [%] |  l(b) [ms] |  s(b) [Bytes]\n"
+            "--------+-----------+-----------+------------+--------------\n";
+  for (const BistProfile& p : profiles) {
+    char buf[160];
+    if (has_tdf) {
+      std::snprintf(buf, sizeof(buf),
+                    "%7u | %9llu | %9.2f | %7.2f | %10.2f | %13llu\n",
+                    p.profile_number,
+                    static_cast<unsigned long long>(p.num_random_patterns),
+                    p.fault_coverage_percent, p.transition_coverage_percent,
+                    p.runtime_ms,
+                    static_cast<unsigned long long>(p.data_bytes));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%7u | %9llu | %9.2f | %10.2f | %13llu\n",
+                    p.profile_number,
+                    static_cast<unsigned long long>(p.num_random_patterns),
+                    p.fault_coverage_percent, p.runtime_ms,
+                    static_cast<unsigned long long>(p.data_bytes));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+ProfileGenerator::ProfileGenerator(const Netlist& netlist,
+                                   ProfileGeneratorConfig config)
+    : netlist_(netlist), config_(std::move(config)) {
+  if (config_.coverage_targets_percent.size() != config_.fill_seeds.size())
+    throw std::invalid_argument("one fill seed per coverage target required");
+  if (config_.prp_counts.empty() || config_.coverage_targets_percent.empty())
+    throw std::invalid_argument("empty profile matrix");
+  if (!std::is_sorted(config_.prp_counts.begin(), config_.prp_counts.end()))
+    throw std::invalid_argument("prp_counts must be ascending");
+  faults_ = sim::CollapsedFaults(netlist_);
+  stats_.total_collapsed_faults = faults_.size();
+}
+
+void ProfileGenerator::RunRandomPhase() {
+  if (random_phase_done_) return;
+  const std::uint64_t max_prps = config_.prp_counts.back();
+  const std::size_t width = netlist_.CoreInputs().size();
+
+  FaultSimulator fsim(netlist_);
+  PatternSource prpg(config_.stumps, width);
+
+  first_detect_.assign(faults_.size(), UINT64_MAX);
+  std::vector<std::size_t> remaining(faults_.size());
+  for (std::size_t i = 0; i < faults_.size(); ++i) remaining[i] = i;
+
+  std::vector<BitPattern> block;
+  block.reserve(64);
+  std::uint64_t base = 0;
+  while (base < max_prps && !remaining.empty()) {
+    block.clear();
+    const std::size_t count =
+        static_cast<std::size_t>(std::min<std::uint64_t>(64, max_prps - base));
+    for (std::size_t k = 0; k < count; ++k) block.push_back(prpg.Next());
+    const auto words = sim::PackPatternBlock(block, 0, count, width);
+    fsim.SetPatternBlock(words);
+    const PatternWord mask = sim::BlockMask(count);
+
+    std::vector<std::size_t> still;
+    still.reserve(remaining.size());
+    for (std::size_t idx : remaining) {
+      const PatternWord det = fsim.DetectWord(faults_[idx]) & mask;
+      if (det != 0) {
+        first_detect_[idx] =
+            base + static_cast<std::uint64_t>(std::countr_zero(det));
+      } else {
+        still.push_back(idx);
+      }
+    }
+    remaining = std::move(still);
+    base += count;
+  }
+
+  stats_.random_detected_at_max_prps =
+      faults_.size() - remaining.size();
+  random_phase_done_ = true;
+}
+
+GeneratedProfile ProfileGenerator::GenerateOne(std::uint64_t prps,
+                                               double target_percent,
+                                               std::uint64_t fill_seed) {
+  ProfileGeneratorConfig config = config_;
+  config.prp_counts = {prps};
+  config.coverage_targets_percent = {target_percent};
+  config.fill_seeds = {fill_seed};
+  ProfileGenerator generator(netlist_, config);
+  // Reuse the random phase by regenerating (cheap relative to TPG) and
+  // capture the encoded patterns of the single generated profile.
+  generator.keep_encoded_ = true;
+  auto profiles = generator.GenerateAll();
+  GeneratedProfile out;
+  out.profile = profiles.front();
+  out.encoded_patterns = std::move(generator.kept_encoded_);
+  return out;
+}
+
+std::vector<BistProfile> ProfileGenerator::GenerateAll() {
+  RunRandomPhase();
+
+  const std::size_t total = faults_.size();
+  const std::size_t width = netlist_.CoreInputs().size();
+  ReseedingEncoder encoder(static_cast<std::uint32_t>(width));
+  FaultSimulator fsim(netlist_);
+
+  std::vector<BistProfile> profiles;
+  std::uint32_t number = 1;
+
+  for (std::uint64_t prps : config_.prp_counts) {
+    // Faults surviving the random phase of length `prps`.
+    std::vector<StuckAtFault> undetected;
+    std::size_t random_detected = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (first_detect_[i] < prps) {
+        ++random_detected;
+      } else {
+        undetected.push_back(faults_[i]);
+      }
+    }
+
+    for (std::size_t v = 0; v < config_.coverage_targets_percent.size(); ++v) {
+      const double target = config_.coverage_targets_percent[v];
+
+      DeterministicTpgOptions opts;
+      opts.seed = config_.fill_seeds[v] * 1000003 + prps;
+      opts.backtrack_limit = config_.podem_backtrack_limit;
+      opts.reverse_compaction = true;
+      auto tpg = GenerateDeterministicPatterns(netlist_, undetected, opts);
+      stats_.untestable = std::max(stats_.untestable, tpg.untestable);
+      stats_.aborted = std::max(stats_.aborted, tpg.aborted);
+
+      // Order of `tpg.patterns` is generation order; walk it with fault
+      // dropping to find the shortest prefix reaching the target coverage.
+      std::vector<StuckAtFault> rem = undetected;
+      std::size_t covered = random_detected;
+      std::size_t prefix = 0;
+      std::vector<std::size_t> gain_per_pattern(tpg.patterns.size(), 0);
+      const bool already_met =
+          100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
+          target;
+      for (std::size_t p = 0; !already_met && p < tpg.patterns.size(); ++p) {
+        std::vector<PatternWord> words(width);
+        for (std::size_t k = 0; k < width; ++k)
+          words[k] = tpg.patterns[p][k] ? ~PatternWord{0} : PatternWord{0};
+        fsim.SetPatternBlock(words);
+        std::vector<StuckAtFault> still;
+        still.reserve(rem.size());
+        for (const StuckAtFault& f : rem) {
+          if (fsim.DetectWord(f) != 0) {
+            ++gain_per_pattern[p];
+          } else {
+            still.push_back(f);
+          }
+        }
+        covered += gain_per_pattern[p];
+        rem = std::move(still);
+        prefix = p + 1;
+        if (100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
+            target) {
+          break;
+        }
+      }
+
+      // Recompute achieved coverage for the chosen prefix.
+      std::size_t achieved = random_detected;
+      for (std::size_t p = 0; p < prefix; ++p) achieved += gain_per_pattern[p];
+
+      BistProfile prof;
+      prof.profile_number = number++;
+      prof.num_random_patterns = prps;
+      prof.num_deterministic_patterns = prefix;
+      prof.fault_coverage_percent =
+          100.0 * static_cast<double>(achieved) / static_cast<double>(total);
+      prof.runtime_ms =
+          config_.stumps.PatternTimeMs(prps + prefix) + config_.state_restore_ms;
+
+      std::uint64_t encoded_bytes = 0;
+      std::uint64_t care = 0;
+      for (std::size_t p = 0; p < prefix; ++p) {
+        care += tpg.cubes[p].CareBitCount();
+        if (auto enc = encoder.Encode(tpg.cubes[p])) {
+          encoded_bytes += enc->StorageBytes();
+          if (keep_encoded_) kept_encoded_.push_back(std::move(*enc));
+        } else {
+          // Unencodable cube (practically unreachable): store it verbatim.
+          encoded_bytes += (width + 7) / 8;
+        }
+      }
+      prof.care_bits = care;
+      if (config_.measure_transition_coverage) {
+        // Assemble the session's applied patterns (random prefix capped,
+        // then the deterministic top-up) and measure LOC TDF coverage.
+        std::vector<BitPattern> applied;
+        const std::uint64_t random_take =
+            std::min<std::uint64_t>(prps, config_.transition_pairs_cap);
+        PatternSource source(config_.stumps, width);
+        for (std::uint64_t i = 0; i < random_take; ++i) {
+          applied.push_back(source.Next());
+        }
+        for (std::size_t p = 0; p < prefix; ++p) {
+          applied.push_back(tpg.patterns[p]);
+        }
+        prof.transition_coverage_percent =
+            100.0 * sim::MeasureLocTransitionCoverage(netlist_, applied);
+      }
+      const std::uint64_t response_bytes =
+          StumpsSession(netlist_, config_.stumps)
+              .ResponseDataBytes(prps + prefix);
+      prof.data_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(encoded_bytes + response_bytes) *
+          config_.byte_scale);
+      profiles.push_back(prof);
+    }
+  }
+  return profiles;
+}
+
+}  // namespace bistdse::bist

@@ -1,0 +1,89 @@
+// Mixed-mode BIST profile generation — the pipeline that produced the
+// paper's Table I, rebuilt: pseudo-random fault simulation with dropping,
+// PODEM top-up for random-resistant faults, reseeding encoding, and the
+// runtime/storage cost model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/tpg.hpp"
+#include "bist/profile.hpp"
+#include "bist/stumps.hpp"
+#include "netlist/netlist.hpp"
+
+namespace bistdse::bist {
+
+struct ProfileGeneratorConfig {
+  /// Pseudo-random pattern counts to profile (Table I column 2).
+  std::vector<std::uint64_t> prp_counts = {500,   1000,  5000,   10000, 20000,
+                                           50000, 100000, 200000, 500000};
+  /// Coverage targets per PRP count. Values > achievable coverage mean
+  /// "maximum": all generated deterministic patterns are kept. Table I has
+  /// four variants per PRP count: two maximum-coverage runs (different fill
+  /// seeds) and 98 % / 95 % targets.
+  std::vector<double> coverage_targets_percent = {100.0, 100.0, 98.0, 95.0};
+  /// Distinct random-fill seeds per variant (same length as targets).
+  std::vector<std::uint64_t> fill_seeds = {11, 23, 11, 11};
+
+  StumpsConfig stumps;
+  double state_restore_ms = 0.05;       ///< Flush + functional state restore.
+  std::uint32_t podem_backtrack_limit = 100;
+  /// Multiplies reported data bytes; used to present numbers at the paper's
+  /// CUT magnitude (371,900 collapsed faults) when profiling a scaled-down
+  /// synthetic CUT. 1.0 = raw measurement.
+  double byte_scale = 1.0;
+  /// Also measure launch-on-capture transition coverage per profile
+  /// (extension; adds TDF fault simulation time). Measurement is capped at
+  /// `transition_pairs_cap` pattern pairs — LOC coverage saturates early, so
+  /// the cap biases long sessions only marginally.
+  bool measure_transition_coverage = false;
+  std::uint64_t transition_pairs_cap = 4096;
+};
+
+struct ProfileGenerationStats {
+  std::size_t total_collapsed_faults = 0;
+  std::size_t random_detected_at_max_prps = 0;
+  std::size_t untestable = 0;
+  std::size_t aborted = 0;
+};
+
+/// A profile together with its deployable artifacts: the reseeding-encoded
+/// deterministic patterns (the b^D payload) — what a session actually runs.
+struct GeneratedProfile {
+  BistProfile profile;
+  std::vector<EncodedPattern> encoded_patterns;
+};
+
+class ProfileGenerator {
+ public:
+  ProfileGenerator(const netlist::Netlist& netlist,
+                   ProfileGeneratorConfig config);
+
+  /// Generates |prp_counts| x |coverage_targets| profiles, numbered 1..N in
+  /// Table I order (all variants of a PRP count before the next count).
+  std::vector<BistProfile> GenerateAll();
+
+  /// Generates one profile and keeps its encoded deterministic patterns,
+  /// ready to run in a StumpsSession.
+  GeneratedProfile GenerateOne(std::uint64_t prps, double target_percent,
+                               std::uint64_t fill_seed);
+
+  const ProfileGenerationStats& Stats() const { return stats_; }
+
+ private:
+  /// First-detecting pattern index per fault (UINT64_MAX = never), under the
+  /// PRPG stream of config_.stumps.
+  void RunRandomPhase();
+
+  const netlist::Netlist& netlist_;
+  ProfileGeneratorConfig config_;
+  bool keep_encoded_ = false;
+  std::vector<EncodedPattern> kept_encoded_;
+  std::vector<sim::StuckAtFault> faults_;
+  std::vector<std::uint64_t> first_detect_;  // aligned with faults_
+  ProfileGenerationStats stats_;
+  bool random_phase_done_ = false;
+};
+
+}  // namespace bistdse::bist

@@ -1,0 +1,108 @@
+#include "bist/reseeding.hpp"
+
+#include <algorithm>
+
+namespace bistdse::bist {
+
+using atpg::TestCube;
+using atpg::Value3;
+using sim::BitPattern;
+
+ReseedingEncoder::ReseedingEncoder(std::uint32_t width, std::uint32_t margin)
+    : width_(width), margin_(margin) {
+  if (width == 0) throw std::invalid_argument("width must be > 0");
+}
+
+const std::vector<BitPattern>& ReseedingEncoder::BasisStreams(
+    std::uint32_t degree) {
+  for (const auto& entry : cache_) {
+    if (entry.first == degree) return entry.second;
+  }
+  std::vector<BitPattern> streams(degree);
+  const auto taps = Lfsr::DefaultPolynomial(degree);
+  for (std::uint32_t i = 0; i < degree; ++i) {
+    std::vector<std::uint8_t> seed(degree, 0);
+    seed[i] = 1;
+    Lfsr lfsr(taps, seed);
+    streams[i] = lfsr.Emit(width_);
+  }
+  cache_.emplace_back(degree, std::move(streams));
+  return cache_.back().second;
+}
+
+std::optional<EncodedPattern> ReseedingEncoder::Encode(const TestCube& cube) {
+  if (cube.bits.size() != width_)
+    throw std::invalid_argument("cube width mismatch");
+
+  std::vector<std::uint32_t> care_pos;
+  for (std::uint32_t i = 0; i < width_; ++i) {
+    if (cube.bits[i] != Value3::X) care_pos.push_back(i);
+  }
+  const std::uint32_t s = static_cast<std::uint32_t>(care_pos.size());
+
+  std::uint32_t degree = std::max<std::uint32_t>(8, s + margin_);
+  while (degree <= width_ + margin_ + 64) {
+    const auto& basis = BasisStreams(degree);
+
+    // Build the system: for each care position p,
+    //   XOR_{i: seed_i = 1} basis[i][p] = cube bit at p.
+    // Row-reduce with rows = equations, columns = seed bits (packed 64/word).
+    const std::uint32_t words = (degree + 63) / 64;
+    std::vector<std::vector<std::uint64_t>> rows(s);
+    std::vector<std::uint8_t> rhs(s);
+    for (std::uint32_t e = 0; e < s; ++e) {
+      rows[e].assign(words, 0);
+      const std::uint32_t p = care_pos[e];
+      for (std::uint32_t i = 0; i < degree; ++i) {
+        if (basis[i][p]) rows[e][i / 64] ^= std::uint64_t{1} << (i % 64);
+      }
+      rhs[e] = cube.bits[p] == Value3::One ? 1 : 0;
+    }
+
+    // Gaussian elimination.
+    std::vector<std::int32_t> pivot_of_row(s, -1);
+    std::uint32_t rank = 0;
+    bool inconsistent = false;
+    for (std::uint32_t col = 0; col < degree && rank < s; ++col) {
+      std::uint32_t r = rank;
+      while (r < s && !((rows[r][col / 64] >> (col % 64)) & 1)) ++r;
+      if (r == s) continue;
+      std::swap(rows[r], rows[rank]);
+      std::swap(rhs[r], rhs[rank]);
+      for (std::uint32_t k = 0; k < s; ++k) {
+        if (k == rank) continue;
+        if ((rows[k][col / 64] >> (col % 64)) & 1) {
+          for (std::uint32_t w = 0; w < words; ++w) rows[k][w] ^= rows[rank][w];
+          rhs[k] = static_cast<std::uint8_t>(rhs[k] ^ rhs[rank]);
+        }
+      }
+      pivot_of_row[rank] = static_cast<std::int32_t>(col);
+      ++rank;
+    }
+    for (std::uint32_t k = rank; k < s; ++k) {
+      if (rhs[k]) {
+        inconsistent = true;
+        break;
+      }
+    }
+
+    if (!inconsistent) {
+      EncodedPattern enc;
+      enc.lfsr_degree = degree;
+      enc.seed_bits.assign(degree, 0);
+      for (std::uint32_t r = 0; r < rank; ++r) {
+        if (rhs[r]) enc.seed_bits[pivot_of_row[r]] = 1;
+      }
+      return enc;
+    }
+    degree += 16;  // rank deficiency: retry with more stages
+  }
+  return std::nullopt;
+}
+
+BitPattern ReseedingEncoder::Expand(const EncodedPattern& encoded) const {
+  Lfsr lfsr(Lfsr::DefaultPolynomial(encoded.lfsr_degree), encoded.seed_bits);
+  return lfsr.Emit(width_);
+}
+
+}  // namespace bistdse::bist

@@ -1,0 +1,147 @@
+#include "bist/stumps.hpp"
+
+#include <stdexcept>
+
+#include "bist/pattern_source.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/pattern_set.hpp"
+
+namespace bistdse::bist {
+
+using netlist::Netlist;
+using sim::BitPattern;
+using sim::FaultSimulator;
+using sim::PatternWord;
+
+StumpsSession::StumpsSession(const Netlist& netlist, StumpsConfig config)
+    : netlist_(netlist),
+      config_(config),
+      expander_(static_cast<std::uint32_t>(netlist.CoreInputs().size())) {
+  if (!netlist.IsFinalized())
+    throw std::invalid_argument("netlist must be finalized");
+}
+
+std::vector<std::uint64_t> StumpsSession::ComputeSignatures(
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+    const std::optional<sim::StuckAtFault>& injected_fault) {
+  const std::size_t width = netlist_.CoreInputs().size();
+  const std::size_t num_outputs = netlist_.CoreOutputs().size();
+  const std::uint64_t window =
+      config_.EffectiveWindow(num_random + deterministic.size());
+  FaultSimulator fsim(netlist_);
+  PatternSource prpg(config_, width);
+  Misr misr(config_.misr_width);
+
+  std::vector<std::uint64_t> signatures;
+  std::uint64_t pattern_index = 0;
+
+  auto process_block = [&](std::span<const BitPattern> block) {
+    const auto words =
+        sim::PackPatternBlock(block, 0, block.size(), width);
+    std::vector<PatternWord> response;
+    if (injected_fault) {
+      fsim.SetPatternBlock(words);
+      response = fsim.FaultyResponse(*injected_fault);
+    } else {
+      fsim.SetPatternBlock(words);
+      response.reserve(num_outputs);
+      for (netlist::NodeId id : netlist_.CoreOutputs())
+        response.push_back(fsim.Good().ValueOf(id));
+    }
+    for (std::size_t k = 0; k < block.size(); ++k) {
+      for (std::size_t j = 0; j < num_outputs; ++j) {
+        misr.AbsorbBit((response[j] >> k) & 1);
+      }
+      ++pattern_index;
+      if (pattern_index % window == 0) {
+        signatures.push_back(misr.Signature());
+        if (config_.reset_misr_per_window) misr.Reset();
+      }
+    }
+  };
+
+  std::vector<BitPattern> block;
+  block.reserve(64);
+  for (std::uint64_t i = 0; i < num_random; ++i) {
+    block.push_back(prpg.Next());
+    if (block.size() == 64) {
+      process_block(block);
+      block.clear();
+    }
+  }
+  for (const EncodedPattern& enc : deterministic) {
+    block.push_back(expander_.Expand(enc));
+    if (block.size() == 64) {
+      process_block(block);
+      block.clear();
+    }
+  }
+  if (!block.empty()) process_block(block);
+
+  // Close the final (partial) window so every applied pattern is covered by
+  // some signature.
+  if (pattern_index % window != 0) {
+    signatures.push_back(misr.Signature());
+  }
+  return signatures;
+}
+
+namespace {
+
+/// FNV-1a over the deterministic seed bits: the golden cache must key on
+/// pattern *content*, not just count.
+std::uint64_t HashDeterministic(std::span<const EncodedPattern> deterministic) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(deterministic.size());
+  for (const EncodedPattern& enc : deterministic) {
+    mix(enc.lfsr_degree);
+    for (std::uint8_t b : enc.seed_bits) mix(b);
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<std::uint64_t>& StumpsSession::GoldenSignatures(
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic) {
+  const std::uint64_t det_hash = HashDeterministic(deterministic);
+  if (!golden_cache_valid_ || golden_cache_random_ != num_random ||
+      golden_cache_det_hash_ != det_hash) {
+    golden_cache_ = ComputeSignatures(num_random, deterministic, std::nullopt);
+    golden_cache_random_ = num_random;
+    golden_cache_det_hash_ = det_hash;
+    golden_cache_valid_ = true;
+  }
+  return golden_cache_;
+}
+
+SessionResult StumpsSession::Run(
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+    const std::optional<sim::StuckAtFault>& injected_fault) {
+  SessionResult result;
+  result.total_patterns = num_random + deterministic.size();
+  const auto& golden = GoldenSignatures(num_random, deterministic);
+
+  if (!injected_fault) {
+    result.window_signatures = golden;
+    return result;
+  }
+
+  result.window_signatures =
+      ComputeSignatures(num_random, deterministic, injected_fault);
+  for (std::size_t w = 0; w < result.window_signatures.size(); ++w) {
+    if (result.window_signatures[w] != golden[w]) {
+      result.fail_data.push_back(
+          {static_cast<std::uint32_t>(w), result.window_signatures[w],
+           golden[w]});
+      result.pass = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace bistdse::bist

@@ -1,0 +1,44 @@
+#include "can/canfd.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace bistdse::can {
+
+std::uint32_t RoundUpFdPayload(std::uint32_t bytes) {
+  constexpr std::array<std::uint32_t, 16> kDlc = {0,  1,  2,  3,  4,  5,
+                                                  6,  7,  8,  12, 16, 20,
+                                                  24, 32, 48, 64};
+  for (std::uint32_t v : kDlc) {
+    if (bytes <= v) return v;
+  }
+  throw std::invalid_argument("CAN FD payload exceeds 64 bytes");
+}
+
+double CanFdTiming::FrameTimeMs(std::uint32_t payload_bytes) const {
+  const std::uint32_t payload = RoundUpFdPayload(payload_bytes);
+  // Nominal-rate portion: SOF + 11-bit id + control up to BRS (~30 bits) +
+  // ACK/EOF/IFS (~13 bits), with worst-case stuffing on the arbitration
+  // part.
+  const double arb_bits = 30 + (30 - 1) / 4.0 + 13;
+  // Data-rate portion: DLC remainder, payload, CRC (17/21 bits) + stuff
+  // bits (fixed stuffing every 4 bits in FD CRC, approximated at 1/4).
+  const std::uint32_t crc_bits = payload > 16 ? 21 : 17;
+  const double data_bits_raw = 8.0 * payload + crc_bits + 8;
+  const double data_bits = data_bits_raw * 1.25;
+  return arb_bits / nominal_bitrate_bps * 1e3 +
+         data_bits / data_bitrate_bps * 1e3;
+}
+
+double MirroredFdTransferTimeMs(std::uint64_t data_bytes,
+                                std::uint32_t message_count_per_period,
+                                double period_ms, std::uint32_t fd_payload) {
+  if (message_count_per_period == 0 || period_ms <= 0)
+    throw std::invalid_argument("transfer needs message slots");
+  const double bytes_per_ms =
+      static_cast<double>(RoundUpFdPayload(fd_payload)) *
+      message_count_per_period / period_ms;
+  return static_cast<double>(data_bytes) / bytes_per_ms;
+}
+
+}  // namespace bistdse::can

@@ -1,0 +1,35 @@
+// CAN FD frame timing — the "extensible to other automotive field buses"
+// direction of paper §III-B. Arbitration and control fields run at the
+// nominal bitrate, the data phase (up to 64 payload bytes) at the fast data
+// bitrate, which shortens the mirrored test-data download dramatically.
+#pragma once
+
+#include <cstdint>
+
+#include "can/message.hpp"
+
+namespace bistdse::can {
+
+/// Valid CAN FD payload lengths (DLC encoding).
+std::uint32_t RoundUpFdPayload(std::uint32_t bytes);
+
+struct CanFdTiming {
+  double nominal_bitrate_bps = 500e3;
+  double data_bitrate_bps = 2e6;
+
+  /// Worst-case frame time: arbitration/control/ack at nominal rate, data +
+  /// CRC at the data rate, including worst-case stuff bits.
+  double FrameTimeMs(std::uint32_t payload_bytes) const;
+};
+
+/// Time to move `data_bytes` over a mirrored FD message set that reuses the
+/// functional messages' periods but upgrades each frame to `fd_payload`
+/// bytes (the schedule slots are unchanged; only the payload field grows —
+/// the frame gets *shorter* on the wire thanks to the fast data phase, so
+/// the certified slot still fits).
+double MirroredFdTransferTimeMs(std::uint64_t data_bytes,
+                                std::uint32_t message_count_per_period,
+                                double period_ms,
+                                std::uint32_t fd_payload = 64);
+
+}  // namespace bistdse::can

@@ -1,0 +1,46 @@
+// CAN message and frame timing model.
+//
+// Frame times follow the classical worst-case bit-stuffing analysis for
+// 11-bit-identifier CAN 2.0A frames (Davis/Burns/Bril/Lukkien, "Controller
+// Area Network (CAN) schedulability analysis: Refuted, revisited and
+// revised", Real-Time Systems 35, 2007).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bistdse::can {
+
+/// Priority = CAN identifier: lower numeric value wins arbitration.
+using CanId = std::uint32_t;
+
+struct CanMessage {
+  std::string name;
+  CanId id = 0;
+  std::uint32_t payload_bytes = 8;  ///< 0..8 data bytes.
+  double period_ms = 10.0;          ///< Transmission period (= deadline).
+  double jitter_ms = 0.0;           ///< Queuing jitter.
+  bool extended_id = false;         ///< CAN 2.0B 29-bit identifier.
+
+  /// Worst-case number of bits on the wire including stuff bits:
+  /// g + 8s + 13 + floor((g + 8s - 1) / 4), with g = 34 control bits for
+  /// 11-bit identifiers and g = 54 for 29-bit (extended) identifiers.
+  std::uint32_t WorstCaseFrameBits() const {
+    const std::uint32_t g = extended_id ? 54 : 34;
+    const std::uint32_t data = 8 * payload_bytes;
+    return g + data + 13 + (g + data - 1) / 4;
+  }
+
+  /// Worst-case frame transmission time at `bitrate_bps`.
+  double FrameTimeMs(double bitrate_bps) const {
+    return WorstCaseFrameBits() / bitrate_bps * 1e3;
+  }
+
+  /// Average bus bandwidth consumed by this message in bits/s.
+  double BandwidthBps(double bitrate_bps) const {
+    (void)bitrate_bps;
+    return WorstCaseFrameBits() / (period_ms * 1e-3);
+  }
+};
+
+}  // namespace bistdse::can

@@ -1,0 +1,79 @@
+#include "can/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace bistdse::can {
+
+namespace {
+
+struct Release {
+  double time_ms;
+  std::size_t msg_index;
+
+  bool operator>(const Release& other) const {
+    return time_ms > other.time_ms;
+  }
+};
+
+}  // namespace
+
+SimulationResult CanSimulator::Run(
+    double duration_ms,
+    const std::map<CanId, double>& release_offsets_ms) const {
+  const auto& messages = bus_.Messages();
+  SimulationResult result;
+  result.duration_ms = duration_ms;
+
+  std::priority_queue<Release, std::vector<Release>, std::greater<>> releases;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    double offset = 0.0;
+    if (auto it = release_offsets_ms.find(messages[i].id);
+        it != release_offsets_ms.end()) {
+      offset = it->second;
+    }
+    releases.push({offset, i});
+    result.per_message[messages[i].id] = {};
+  }
+
+  // Ready frames ordered by priority (CAN id). Stores release time.
+  std::map<CanId, std::pair<std::size_t, double>> ready;
+
+  double now = 0.0;
+  while (now < duration_ms && (!releases.empty() || !ready.empty())) {
+    // Move all due releases into the ready set.
+    while (!releases.empty() && releases.top().time_ms <= now) {
+      const Release r = releases.top();
+      releases.pop();
+      const CanMessage& m = messages[r.msg_index];
+      // A previous instance still queued means overload; the new instance
+      // replaces it (typical CAN controller buffer semantics).
+      ready[m.id] = {r.msg_index, r.time_ms};
+      const double next = r.time_ms + m.period_ms;
+      if (next < duration_ms) releases.push({next, r.msg_index});
+    }
+    if (ready.empty()) {
+      if (releases.empty()) break;
+      now = releases.top().time_ms;
+      continue;
+    }
+
+    // Transmit the highest-priority ready frame, non-preemptively.
+    const auto [index, release_time] = ready.begin()->second;
+    ready.erase(ready.begin());
+    const CanMessage& m = messages[index];
+    const double frame_time = m.FrameTimeMs(bus_.BitrateBps());
+    const double finish = now + frame_time;
+
+    auto& stats = result.per_message[m.id];
+    ++stats.frames_sent;
+    const double response = finish - release_time;
+    stats.max_response_ms = std::max(stats.max_response_ms, response);
+    stats.total_response_ms += response;
+    result.bus_busy_ms += frame_time;
+    now = finish;
+  }
+  return result;
+}
+
+}  // namespace bistdse::can

@@ -1,0 +1,348 @@
+#include "casestudy/casestudy.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "dse/decoder.hpp"
+#include "dse/objectives.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse::casestudy {
+
+using model::Message;
+using model::ResourceId;
+using model::ResourceKind;
+using model::Task;
+using model::TaskId;
+using model::TaskKind;
+
+std::vector<bist::BistProfile> PaperTableI() {
+  // profile, #PRPs, c(b) [%], l(b) [ms], s(b) [Bytes] — Table I, verbatim.
+  struct Row {
+    std::uint32_t n;
+    std::uint64_t prps;
+    double c, l;
+    std::uint64_t s;
+  };
+  static constexpr std::array<Row, 36> kRows = {{
+      {1, 500, 99.83, 4.87, 2399185},    {2, 500, 99.84, 4.87, 2401554},
+      {3, 500, 98.17, 2.81, 994156},     {4, 500, 95.73, 1.71, 455061},
+      {5, 1000, 99.84, 5.79, 2370883},   {6, 1000, 99.84, 5.74, 2340080},
+      {7, 1000, 98.15, 3.66, 918895},    {8, 1000, 96.13, 2.67, 455193},
+      {9, 5000, 99.87, 13.37, 2300488},  {10, 5000, 99.87, 13.31, 2263762},
+      {11, 5000, 98.21, 11.23, 772886},  {12, 5000, 95.61, 10.25, 311258},
+      {13, 10000, 99.87, 22.93, 2261705}, {14, 10000, 99.87, 22.85, 2210762},
+      {15, 10000, 98.06, 20.61, 834119}, {16, 10000, 95.97, 19.75, 304549},
+      {17, 20000, 99.88, 42.11, 2216126}, {18, 20000, 99.88, 42.05, 2180585},
+      {19, 20000, 97.62, 39.74, 757737}, {20, 20000, 95.16, 38.88, 229353},
+      {21, 50000, 99.87, 99.59, 2054510}, {22, 50000, 99.87, 99.53, 2018968},
+      {23, 50000, 97.93, 97.24, 610337}, {24, 50000, 96.11, 96.63, 231227},
+      {25, 100000, 99.87, 195.84, 2054081},
+      {26, 100000, 99.87, 195.74, 1994845},
+      {27, 100000, 98.10, 193.49, 611093},
+      {28, 100000, 95.36, 192.76, 158531},
+      {29, 200000, 99.89, 388.06, 1888552},
+      {30, 200000, 99.89, 387.99, 1843533},
+      {31, 200000, 98.13, 385.87, 540342},
+      {32, 200000, 95.99, 385.26, 162417},
+      {33, 500000, 99.89, 965.35, 1767609},
+      {34, 500000, 99.89, 965.31, 1741544},
+      {35, 500000, 98.28, 963.25, 475080},
+      {36, 500000, 96.69, 962.76, 171792},
+  }};
+  std::vector<bist::BistProfile> profiles;
+  profiles.reserve(kRows.size());
+  for (const Row& r : kRows) {
+    bist::BistProfile p;
+    p.profile_number = r.n;
+    p.num_random_patterns = r.prps;
+    p.fault_coverage_percent = r.c;
+    p.runtime_ms = r.l;
+    p.data_bytes = r.s;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+bist::StumpsConfig PaperStumpsConfig() {
+  bist::StumpsConfig cfg;
+  cfg.num_scan_chains = 100;
+  cfg.max_chain_length = 77;
+  cfg.test_frequency_hz = 40e6;
+  cfg.signature_window = 32;
+  cfg.prpg_degree = 32;
+  return cfg;
+}
+
+netlist::RandomCircuitSpec ScaledCutSpec(std::uint64_t seed) {
+  netlist::RandomCircuitSpec spec;
+  spec.num_inputs = 32;
+  spec.num_outputs = 32;
+  spec.num_flops = 320;   // ~1/24 of the paper CUT's scan length budget
+  spec.num_gates = 3000;
+  spec.num_hard_blocks = 10;
+  spec.hard_block_width = 12;
+  spec.seed = seed;
+  return spec;
+}
+
+
+namespace {
+
+struct AppShape {
+  const char* name;
+  int home_bus;
+  std::vector<int> sensors;    // indices into cs.sensors
+  std::vector<int> actuators;  // indices into cs.actuators
+  int processing;
+};
+
+/// Adds sensor->processing-chain->actuator control applications (one tree
+/// per shape: tasks - 1 messages) with 2-3 ECU mapping options per
+/// processing task (occasionally one cross-bus option, so some messages
+/// route through the gateway).
+void BuildControlApps(CaseStudy& cs, const std::vector<AppShape>& shapes,
+                      int ecus_per_bus, int num_buses,
+                      util::SplitMix64& rng) {
+  model::ApplicationGraph& app = cs.spec.Application();
+  const std::array<std::uint32_t, 4> payloads = {1, 2, 4, 8};
+  const std::array<double, 5> periods = {5, 10, 20, 50, 100};
+  auto message_params = [&](Message& m) {
+    m.payload_bytes = payloads[rng.Below(payloads.size())];
+    m.period_ms = periods[rng.Below(periods.size())];
+  };
+
+  for (const AppShape& shape : shapes) {
+    std::vector<TaskId> sense_tasks;
+    for (int s : shape.sensors) {
+      Task t;
+      t.name = std::string(shape.name) + ".sense" + std::to_string(s);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      cs.spec.AddMapping(id, cs.sensors[s]);
+      sense_tasks.push_back(id);
+      ++cs.functional_task_count;
+    }
+
+    std::vector<TaskId> proc_tasks;
+    for (int p = 0; p < shape.processing; ++p) {
+      Task t;
+      t.name = std::string(shape.name) + ".proc" + std::to_string(p);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      const int base = shape.home_bus * ecus_per_bus;
+      const int o1 = base + static_cast<int>(rng.Below(ecus_per_bus));
+      int o2 = base + static_cast<int>(rng.Below(ecus_per_bus));
+      while (o2 == o1) o2 = base + static_cast<int>(rng.Below(ecus_per_bus));
+      cs.spec.AddMapping(id, cs.ecus[o1]);
+      cs.spec.AddMapping(id, cs.ecus[o2]);
+      if (rng.Chance(0.3)) {
+        const int other_bus =
+            (shape.home_bus + 1 + static_cast<int>(rng.Below(num_buses - 1))) %
+            num_buses;
+        cs.spec.AddMapping(
+            id, cs.ecus[other_bus * ecus_per_bus + rng.Below(ecus_per_bus)]);
+      }
+      proc_tasks.push_back(id);
+      ++cs.functional_task_count;
+    }
+
+    std::vector<TaskId> act_tasks;
+    for (int a : shape.actuators) {
+      Task t;
+      t.name = std::string(shape.name) + ".act" + std::to_string(a);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      cs.spec.AddMapping(id, cs.actuators[a]);
+      act_tasks.push_back(id);
+      ++cs.functional_task_count;
+    }
+
+    // Tree edges: sensors -> proc[0], proc chain, proc[last] -> actuators.
+    for (TaskId s : sense_tasks) {
+      Message m;
+      m.name = app.GetTask(s).name + ">";
+      m.sender = s;
+      m.receivers = {proc_tasks.front()};
+      message_params(m);
+      app.AddMessage(m);
+      ++cs.functional_message_count;
+    }
+    for (std::size_t p = 0; p + 1 < proc_tasks.size(); ++p) {
+      Message m;
+      m.name = app.GetTask(proc_tasks[p]).name + ">";
+      m.sender = proc_tasks[p];
+      m.receivers = {proc_tasks[p + 1]};
+      message_params(m);
+      app.AddMessage(m);
+      ++cs.functional_message_count;
+    }
+    for (TaskId a : act_tasks) {
+      Message m;
+      m.name =
+          app.GetTask(proc_tasks.back()).name + ">" + app.GetTask(a).name;
+      m.sender = proc_tasks.back();
+      m.receivers = {a};
+      message_params(m);
+      app.AddMessage(m);
+      ++cs.functional_message_count;
+    }
+  }
+}
+
+}  // namespace
+
+CaseStudy BuildCaseStudy(const std::vector<bist::BistProfile>& profiles,
+                         std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  CaseStudy cs;
+  auto& arch = cs.spec.Architecture();
+
+  // --- architecture: 3 CAN buses, gateway, 15 ECUs, 9 sensors, 5 actuators.
+  cs.gateway = arch.AddResource(
+      {"gateway", ResourceKind::Gateway, 25.0, 1e-6, 0.0});
+  for (int b = 0; b < 3; ++b) {
+    const ResourceId bus = arch.AddResource(
+        {"can" + std::to_string(b), ResourceKind::Bus, 1.0, 0.0, 500e3});
+    arch.AddLink(bus, cs.gateway);
+    cs.buses.push_back(bus);
+  }
+  for (int e = 0; e < 15; ++e) {
+    const ResourceId ecu = arch.AddResource(
+        {"ecu" + std::to_string(e), ResourceKind::Ecu,
+         12.0 + 2.0 * (e % 5), 2e-5, 0.0});
+    arch.AddLink(ecu, cs.buses[e / 5]);  // 5 ECUs per bus
+    cs.ecus.push_back(ecu);
+  }
+  // Sensors per bus: 5 on can0 (apps 0 and 3), 2 on can1, 2 on can2.
+  const std::array<int, 9> sensor_bus = {0, 0, 0, 1, 1, 2, 2, 0, 0};
+  for (int s = 0; s < 9; ++s) {
+    const ResourceId sensor = arch.AddResource(
+        {"sensor" + std::to_string(s), ResourceKind::Sensor, 2.0, 0.0, 0.0});
+    arch.AddLink(sensor, cs.buses[sensor_bus[s]]);
+    cs.sensors.push_back(sensor);
+  }
+  const std::array<int, 5> actuator_bus = {0, 0, 1, 2, 0};
+  for (int a = 0; a < 5; ++a) {
+    const ResourceId actuator = arch.AddResource(
+        {"actuator" + std::to_string(a), ResourceKind::Actuator, 3.0, 0.0,
+         0.0});
+    arch.AddLink(actuator, cs.buses[actuator_bus[a]]);
+    cs.actuators.push_back(actuator);
+  }
+
+  // --- applications: 4 control chains, 45 tasks / 41 messages total.
+  const std::vector<AppShape> shapes = {
+      {"engine", 0, {0, 1, 2}, {0, 1}, 8},
+      {"chassis", 1, {3, 4}, {2}, 8},
+      {"body", 2, {5, 6}, {3}, 8},
+      {"comfort", 0, {7, 8}, {4}, 7},
+  };
+  BuildControlApps(cs, shapes, /*ecus_per_bus=*/5, /*num_buses=*/3, rng);
+
+  if (cs.functional_task_count != 45 || cs.functional_message_count != 41) {
+    throw std::logic_error("case study counts drifted from the paper");
+  }
+
+  // --- BIST augmentation: every ECU carries the profile set.
+  std::map<ResourceId, std::vector<bist::BistProfile>> by_ecu;
+  for (ResourceId ecu : cs.ecus) by_ecu[ecu] = profiles;
+  cs.augmentation = model::AugmentWithBist(cs.spec, by_ecu);
+  cs.spec.Validate();
+  return cs;
+}
+
+
+CaseStudy BuildFutureCaseStudy(const std::vector<bist::BistProfile>& gen0,
+                               std::vector<bist::BistProfile> gen1,
+                               std::uint64_t seed) {
+  if (gen1.empty()) {
+    // Default second generation: a larger die of the same family — x3
+    // pattern data, x2.5 session time, slightly higher ceiling coverage.
+    gen1 = gen0;
+    for (auto& p : gen1) {
+      p.data_bytes *= 3;
+      p.runtime_ms *= 2.5;
+      p.fault_coverage_percent =
+          std::min(99.95, p.fault_coverage_percent + 0.03);
+    }
+  }
+
+  util::SplitMix64 rng(seed);
+  CaseStudy cs;
+  auto& arch = cs.spec.Architecture();
+
+  cs.gateway =
+      arch.AddResource({"gateway", ResourceKind::Gateway, 40.0, 1e-6, 0.0});
+  for (int b = 0; b < 4; ++b) {
+    // can3 is the high-speed backbone segment.
+    const double bitrate = b == 3 ? 1e6 : 500e3;
+    const ResourceId bus = arch.AddResource(
+        {"can" + std::to_string(b), ResourceKind::Bus, 1.0, 0.0, bitrate});
+    arch.AddLink(bus, cs.gateway);
+    cs.buses.push_back(bus);
+  }
+  for (int e = 0; e < 20; ++e) {
+    const ResourceId ecu = arch.AddResource(
+        {"ecu" + std::to_string(e), ResourceKind::Ecu,
+         11.0 + 2.0 * (e % 5), 2e-5, 0.0});
+    arch.AddLink(ecu, cs.buses[e / 5]);
+    cs.ecus.push_back(ecu);
+    cs.cut_type_by_ecu[ecu] = e < 10 ? 0u : 1u;  // two silicon generations
+  }
+  const std::array<int, 12> sensor_bus = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 3, 3};
+  for (int s = 0; s < 12; ++s) {
+    const ResourceId sensor = arch.AddResource(
+        {"sensor" + std::to_string(s), ResourceKind::Sensor, 2.0, 0.0, 0.0});
+    arch.AddLink(sensor, cs.buses[sensor_bus[s]]);
+    cs.sensors.push_back(sensor);
+  }
+  const std::array<int, 8> actuator_bus = {0, 0, 1, 1, 1, 2, 2, 3};
+  for (int a = 0; a < 8; ++a) {
+    const ResourceId actuator = arch.AddResource(
+        {"actuator" + std::to_string(a), ResourceKind::Actuator, 3.0, 0.0,
+         0.0});
+    arch.AddLink(actuator, cs.buses[actuator_bus[a]]);
+    cs.actuators.push_back(actuator);
+  }
+
+  const std::vector<AppShape> shapes = {
+      {"powertrain", 0, {0, 1}, {0}, 6},
+      {"transmission", 0, {2, 3}, {1}, 6},
+      {"chassis", 1, {4, 5}, {2, 3}, 7},
+      {"steering", 1, {6, 7}, {4}, 6},
+      {"body", 2, {8, 9}, {5, 6}, 7},
+      {"adas", 3, {10, 11}, {7}, 6},
+  };
+  BuildControlApps(cs, shapes, /*ecus_per_bus=*/5, /*num_buses=*/4, rng);
+
+  std::map<ResourceId, std::vector<bist::BistProfile>> by_ecu;
+  for (ResourceId ecu : cs.ecus) {
+    by_ecu[ecu] = cs.cut_type_by_ecu[ecu] == 0 ? gen0 : gen1;
+  }
+  cs.augmentation = model::AugmentWithBist(cs.spec, by_ecu, cs.cut_type_by_ecu);
+  cs.spec.Validate();
+  return cs;
+}
+
+double BaselineCost(std::uint64_t seed) {
+  // Diagnosis-free reference: the same subnet with an empty profile set has
+  // no diagnosis genes at all; sample functional bindings deterministically
+  // and keep the cheapest.
+  CaseStudy base = BuildCaseStudy({}, seed);
+  dse::SatDecoder decoder(base.spec, base.augmentation);
+  util::SplitMix64 rng(7);
+  double best = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 200; ++trial) {
+    auto genotype = moea::RandomGenotype(decoder.GenotypeSize(), rng);
+    const auto impl = decoder.Decode(genotype);
+    if (!impl) continue;
+    const auto obj =
+        dse::EvaluateImplementation(base.spec, base.augmentation, *impl);
+    best = std::min(best, obj.monetary_cost);
+  }
+  return best;
+}
+
+}  // namespace bistdse::casestudy

@@ -1,0 +1,75 @@
+// The industrial case study of paper §IV: an automotive E/E-architecture
+// subnet with 4 control applications (45 tasks, 41 messages), 15 ECUs,
+// 9 sensors, 5 actuators on 3 CAN buses bridged by a central gateway, and
+// 36 BIST profiles per ECU (Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/profile.hpp"
+#include "bist/stumps.hpp"
+#include "model/implementation.hpp"
+#include "model/specification.hpp"
+#include "netlist/random_circuit.hpp"
+
+namespace bistdse::casestudy {
+
+/// Table I of the paper, verbatim: 36 mixed-mode BIST profiles of the
+/// Infineon automotive microprocessor CUT (371,900 collapsed faults,
+/// 100 scan chains, max length 77, 40 MHz).
+std::vector<bist::BistProfile> PaperTableI();
+
+/// Number of collapsed faults of the paper's CUT.
+inline constexpr std::uint64_t kPaperCollapsedFaults = 371900;
+
+/// STUMPS configuration matching the paper's CUT (100 chains x <= 77 cells,
+/// 40 MHz).
+bist::StumpsConfig PaperStumpsConfig();
+
+/// Scaled-down synthetic stand-in for the paper's CUT: same scan geometry
+/// ratio and testability profile (random-pattern-testable bulk + decoder
+/// blocks needing deterministic top-up), sized so that profiling all
+/// 36 Table-I configurations stays laptop-feasible.
+netlist::RandomCircuitSpec ScaledCutSpec(std::uint64_t seed = 1);
+
+struct CaseStudy {
+  model::Specification spec;
+  model::BistAugmentation augmentation;
+
+  std::vector<model::ResourceId> ecus;
+  std::vector<model::ResourceId> sensors;
+  std::vector<model::ResourceId> actuators;
+  std::vector<model::ResourceId> buses;
+  model::ResourceId gateway = model::kInvalidId;
+  /// CUT generation per ECU (BuildFutureCaseStudy assigns two generations).
+  std::map<model::ResourceId, std::uint32_t> cut_type_by_ecu;
+
+  std::size_t functional_task_count = 0;
+  std::size_t functional_message_count = 0;
+};
+
+/// Builds the case-study specification. `profiles` defaults to Table I;
+/// pass profiles produced by bist::ProfileGenerator to run the whole flow
+/// end-to-end on the synthetic CUT.
+CaseStudy BuildCaseStudy(
+    const std::vector<bist::BistProfile>& profiles = PaperTableI(),
+    std::uint64_t seed = 42);
+
+/// Cost of the diagnosis-free reference design: the cheapest implementation
+/// found for the same subnet with an empty profile set (used for the paper's
+/// "< 3.7 % additional costs" headline). `seed` must match the case study's
+/// construction seed.
+double BaselineCost(std::uint64_t seed = 42);
+
+/// A forward-looking heterogeneous subnet (beyond the paper's case study):
+/// 20 ECUs of two CUT generations on 4 CAN buses (one of them a high-speed
+/// backbone segment), 12 sensors, 8 actuators, 6 control applications.
+/// Gateway pattern memory is shared only within a CUT generation; the
+/// second generation's profiles default to a scaled variant of Table I
+/// (larger die: x3 pattern data, x2.5 session time).
+CaseStudy BuildFutureCaseStudy(
+    const std::vector<bist::BistProfile>& gen0 = PaperTableI(),
+    std::vector<bist::BistProfile> gen1 = {}, std::uint64_t seed = 43);
+
+}  // namespace bistdse::casestudy

@@ -1,0 +1,73 @@
+// Bus-load / schedulability validation of decoded implementations.
+//
+// The paper's non-intrusiveness argument assumes the functional bus
+// schedules are certified; this module closes the loop on the DSE side: the
+// functional messages that an implementation routes over each CAN bus are
+// assembled into a can::CanBus, worst-case response times are analyzed, and
+// an implementation whose binding overloads a bus can be rejected or
+// reported. It also verifies constructively that the mirrored test-data
+// messages of every selected BIST program leave all functional response
+// times untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/mirroring.hpp"
+#include "model/implementation.hpp"
+#include "model/specification.hpp"
+
+namespace bistdse::dse {
+
+struct BusLoadEntry {
+  model::ResourceId bus = model::kInvalidId;
+  double utilization = 0.0;
+  bool schedulable = false;
+  std::size_t message_count = 0;
+};
+
+struct EndToEndLatency {
+  model::MessageId message = model::kInvalidId;
+  std::size_t hops = 0;          ///< Number of bus segments traversed.
+  double worst_case_ms = 0.0;    ///< Sum of per-bus WCRTs + gateway delays.
+  bool within_period = false;
+};
+
+struct BusLoadReport {
+  std::vector<BusLoadEntry> buses;
+  bool all_schedulable = true;
+  /// End-to-end latency of every routed functional message (store-and-
+  /// forward gateways add `gateway_delay_ms` per crossing).
+  std::vector<EndToEndLatency> end_to_end;
+  bool all_within_period = true;
+  /// Per selected BIST program whose data travels over a bus: the mirrored
+  /// transfer's non-intrusiveness verdict.
+  std::size_t mirrored_transfers_checked = 0;
+  std::size_t mirrored_transfers_intrusive = 0;
+};
+
+class BusLoadValidator {
+ public:
+  /// CAN id assignment: functional messages get ids in routing order with
+  /// `id_stride` spacing (priority ~ period: shorter period = higher
+  /// priority); mirrored test messages use original id + 1.
+  explicit BusLoadValidator(const model::Specification& spec,
+                            std::uint32_t id_stride = 16,
+                            double gateway_delay_ms = 1.0)
+      : spec_(spec), id_stride_(id_stride), gateway_delay_ms_(gateway_delay_ms) {}
+
+  /// Analyzes the functional traffic of `impl` per allocated bus and checks
+  /// mirrored-transfer non-intrusiveness for every selected BIST program.
+  BusLoadReport Validate(const model::BistAugmentation& augmentation,
+                         const model::Implementation& impl) const;
+
+ private:
+  const model::Specification& spec_;
+  std::uint32_t id_stride_;
+  double gateway_delay_ms_;
+};
+
+}  // namespace bistdse::dse

@@ -1,0 +1,53 @@
+#include "dse/decoder.hpp"
+
+#include <stdexcept>
+
+namespace bistdse::dse {
+
+SatDecoder::SatDecoder(const model::Specification& spec,
+                       const model::BistAugmentation& augmentation,
+                       bool validate_each_decode)
+    : spec_(spec),
+      problem_(spec, augmentation),
+      validate_each_decode_(validate_each_decode) {}
+
+std::optional<model::Implementation> SatDecoder::Decode(
+    const moea::Genotype& genotype) {
+  ++stats_.decodes;
+  if (genotype.Size() != GenotypeSize())
+    throw std::invalid_argument("genotype size mismatch");
+
+  const auto order = genotype.DecisionOrder();
+  std::vector<sat::Var> var_order;
+  std::vector<std::uint8_t> phases;
+  var_order.reserve(order.size());
+  phases.reserve(order.size());
+  for (std::uint32_t gene : order) {
+    var_order.push_back(problem_.MappingVars()[gene]);
+    phases.push_back(genotype.phases[gene]);
+  }
+  problem_.SolverRef().SetDecisionPolicy(var_order, phases);
+
+  if (problem_.SolverRef().Solve() != sat::SolveResult::Sat) {
+    ++stats_.infeasible;
+    return std::nullopt;
+  }
+
+  model::Implementation impl;
+  impl.binding = problem_.BindingFromModel();
+  if (!model::CompleteRoutingAndAllocation(spec_, impl)) {
+    ++stats_.infeasible;
+    return std::nullopt;
+  }
+  if (validate_each_decode_) {
+    const auto violations = model::ValidateImplementation(spec_, impl);
+    if (!violations.empty()) {
+      ++stats_.validation_failures;
+      throw std::logic_error("decoded implementation violates constraints: " +
+                             violations.front());
+    }
+  }
+  return impl;
+}
+
+}  // namespace bistdse::dse

@@ -1,0 +1,43 @@
+// SAT-decoding: genotype (priorities + phases over mapping variables) ->
+// feasible implementation x = (A, B, W).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dse/encoding.hpp"
+#include "moea/genotype.hpp"
+
+namespace bistdse::dse {
+
+struct DecoderStats {
+  std::uint64_t decodes = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t validation_failures = 0;
+};
+
+class SatDecoder {
+ public:
+  /// `spec` and `augmentation` must outlive the decoder.
+  SatDecoder(const model::Specification& spec,
+             const model::BistAugmentation& augmentation,
+             bool validate_each_decode = false);
+
+  /// Genes required per genotype (= number of mapping options).
+  std::size_t GenotypeSize() const { return problem_.MappingVars().size(); }
+
+  /// Decodes one genotype. nullopt when the instance is infeasible under the
+  /// requested policy (with a correct specification this cannot happen — the
+  /// instance itself is satisfiable — so nullopt signals a modeling error).
+  std::optional<model::Implementation> Decode(const moea::Genotype& genotype);
+
+  const DecoderStats& Stats() const { return stats_; }
+
+ private:
+  const model::Specification& spec_;
+  EncodedProblem problem_;
+  bool validate_each_decode_;
+  DecoderStats stats_;
+};
+
+}  // namespace bistdse::dse

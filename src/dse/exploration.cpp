@@ -1,0 +1,157 @@
+#include "dse/exploration.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "moea/archive.hpp"
+#include "moea/spea2.hpp"
+
+namespace bistdse::dse {
+
+namespace {
+
+/// Corner genotypes: no BIST; per-ECU extreme profiles local/at-gateway.
+/// Selector picks the program per ECU; `local` the b^D placement.
+moea::Genotype CornerGenotype(
+    const model::Specification& spec,
+    const model::BistAugmentation& augmentation, std::size_t genes,
+    bool any_bist, bool local,
+    const std::function<bool(const model::ApplicationGraph&,
+                             const model::BistProgram&,
+                             const model::BistProgram&)>& better) {
+  moea::Genotype g;
+  g.priorities.assign(genes, 0.5);
+  g.phases.assign(genes, 0);
+  if (!any_bist) return g;
+  const model::ResourceId gateway = spec.Architecture().Gateway();
+  const auto& app = spec.Application();
+  const auto mappings = spec.Mappings();
+  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
+    if (programs.empty()) continue;
+    const model::BistProgram* pick = &programs[0];
+    for (const auto& prog : programs) {
+      if (better(app, prog, *pick)) pick = &prog;
+    }
+    for (std::size_t m : spec.MappingsOfTask(pick->test_task)) {
+      g.phases[m] = 1;
+      g.priorities[m] = 0.9;
+    }
+    for (std::size_t m : spec.MappingsOfTask(pick->data_task)) {
+      const bool is_local = mappings[m].resource != gateway;
+      g.phases[m] = is_local == local ? 1 : 0;
+      g.priorities[m] = is_local == local ? 0.8 : 0.1;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Explorer::Explorer(const model::Specification& spec,
+                   const model::BistAugmentation& augmentation,
+                   ExplorationConfig config)
+    : spec_(spec),
+      augmentation_(augmentation),
+      config_(config),
+      decoder_(spec, augmentation, config.validate_each_decode) {}
+
+ExplorationResult Explorer::Run(const moea::GenerationCallback& on_generation) {
+  ExplorationResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  moea::ParetoArchive archive;
+  std::vector<ExplorationEntry> store;
+
+  const moea::Evaluator evaluator =
+      [&](const moea::Genotype& genotype)
+      -> std::optional<moea::ObjectiveVector> {
+    auto impl = decoder_.Decode(genotype);
+    if (!impl) return std::nullopt;
+    const Objectives objectives =
+        EvaluateImplementation(spec_, augmentation_, *impl, config_.evaluation);
+    auto vec =
+        objectives.ToMinimizationVector(config_.include_transition_objective);
+    if (archive.Offer(vec, store.size())) {
+      store.push_back({objectives, std::move(*impl)});
+    }
+    return vec;
+  };
+
+  moea::Nsga2Config moea_config;
+  moea_config.population_size = config_.population_size;
+  moea_config.genotype_size = decoder_.GenotypeSize();
+  moea_config.mutation_rate = config_.mutation_rate;
+  moea_config.seed = config_.seed;
+  if (config_.seed_corners) {
+    const std::size_t genes = decoder_.GenotypeSize();
+    auto fastest = [](const model::ApplicationGraph& app,
+                      const model::BistProgram& a,
+                      const model::BistProgram& b) {
+      return app.GetTask(a.test_task).runtime_ms <
+             app.GetTask(b.test_task).runtime_ms;
+    };
+    auto smallest = [](const model::ApplicationGraph& app,
+                       const model::BistProgram& a,
+                       const model::BistProgram& b) {
+      return app.GetTask(a.data_task).data_bytes <
+             app.GetTask(b.data_task).data_bytes;
+    };
+    auto best_coverage = [](const model::ApplicationGraph& app,
+                            const model::BistProgram& a,
+                            const model::BistProgram& b) {
+      return app.GetTask(a.test_task).fault_coverage_percent >
+             app.GetTask(b.test_task).fault_coverage_percent;
+    };
+    moea_config.initial_genotypes.push_back(CornerGenotype(
+        spec_, augmentation_, genes, false, false, fastest));  // no BIST
+    moea_config.initial_genotypes.push_back(CornerGenotype(
+        spec_, augmentation_, genes, true, true, fastest));  // local, fast
+    moea_config.initial_genotypes.push_back(CornerGenotype(
+        spec_, augmentation_, genes, true, false, smallest));  // gw, cheap
+    moea_config.initial_genotypes.push_back(CornerGenotype(
+        spec_, augmentation_, genes, true, false, best_coverage));  // gw, best
+  }
+  if (config_.stagnation_generations > 0) {
+    moea_config.should_stop = [&store, last = std::size_t{0},
+                               stagnant = std::size_t{0},
+                               limit = config_.stagnation_generations](
+                                  std::size_t,
+                                  const moea::ParetoArchive&) mutable {
+      if (store.size() == last) {
+        ++stagnant;
+      } else {
+        stagnant = 0;
+        last = store.size();
+      }
+      return stagnant >= limit;
+    };
+  }
+  moea::Nsga2Result moea_result;
+  if (config_.algorithm == MoeaAlgorithm::Spea2) {
+    moea::Spea2Config spea_config;
+    spea_config.population_size = moea_config.population_size;
+    spea_config.archive_size = moea_config.population_size;
+    spea_config.genotype_size = moea_config.genotype_size;
+    spea_config.mutation_rate = moea_config.mutation_rate;
+    spea_config.seed = moea_config.seed;
+    spea_config.initial_genotypes = moea_config.initial_genotypes;
+    spea_config.should_stop = moea_config.should_stop;
+    moea::Spea2 spea2(spea_config);
+    moea_result = spea2.Run(evaluator, config_.evaluations, on_generation);
+  } else {
+    moea::Nsga2 nsga2(moea_config);
+    moea_result = nsga2.Run(evaluator, config_.evaluations, on_generation);
+  }
+
+  result.evaluations = moea_result.evaluations;
+  for (const auto& entry : archive.Entries()) {
+    result.pareto.push_back(store[entry.payload]);
+  }
+  result.decoder_stats = decoder_.Stats();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace bistdse::dse

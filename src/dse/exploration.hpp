@@ -1,0 +1,79 @@
+// The exploration driver: NSGA-II over SAT-decoding genotypes, evaluating
+// test quality / shut-off time / monetary costs — the full design flow of
+// paper Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dse/decoder.hpp"
+#include "dse/objectives.hpp"
+#include "moea/nsga2.hpp"
+
+namespace bistdse::dse {
+
+enum class MoeaAlgorithm : std::uint8_t { Nsga2, Spea2 };
+
+struct ExplorationConfig {
+  MoeaAlgorithm algorithm = MoeaAlgorithm::Nsga2;
+  std::size_t evaluations = 20000;
+  std::size_t population_size = 100;
+  /// Per-gene mutation probability; <= 0 selects the MOEA's 1/n default.
+  double mutation_rate = -1.0;
+  std::uint64_t seed = 1;
+  /// Validate every decoded implementation against the full constraint
+  /// system (Eqs. 2a-2h, 3a, 3b). Costs ~10 % throughput; throws on the
+  /// first violation, so it doubles as an internal consistency check.
+  bool validate_each_decode = false;
+  /// Seed the initial population with design-space corners (no BIST at all;
+  /// fastest profile stored locally everywhere; cheapest and best profiles
+  /// shared at the gateway), guaranteeing the front spans the whole quality
+  /// axis from the first generation.
+  bool seed_corners = true;
+  /// Stop early when the archive accepts no new point for this many
+  /// consecutive generations (0 = run the full evaluation budget).
+  std::size_t stagnation_generations = 0;
+  /// Optimize transition-test quality as a fourth objective (requires
+  /// profiles carrying transition_coverage_percent).
+  bool include_transition_objective = false;
+  /// Objective-evaluation options (e.g. CAN FD mirrored downloads).
+  EvaluationOptions evaluation;
+};
+
+struct ExplorationEntry {
+  Objectives objectives;
+  model::Implementation implementation;
+};
+
+struct ExplorationResult {
+  /// Pareto-optimal implementations (non-dominated in all three objectives).
+  std::vector<ExplorationEntry> pareto;
+  std::size_t evaluations = 0;
+  double wall_seconds = 0.0;
+  DecoderStats decoder_stats;
+
+  /// Evaluated implementations per second.
+  double Throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(evaluations) / wall_seconds
+                            : 0.0;
+  }
+};
+
+class Explorer {
+ public:
+  /// `spec`/`augmentation` must outlive the explorer.
+  Explorer(const model::Specification& spec,
+           const model::BistAugmentation& augmentation,
+           ExplorationConfig config);
+
+  ExplorationResult Run(const moea::GenerationCallback& on_generation = {});
+
+ private:
+  const model::Specification& spec_;
+  const model::BistAugmentation& augmentation_;
+  ExplorationConfig config_;
+  SatDecoder decoder_;
+};
+
+}  // namespace bistdse::dse

@@ -1,0 +1,52 @@
+#include "dse/parallel.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "moea/archive.hpp"
+
+namespace bistdse::dse {
+
+ParallelResult ExploreParallel(const model::Specification& spec,
+                               const model::BistAugmentation& augmentation,
+                               const ExplorationConfig& config,
+                               std::size_t islands) {
+  if (islands == 0) islands = 1;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<ExplorationResult> results(islands);
+  std::vector<std::thread> workers;
+  workers.reserve(islands);
+  for (std::size_t i = 0; i < islands; ++i) {
+    workers.emplace_back([&, i] {
+      ExplorationConfig island_config = config;
+      island_config.seed = config.seed + i;
+      Explorer explorer(spec, augmentation, island_config);
+      results[i] = explorer.Run();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Deterministic merge: islands in seed order, entries in archive order.
+  ParallelResult merged;
+  moea::ParetoArchive archive;
+  std::vector<const ExplorationEntry*> store;
+  for (const auto& result : results) {
+    merged.evaluations += result.evaluations;
+    merged.island_front_sizes.push_back(result.pareto.size());
+    for (const auto& entry : result.pareto) {
+      const auto vec = entry.objectives.ToMinimizationVector(
+          config.include_transition_objective);
+      if (archive.Offer(vec, store.size())) store.push_back(&entry);
+    }
+  }
+  for (const auto& archived : archive.Entries()) {
+    merged.pareto.push_back(*store[archived.payload]);
+  }
+  merged.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return merged;
+}
+
+}  // namespace bistdse::dse

@@ -1,0 +1,46 @@
+// Partial-networking analysis (paper §I): with AUTOSAR partial networking,
+// individual ECUs power down while the rest of the network keeps operating,
+// and a BIST session must fit into the window before the ECU's real
+// power-down. Eq. 5's *global* shut-off maximum is therefore complemented by
+// a per-ECU view: each ECU's session time (l(b) plus the mirrored transfer
+// q, if its patterns live remotely) is checked against a per-ECU power-down
+// deadline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/implementation.hpp"
+#include "model/specification.hpp"
+
+namespace bistdse::dse {
+
+struct EcuSessionTime {
+  model::ResourceId ecu = model::kInvalidId;
+  std::uint32_t profile_index = 0;
+  double session_ms = 0.0;      ///< l(b) + q (Eq. 1) if stored remotely.
+  double transfer_ms = 0.0;     ///< q component (0 for local storage).
+  bool patterns_local = false;
+};
+
+struct PartialNetworkingReport {
+  std::vector<EcuSessionTime> sessions;  ///< One entry per ECU with BIST.
+  /// ECUs whose session exceeds their power-down deadline.
+  std::vector<model::ResourceId> deadline_violations;
+  double max_session_ms = 0.0;  ///< == Eq. 5 shut-off time.
+
+  bool AllDeadlinesMet() const { return deadline_violations.empty(); }
+};
+
+/// Computes per-ECU BIST session times for `impl` and checks them against
+/// `deadline_ms_by_ecu` (ECUs absent from the map are unconstrained; a
+/// `default_deadline_ms` < 0 means unconstrained as well).
+PartialNetworkingReport AnalyzePartialNetworking(
+    const model::Specification& spec,
+    const model::BistAugmentation& augmentation,
+    const model::Implementation& impl,
+    const std::map<model::ResourceId, double>& deadline_ms_by_ecu = {},
+    double default_deadline_ms = -1.0);
+
+}  // namespace bistdse::dse

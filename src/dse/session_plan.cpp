@@ -1,0 +1,111 @@
+#include "dse/session_plan.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "can/mirroring.hpp"
+
+namespace bistdse::dse {
+
+using model::Message;
+using model::ResourceId;
+using model::TaskId;
+
+std::vector<SessionPlan> PlanSessions(
+    const model::Specification& spec,
+    const model::BistAugmentation& augmentation,
+    const model::Implementation& impl, const SessionPlanOptions& options) {
+  const auto& app = spec.Application();
+  std::vector<SessionPlan> plans;
+
+  std::map<TaskId, ResourceId> bound_at;
+  for (std::size_t m : impl.binding) {
+    bound_at[spec.Mappings()[m].task] = spec.Mappings()[m].resource;
+  }
+  std::map<ResourceId, std::vector<can::CanMessage>> tx_messages;
+  for (model::MessageId c = 0; c < app.MessageCount(); ++c) {
+    const Message& msg = app.GetMessage(c);
+    if (msg.diagnostic) continue;
+    const auto it = bound_at.find(msg.sender);
+    if (it == bound_at.end()) continue;
+    can::CanMessage cm;
+    cm.name = msg.name;
+    cm.payload_bytes = msg.payload_bytes;
+    cm.period_ms = msg.period_ms;
+    tx_messages[it->second].push_back(cm);
+  }
+
+  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
+    for (const auto& prog : programs) {
+      if (!bound_at.count(prog.test_task)) continue;
+      const auto& test = app.GetTask(prog.test_task);
+      const auto& data = app.GetTask(prog.data_task);
+
+      SessionPlan plan;
+      plan.ecu = ecu;
+      plan.profile_index = prog.profile_index;
+      const auto data_it = bound_at.find(prog.data_task);
+      plan.patterns_local = data_it != bound_at.end() && data_it->second == ecu;
+
+      const auto tx_it = tx_messages.find(ecu);
+      const std::span<const can::CanMessage> tx =
+          tx_it == tx_messages.end()
+              ? std::span<const can::CanMessage>{}
+              : std::span<const can::CanMessage>(tx_it->second);
+
+      double t = 0.0;
+      auto phase = [&](std::string name, double duration) {
+        plan.phases.push_back({std::move(name), t, duration});
+        t += duration;
+      };
+
+      if (!plan.patterns_local) {
+        const double transfer =
+            can::MirroredTransferTimeMs(data.data_bytes, tx);
+        phase("pattern download (mirrored slots)", transfer);
+        // One frame per mirrored slot firing during the transfer.
+        for (const can::CanMessage& m : tx) {
+          plan.download_frames += static_cast<std::uint64_t>(
+              std::ceil(transfer / m.period_ms));
+        }
+      }
+      phase("BIST session (shift/capture + windows)", test.runtime_ms);
+
+      // Fail-data upload: the fixed-size fail memory over the same slots.
+      double upload = 0.0;
+      if (!tx.empty()) {
+        upload = can::MirroredTransferTimeMs(bist::kFailDataBytes, tx);
+        for (const can::CanMessage& m : tx) {
+          plan.fail_data_frames += static_cast<std::uint64_t>(
+              std::ceil(upload / m.period_ms));
+        }
+      }
+      phase("fail-data upload to b^R", upload);
+      phase("functional state restore", options.state_restore_ms);
+
+      plan.total_ms = t;
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+std::string FormatSessionPlan(const model::Specification& spec,
+                              const SessionPlan& plan) {
+  std::ostringstream ss;
+  ss << spec.Architecture().GetResource(plan.ecu).name << ", profile "
+     << plan.profile_index + 1 << ", patterns "
+     << (plan.patterns_local ? "local" : "remote") << ", total "
+     << plan.total_ms << " ms\n";
+  for (const SessionPhase& phase : plan.phases) {
+    ss << "  [" << phase.start_ms << " .. "
+       << phase.start_ms + phase.duration_ms << " ms] " << phase.name << "\n";
+  }
+  if (plan.download_frames > 0) {
+    ss << "  download frames: " << plan.download_frames << "\n";
+  }
+  ss << "  fail-data frames: " << plan.fail_data_frames << "\n";
+  return ss.str();
+}
+
+}  // namespace bistdse::dse

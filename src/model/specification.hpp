@@ -1,0 +1,83 @@
+// Specification g_S(g_T, g_A, M): application graph + architecture graph +
+// mapping options, plus the BIST augmentation of paper Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bist/profile.hpp"
+#include "model/application.hpp"
+#include "model/architecture.hpp"
+
+namespace bistdse::model {
+
+struct MappingOption {
+  TaskId task = kInvalidId;
+  ResourceId resource = kInvalidId;
+};
+
+class Specification {
+ public:
+  ApplicationGraph& Application() { return application_; }
+  const ApplicationGraph& Application() const { return application_; }
+  ArchitectureGraph& Architecture() { return architecture_; }
+  const ArchitectureGraph& Architecture() const { return architecture_; }
+
+  /// Registers a mapping option m = (t, r); returns its index into
+  /// Mappings(). Throws on out-of-range ids, duplicates, or non-computational
+  /// targets (tasks cannot run on buses).
+  std::size_t AddMapping(TaskId task, ResourceId resource);
+
+  std::span<const MappingOption> Mappings() const { return mappings_; }
+  std::span<const std::size_t> MappingsOfTask(TaskId task) const;
+  std::span<const std::size_t> MappingsOnResource(ResourceId resource) const;
+
+  /// Checks global sanity: every mandatory task has at least one mapping
+  /// option; diagnosis messages connect diagnosis tasks as in Fig. 3.
+  /// Throws std::logic_error with a description on violation.
+  void Validate() const;
+
+ private:
+  ApplicationGraph application_;
+  ArchitectureGraph architecture_;
+  std::vector<MappingOption> mappings_;
+  std::vector<std::vector<std::size_t>> by_task_;
+  std::vector<std::vector<std::size_t>> by_resource_;
+};
+
+/// One BIST program of an ECU (paper Fig. 3): test task b^T, data task b^D,
+/// the pattern message c^D (b^D -> b^T) and fail-data message c^R
+/// (b^T -> b^R).
+struct BistProgram {
+  TaskId test_task = kInvalidId;
+  TaskId data_task = kInvalidId;
+  MessageId pattern_message = kInvalidId;
+  MessageId fail_message = kInvalidId;
+  std::uint32_t profile_index = 0;
+  /// CUT type of the ECU. Gateway pattern memory is shared only between
+  /// ECUs of the same CUT type (identical silicon -> identical encoded
+  /// patterns); heterogeneous fleets store one copy per (type, profile).
+  std::uint32_t cut_type = 0;
+};
+
+struct BistAugmentation {
+  TaskId collect_task = kInvalidId;  ///< b^R on the gateway.
+  std::map<ResourceId, std::vector<BistProgram>> programs_by_ecu;
+};
+
+/// Augments `spec` with the diagnosis application of Fig. 3: a mandatory
+/// collection task b^R mapped to the gateway and, per (ECU, profile), an
+/// optional b^T (mappable only to that ECU), an optional b^D (mappable to
+/// the ECU or the gateway), and the messages c^D, c^R. Profile attributes
+/// (coverage, runtime, data size) are copied onto the tasks.
+/// `cut_types` assigns each ECU's silicon type (missing entries: type 0);
+/// it controls gateway pattern-memory sharing.
+BistAugmentation AugmentWithBist(
+    Specification& spec,
+    const std::map<ResourceId, std::vector<bist::BistProfile>>& profiles,
+    const std::map<ResourceId, std::uint32_t>& cut_types = {});
+
+}  // namespace bistdse::model

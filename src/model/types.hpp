@@ -1,0 +1,42 @@
+// Core identifiers and enums of the E/E-architecture system model
+// (paper §III-A, specification g_S(g_T, g_A, M) after [17]).
+#pragma once
+
+#include <cstdint>
+
+namespace bistdse::model {
+
+using TaskId = std::uint32_t;
+using MessageId = std::uint32_t;
+using ResourceId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = static_cast<std::uint32_t>(-1);
+
+/// Task kinds. Functional tasks and the fail-data collection task b^R are
+/// mandatory; BIST test tasks b^T and BIST data tasks b^D are optional
+/// (diagnosis tasks D of the paper).
+enum class TaskKind : std::uint8_t {
+  Functional,   ///< f in F
+  BistTest,     ///< b^T in B subset D
+  BistData,     ///< b^D in D
+  BistCollect,  ///< b^R in F (mandatory, gateway)
+};
+
+constexpr bool IsDiagnosis(TaskKind kind) {
+  return kind == TaskKind::BistTest || kind == TaskKind::BistData;
+}
+
+enum class ResourceKind : std::uint8_t {
+  Ecu,
+  Gateway,
+  Bus,
+  Sensor,
+  Actuator,
+};
+
+constexpr bool IsComputational(ResourceKind kind) {
+  return kind == ResourceKind::Ecu || kind == ResourceKind::Gateway ||
+         kind == ResourceKind::Sensor || kind == ResourceKind::Actuator;
+}
+
+}  // namespace bistdse::model

@@ -1,0 +1,22 @@
+#include "moea/archive.hpp"
+
+#include <algorithm>
+
+namespace bistdse::moea {
+
+bool ParetoArchive::Offer(ObjectiveVector objectives, std::uint64_t payload) {
+  for (const ArchiveEntry& e : entries_) {
+    if (e.objectives == objectives || Dominates(e.objectives, objectives)) {
+      return false;
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ArchiveEntry& e) {
+                                  return Dominates(objectives, e.objectives);
+                                }),
+                 entries_.end());
+  entries_.push_back({std::move(objectives), payload});
+  return true;
+}
+
+}  // namespace bistdse::moea

@@ -1,0 +1,32 @@
+// Unbounded Pareto archive: keeps every non-dominated (objectives, payload)
+// pair seen during the exploration. Payload is an opaque index that callers
+// map back to decoded implementations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "moea/dominance.hpp"
+
+namespace bistdse::moea {
+
+struct ArchiveEntry {
+  ObjectiveVector objectives;
+  std::uint64_t payload = 0;
+};
+
+class ParetoArchive {
+ public:
+  /// Offers a point. Returns true iff it enters the archive (i.e. no member
+  /// dominates it and it is not a duplicate); dominated members are evicted.
+  bool Offer(ObjectiveVector objectives, std::uint64_t payload);
+
+  std::span<const ArchiveEntry> Entries() const { return entries_; }
+  std::size_t Size() const { return entries_.size(); }
+
+ private:
+  std::vector<ArchiveEntry> entries_;
+};
+
+}  // namespace bistdse::moea

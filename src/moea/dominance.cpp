@@ -1,0 +1,82 @@
+#include "moea/dominance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace bistdse::moea {
+
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("objective dimensionality mismatch");
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<std::vector<std::size_t>> FastNonDominatedSort(
+    std::span<const ObjectiveVector> points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts(1);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (Dominates(points[p], points[q])) {
+        dominated[p].push_back(q);
+      } else if (Dominates(points[q], points[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) fronts[0].push_back(p);
+  }
+
+  std::size_t current = 0;
+  while (!fronts[current].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : fronts[current]) {
+      for (std::size_t q : dominated[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    ++current;
+    fronts.push_back(std::move(next));
+  }
+  fronts.pop_back();  // last front is empty
+  return fronts;
+}
+
+std::vector<double> CrowdingDistance(std::span<const ObjectiveVector> points,
+                                     std::span<const std::size_t> front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const std::size_t dims = points[front[0]].size();
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return points[front[a]][d] < points[front[b]][d];
+    });
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double span =
+        points[front[order.back()]][d] - points[front[order.front()]][d];
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (points[front[order[i + 1]]][d] -
+                             points[front[order[i - 1]]][d]) /
+                            span;
+    }
+  }
+  return distance;
+}
+
+}  // namespace bistdse::moea

@@ -1,0 +1,25 @@
+// Pareto dominance, fast non-dominated sorting and crowding distance
+// (Deb et al., NSGA-II, IEEE TEC 2002). All objectives are minimized.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bistdse::moea {
+
+using ObjectiveVector = std::vector<double>;
+
+/// a dominates b: a <= b in every objective and a < b in at least one.
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b);
+
+/// Partitions indices 0..n-1 into non-dominated fronts (front 0 first).
+std::vector<std::vector<std::size_t>> FastNonDominatedSort(
+    std::span<const ObjectiveVector> points);
+
+/// Crowding distance of each member of `front` (indices into `points`).
+/// Boundary points get +infinity.
+std::vector<double> CrowdingDistance(std::span<const ObjectiveVector> points,
+                                     std::span<const std::size_t> front);
+
+}  // namespace bistdse::moea

@@ -1,0 +1,72 @@
+#include "moea/epsilon_archive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bistdse::moea {
+
+EpsilonArchive::EpsilonArchive(ObjectiveVector epsilons)
+    : epsilons_(std::move(epsilons)) {
+  if (epsilons_.empty()) throw std::invalid_argument("need epsilons");
+  for (double e : epsilons_) {
+    if (e <= 0) throw std::invalid_argument("epsilons must be positive");
+  }
+}
+
+EpsilonArchive::BoxKey EpsilonArchive::KeyOf(
+    const ObjectiveVector& objectives) const {
+  if (objectives.size() != epsilons_.size())
+    throw std::invalid_argument("objective dimensionality mismatch");
+  BoxKey key(objectives.size());
+  for (std::size_t d = 0; d < objectives.size(); ++d) {
+    key[d] = static_cast<std::int64_t>(std::floor(objectives[d] / epsilons_[d]));
+  }
+  return key;
+}
+
+bool EpsilonArchive::BoxDominates(const BoxKey& a, const BoxKey& b) {
+  bool strict = false;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (a[d] > b[d]) return false;
+    if (a[d] < b[d]) strict = true;
+  }
+  return strict;
+}
+
+bool EpsilonArchive::Offer(const ObjectiveVector& objectives,
+                           std::uint64_t payload) {
+  const BoxKey key = KeyOf(objectives);
+
+  // Same box: keep the representative closer to the box's utopia corner.
+  if (auto it = boxes_.find(key); it != boxes_.end()) {
+    if (Dominates(objectives, it->second.objectives)) {
+      it->second = {objectives, payload};
+      return true;
+    }
+    return false;
+  }
+
+  // Rejected if any existing box dominates this one.
+  for (const auto& [k, entry] : boxes_) {
+    if (BoxDominates(k, key)) return false;
+  }
+  // Evict boxes dominated by the new one.
+  for (auto it = boxes_.begin(); it != boxes_.end();) {
+    if (BoxDominates(key, it->first)) {
+      it = boxes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  boxes_.emplace(key, Entry{objectives, payload});
+  return true;
+}
+
+std::vector<EpsilonArchive::Entry> EpsilonArchive::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(boxes_.size());
+  for (const auto& [k, entry] : boxes_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace bistdse::moea

@@ -1,0 +1,43 @@
+// Epsilon-dominance archive (Laumanns et al., 2002): guarantees a bounded
+// archive with provable diversity by keeping at most one representative per
+// epsilon-box of the objective space. Useful for very long explorations
+// where the exact Pareto archive grows into the thousands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "moea/dominance.hpp"
+
+namespace bistdse::moea {
+
+class EpsilonArchive {
+ public:
+  /// `epsilons`: box edge length per objective (> 0).
+  explicit EpsilonArchive(ObjectiveVector epsilons);
+
+  struct Entry {
+    ObjectiveVector objectives;
+    std::uint64_t payload = 0;
+  };
+
+  /// Offers a point; returns true iff it is accepted (replacing a dominated
+  /// or worse same-box representative).
+  bool Offer(const ObjectiveVector& objectives, std::uint64_t payload);
+
+  std::vector<Entry> Entries() const;
+  std::size_t Size() const { return boxes_.size(); }
+
+ private:
+  using BoxKey = std::vector<std::int64_t>;
+  BoxKey KeyOf(const ObjectiveVector& objectives) const;
+  /// Box-level dominance: every coordinate <=, one <.
+  static bool BoxDominates(const BoxKey& a, const BoxKey& b);
+
+  ObjectiveVector epsilons_;
+  std::map<BoxKey, Entry> boxes_;
+};
+
+}  // namespace bistdse::moea

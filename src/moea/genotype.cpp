@@ -1,0 +1,74 @@
+#include "moea/genotype.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bistdse::moea {
+
+std::vector<std::uint32_t> Genotype::DecisionOrder() const {
+  std::vector<std::uint32_t> order(priorities.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return priorities[a] > priorities[b];
+                   });
+  return order;
+}
+
+Genotype RandomGenotype(std::size_t n, util::SplitMix64& rng) {
+  return RandomGenotypeBiased(n, 0.5, rng);
+}
+
+Genotype RandomGenotypeBiased(std::size_t n, double bias,
+                              util::SplitMix64& rng) {
+  Genotype g;
+  g.priorities.resize(n);
+  g.phases.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.priorities[i] = rng.UnitReal();
+    g.phases[i] = rng.Chance(bias) ? 1 : 0;
+  }
+  return g;
+}
+
+Genotype UniformCrossover(const Genotype& a, const Genotype& b,
+                          util::SplitMix64& rng) {
+  if (a.Size() != b.Size())
+    throw std::invalid_argument("genotype size mismatch");
+  Genotype child;
+  child.priorities.resize(a.Size());
+  child.phases.resize(a.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    const bool from_a = rng.Chance(0.5);
+    child.priorities[i] = from_a ? a.priorities[i] : b.priorities[i];
+    child.phases[i] = from_a ? a.phases[i] : b.phases[i];
+  }
+  return child;
+}
+
+Genotype OnePointCrossover(const Genotype& a, const Genotype& b,
+                           util::SplitMix64& rng) {
+  if (a.Size() != b.Size())
+    throw std::invalid_argument("genotype size mismatch");
+  const std::size_t cut = a.Size() == 0 ? 0 : rng.Below(a.Size() + 1);
+  Genotype child;
+  child.priorities.resize(a.Size());
+  child.phases.resize(a.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    const Genotype& source = i < cut ? a : b;
+    child.priorities[i] = source.priorities[i];
+    child.phases[i] = source.phases[i];
+  }
+  return child;
+}
+
+void Mutate(Genotype& genotype, double rate, util::SplitMix64& rng) {
+  for (std::size_t i = 0; i < genotype.Size(); ++i) {
+    if (!rng.Chance(rate)) continue;
+    genotype.priorities[i] = rng.UnitReal();
+    if (rng.Chance(0.5)) genotype.phases[i] ^= 1;
+  }
+}
+
+}  // namespace bistdse::moea

@@ -1,0 +1,29 @@
+// Multi-objective quality indicators: exact hypervolume for 2 and 3
+// objectives and the additive epsilon indicator. Objectives are minimized;
+// the reference point must be dominated by every front member.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "moea/dominance.hpp"
+
+namespace bistdse::moea {
+
+/// Exact hypervolume for minimization fronts of any dimension (HSO-style
+/// recursive slicing; practical for the front sizes and <= 5 objectives
+/// used here). Points outside the reference box contribute their clipped
+/// part.
+double Hypervolume(std::span<const ObjectiveVector> front,
+                   const ObjectiveVector& reference);
+
+/// Additive epsilon indicator I_eps+(A, B): the smallest eps such that every
+/// point of B is weakly dominated by some point of A shifted by eps.
+double AdditiveEpsilon(std::span<const ObjectiveVector> a,
+                       std::span<const ObjectiveVector> b);
+
+/// Strips dominated and duplicate points.
+std::vector<ObjectiveVector> NonDominatedSubset(
+    std::span<const ObjectiveVector> points);
+
+}  // namespace bistdse::moea

@@ -1,0 +1,74 @@
+// NSGA-II multi-objective evolutionary algorithm (Deb et al., 2002) over
+// SAT-decoding genotypes. All objectives are minimized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "moea/archive.hpp"
+#include "moea/dominance.hpp"
+#include "moea/genotype.hpp"
+
+namespace bistdse::moea {
+
+/// Evaluator: decodes + evaluates one genotype. nullopt = evaluation failed
+/// (e.g. the SAT decoder proved the instance infeasible) — such individuals
+/// are discarded from selection.
+using Evaluator = std::function<std::optional<ObjectiveVector>(const Genotype&)>;
+
+/// Per-generation observer (generation index, evaluations so far, archive).
+using GenerationCallback =
+    std::function<void(std::size_t, std::size_t, const ParetoArchive&)>;
+
+/// Early-stop predicate, polled after every generation.
+using StopPredicate =
+    std::function<bool(std::size_t evaluations, const ParetoArchive&)>;
+
+struct Nsga2Config {
+  std::size_t population_size = 100;
+  std::size_t genotype_size = 0;  ///< Genes per genotype (required).
+  double crossover_rate = 0.9;
+  /// Per-gene mutation probability; <= 0 selects the 1/n default.
+  double mutation_rate = -1.0;
+  /// Draw a per-individual phase bias uniformly in [0,1] for the initial
+  /// population (instead of a fixed 1/2), spreading it over the selection-
+  /// density spectrum of optional design elements.
+  bool biased_phase_init = true;
+  std::uint64_t seed = 1;
+  /// Genotypes injected into the initial population before random ones
+  /// (problem-knowledge seeding, e.g. design-space corners).
+  std::vector<Genotype> initial_genotypes;
+  /// Optional early stop, polled after each generation.
+  StopPredicate should_stop;
+};
+
+struct Nsga2Result {
+  ParetoArchive archive;             ///< All non-dominated points seen.
+  std::vector<Genotype> genotypes;   ///< Genotype per archive payload index.
+  std::size_t evaluations = 0;
+};
+
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Config config);
+
+  /// Runs until `max_evaluations` evaluator calls have been spent.
+  Nsga2Result Run(const Evaluator& evaluator, std::size_t max_evaluations,
+                  const GenerationCallback& on_generation = {});
+
+ private:
+  struct Individual {
+    Genotype genotype;
+    ObjectiveVector objectives;
+  };
+
+  Individual& Tournament(std::vector<Individual>& pop, util::SplitMix64& rng,
+                         std::span<const std::size_t> ranks,
+                         std::span<const double> crowding);
+
+  Nsga2Config config_;
+};
+
+}  // namespace bistdse::moea

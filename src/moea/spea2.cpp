@@ -1,0 +1,189 @@
+#include "moea/spea2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bistdse::moea {
+
+namespace {
+
+double Distance(const ObjectiveVector& a, const ObjectiveVector& b) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Spea2::Spea2(Spea2Config config) : config_(config) {
+  if (config_.genotype_size == 0)
+    throw std::invalid_argument("genotype_size must be set");
+  if (config_.population_size < 2 || config_.archive_size < 2)
+    throw std::invalid_argument("population/archive size must be >= 2");
+  if (config_.mutation_rate <= 0.0) {
+    config_.mutation_rate = 1.0 / static_cast<double>(config_.genotype_size);
+  }
+}
+
+void Spea2::AssignFitness(std::vector<Individual>& pool) {
+  const std::size_t n = pool.size();
+  // Strength S(i): number of individuals i dominates.
+  std::vector<std::size_t> strength(n, 0);
+  std::vector<std::vector<std::size_t>> dominators(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Dominates(pool[i].objectives, pool[j].objectives)) {
+        ++strength[i];
+        dominators[j].push_back(i);
+      }
+    }
+  }
+  // Raw fitness R(i): sum of strengths of i's dominators; density D(i):
+  // 1 / (sigma_k + 2) with k = sqrt(n).
+  const auto k = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  std::vector<double> dists;
+  for (std::size_t i = 0; i < n; ++i) {
+    double raw = 0.0;
+    for (std::size_t d : dominators[i]) {
+      raw += static_cast<double>(strength[d]);
+    }
+    dists.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) dists.push_back(Distance(pool[i].objectives, pool[j].objectives));
+    }
+    double sigma = 0.0;
+    if (!dists.empty()) {
+      const std::size_t kth = std::min(k, dists.size() - 1);
+      std::nth_element(dists.begin(), dists.begin() + kth, dists.end());
+      sigma = dists[kth];
+    }
+    pool[i].fitness = raw + 1.0 / (sigma + 2.0);
+  }
+}
+
+std::vector<Spea2::Individual> Spea2::SelectArchive(
+    std::vector<Individual> pool, std::size_t capacity) {
+  // Non-dominated members (fitness < 1) first.
+  std::vector<Individual> archive;
+  std::vector<Individual> dominated;
+  for (auto& ind : pool) {
+    (ind.fitness < 1.0 ? archive : dominated).push_back(std::move(ind));
+  }
+  if (archive.size() < capacity) {
+    // Fill with the best dominated individuals.
+    std::sort(dominated.begin(), dominated.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    for (auto& ind : dominated) {
+      if (archive.size() >= capacity) break;
+      archive.push_back(std::move(ind));
+    }
+    return archive;
+  }
+  // Truncation: repeatedly remove the member with the smallest nearest-
+  // neighbor distance (O(n^2) per removal is fine at these sizes).
+  while (archive.size() > capacity) {
+    std::size_t victim = 0;
+    double victim_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < archive.size(); ++j) {
+        if (j != i) {
+          nearest = std::min(
+              nearest, Distance(archive[i].objectives, archive[j].objectives));
+        }
+      }
+      if (nearest < victim_dist) {
+        victim_dist = nearest;
+        victim = i;
+      }
+    }
+    archive.erase(archive.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return archive;
+}
+
+Nsga2Result Spea2::Run(const Evaluator& evaluator,
+                       std::size_t max_evaluations,
+                       const GenerationCallback& on_generation) {
+  util::SplitMix64 rng(config_.seed);
+  Nsga2Result result;
+
+  auto evaluate = [&](Genotype genotype,
+                      std::vector<Individual>& out) -> bool {
+    const auto objectives = evaluator(genotype);
+    ++result.evaluations;
+    if (!objectives) return false;
+    if (result.archive.Offer(*objectives, result.genotypes.size())) {
+      result.genotypes.push_back(genotype);
+    }
+    out.push_back({std::move(genotype), *objectives, 0.0});
+    return true;
+  };
+
+  std::vector<Individual> population;
+  for (const Genotype& seeded : config_.initial_genotypes) {
+    if (population.size() >= config_.population_size ||
+        result.evaluations >= max_evaluations) {
+      break;
+    }
+    if (seeded.Size() != config_.genotype_size)
+      throw std::invalid_argument("seeded genotype size mismatch");
+    evaluate(seeded, population);
+  }
+  std::size_t attempts = 0;
+  while (population.size() < config_.population_size &&
+         result.evaluations < max_evaluations) {
+    const double bias = config_.biased_phase_init ? rng.UnitReal() : 0.5;
+    evaluate(RandomGenotypeBiased(config_.genotype_size, bias, rng),
+             population);
+    if (++attempts > 50 * config_.population_size) {
+      throw std::runtime_error(
+          "SPEA2: evaluator rejects nearly every random genotype");
+    }
+  }
+
+  std::vector<Individual> archive;
+  std::size_t generation = 0;
+  while (result.evaluations < max_evaluations &&
+         population.size() + archive.size() >= 2) {
+    std::vector<Individual> pool = std::move(population);
+    for (Individual& ind : archive) pool.push_back(std::move(ind));
+    AssignFitness(pool);
+    archive = SelectArchive(std::move(pool), config_.archive_size);
+
+    auto tournament = [&]() -> const Individual& {
+      const Individual& a = archive[rng.Below(archive.size())];
+      const Individual& b = archive[rng.Below(archive.size())];
+      return a.fitness <= b.fitness ? a : b;
+    };
+
+    population.clear();
+    while (population.size() < config_.population_size &&
+           result.evaluations < max_evaluations) {
+      Genotype child = rng.Chance(config_.crossover_rate)
+                           ? UniformCrossover(tournament().genotype,
+                                              tournament().genotype, rng)
+                           : tournament().genotype;
+      Mutate(child, config_.mutation_rate, rng);
+      evaluate(std::move(child), population);
+    }
+    ++generation;
+    if (on_generation) {
+      on_generation(generation, result.evaluations, result.archive);
+    }
+    if (config_.should_stop &&
+        config_.should_stop(result.evaluations, result.archive)) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bistdse::moea

@@ -1,0 +1,51 @@
+// SPEA2 (Zitzler/Laumanns/Thiele, 2001): strength-Pareto evolutionary
+// algorithm with k-th-nearest-neighbor density and archive truncation — a
+// second MOEA besides NSGA-II, sharing the same genotype/evaluator
+// interface so explorations can swap algorithms.
+#pragma once
+
+#include "moea/nsga2.hpp"
+
+namespace bistdse::moea {
+
+struct Spea2Config {
+  std::size_t population_size = 100;
+  std::size_t archive_size = 100;
+  std::size_t genotype_size = 0;
+  double crossover_rate = 0.9;
+  double mutation_rate = -1.0;  ///< <= 0 selects 1/n.
+  bool biased_phase_init = true;
+  std::uint64_t seed = 1;
+  /// Genotypes injected into the initial population before random ones.
+  std::vector<Genotype> initial_genotypes;
+  /// Optional early stop, polled after each generation.
+  StopPredicate should_stop;
+};
+
+class Spea2 {
+ public:
+  explicit Spea2(Spea2Config config);
+
+  /// Runs until `max_evaluations` evaluator calls. Returns the global
+  /// non-dominated archive (same semantics as Nsga2::Run).
+  Nsga2Result Run(const Evaluator& evaluator, std::size_t max_evaluations,
+                  const GenerationCallback& on_generation = {});
+
+ private:
+  struct Individual {
+    Genotype genotype;
+    ObjectiveVector objectives;
+    double fitness = 0.0;  ///< Raw fitness + density (lower is better).
+  };
+
+  /// SPEA2 fitness: strength-based raw fitness plus 1/(2 + k-NN distance).
+  static void AssignFitness(std::vector<Individual>& pool);
+  /// Environmental selection into the bounded archive (truncation by
+  /// nearest-neighbor distance).
+  static std::vector<Individual> SelectArchive(std::vector<Individual> pool,
+                                               std::size_t capacity);
+
+  Spea2Config config_;
+};
+
+}  // namespace bistdse::moea

@@ -1,0 +1,257 @@
+#include "netlist/random_circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bistdse::netlist {
+
+namespace {
+
+// The generator composes small datapath blocks instead of sprinkling
+// unconstrained random gates: unconstrained random logic is massively
+// redundant (correlated reconvergence masks half the faults), while block
+// composition with XOR-rich structures yields the low-redundancy, mostly
+// random-pattern-testable profile of real circuits. Observability is
+// guaranteed by XOR-merging every otherwise-unconsumed signal into the
+// outputs (XOR propagates every input change).
+class BlockComposer {
+ public:
+  BlockComposer(Netlist& nl, util::SplitMix64& rng,
+                std::vector<NodeId>& signals)
+      : nl_(nl), rng_(rng), signals_(signals),
+        use_count_(signals.size(), 0) {}
+
+  std::uint32_t gates_emitted = 0;
+
+  NodeId Pick() {
+    // Bias toward rarely used signals so fanout spreads out and blocks stay
+    // weakly correlated.
+    const std::size_t n = signals_.size();
+    std::size_t best = rng_.Below(n);
+    for (int tries = 0; tries < 3; ++tries) {
+      const std::size_t cand = rng_.Below(n);
+      if (use_count_[cand] < use_count_[best]) best = cand;
+    }
+    ++use_count_[best];
+    return signals_[best];
+  }
+
+  NodeId Emit(GateType type, std::initializer_list<NodeId> fanins) {
+    ++gates_emitted;
+    return nl_.AddGate(type, fanins);
+  }
+
+  void Publish(NodeId id) {
+    signals_.push_back(id);
+    use_count_.push_back(0);
+  }
+
+  // n-bit ripple-carry adder over 2n picked bits; publishes sum bits + carry.
+  void AdderBlock(std::uint32_t bits) {
+    NodeId carry = Pick();
+    for (std::uint32_t i = 0; i < bits; ++i) {
+      const NodeId a = Pick(), b = Pick();
+      const NodeId axb = Emit(GateType::Xor, {a, b});
+      const NodeId sum = Emit(GateType::Xor, {axb, carry});
+      const NodeId c1 = Emit(GateType::And, {a, b});
+      const NodeId c2 = Emit(GateType::And, {axb, carry});
+      carry = Emit(GateType::Or, {c1, c2});
+      Publish(sum);
+    }
+    Publish(carry);
+  }
+
+  // Bank of 2:1 muxes sharing one select signal (like a datapath bypass).
+  void MuxBlock(std::uint32_t lanes) {
+    const NodeId sel = Pick();
+    const NodeId nsel = Emit(GateType::Not, {sel});
+    for (std::uint32_t i = 0; i < lanes; ++i) {
+      const NodeId a = Pick(), b = Pick();
+      const NodeId pa = Emit(GateType::And, {a, sel});
+      const NodeId pb = Emit(GateType::And, {b, nsel});
+      Publish(Emit(GateType::Or, {pa, pb}));
+    }
+  }
+
+  // Parity (XOR reduction) over `width` picked bits.
+  void ParityBlock(std::uint32_t width) {
+    NodeId acc = Pick();
+    for (std::uint32_t i = 1; i < width; ++i) {
+      acc = Emit(GateType::Xor, {acc, Pick()});
+    }
+    Publish(acc);
+  }
+
+  // n-bit equality comparator: XNOR per bit + AND tree.
+  void ComparatorBlock(std::uint32_t bits) {
+    std::vector<NodeId> eq;
+    for (std::uint32_t i = 0; i < bits; ++i) {
+      eq.push_back(Emit(GateType::Xnor, {Pick(), Pick()}));
+    }
+    while (eq.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i + 1 < eq.size(); i += 2) {
+        next.push_back(Emit(GateType::And, {eq[i], eq[i + 1]}));
+      }
+      if (eq.size() % 2) next.push_back(eq.back());
+      eq = std::move(next);
+    }
+    Publish(eq[0]);
+  }
+
+  // Wide AND/OR decoder with random input inversions: its output is
+  // sensitized by exactly one code word over the picked signals — the
+  // random-pattern-resistant structure that motivates mixed-mode BIST.
+  void DecoderBlock(std::uint32_t width, bool use_and) {
+    std::vector<NodeId> layer;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      NodeId s = Pick();
+      if (rng_.Chance(0.5)) s = Emit(GateType::Not, {s});
+      layer.push_back(s);
+    }
+    while (layer.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+        next.push_back(Emit(use_and ? GateType::And : GateType::Or,
+                            {layer[i], layer[i + 1]}));
+      }
+      if (layer.size() % 2) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    Publish(layer[0]);
+  }
+
+  // A small cluster of NAND/NOR random logic (control-logic flavor).
+  void RandomClusterBlock(std::uint32_t gates) {
+    for (std::uint32_t i = 0; i < gates; ++i) {
+      const std::uint64_t roll = rng_.Below(4);
+      const GateType type = roll == 0   ? GateType::Nand
+                            : roll == 1 ? GateType::Nor
+                            : roll == 2 ? GateType::And
+                                        : GateType::Or;
+      const NodeId a = Pick();
+      NodeId b = Pick();
+      // Avoid the heavy correlation of a gate fed twice by the same net.
+      for (int t = 0; t < 4 && b == a; ++t) b = Pick();
+      Publish(Emit(type, {a, b}));
+    }
+  }
+
+  /// Signals never consumed as a fanin (use_count 0). Excludes index ranges
+  /// belonging to primary inputs/flops when asked.
+  std::vector<NodeId> UnusedSignals(std::size_t skip_first) const {
+    std::vector<NodeId> unused;
+    for (std::size_t i = skip_first; i < signals_.size(); ++i) {
+      if (use_count_[i] == 0) unused.push_back(signals_[i]);
+    }
+    return unused;
+  }
+
+ private:
+  Netlist& nl_;
+  util::SplitMix64& rng_;
+  std::vector<NodeId>& signals_;
+  std::vector<std::uint32_t> use_count_;
+};
+
+}  // namespace
+
+Netlist GenerateRandomCircuit(const RandomCircuitSpec& spec) {
+  if (spec.num_inputs == 0)
+    throw std::invalid_argument("circuit needs at least one primary input");
+  if (spec.num_gates == 0)
+    throw std::invalid_argument("circuit needs at least one gate");
+
+  util::SplitMix64 rng(spec.seed);
+  Netlist nl;
+  std::vector<NodeId> signals;
+
+  for (std::uint32_t i = 0; i < spec.num_inputs; ++i)
+    signals.push_back(nl.AddInput("pi" + std::to_string(i)));
+
+  std::vector<NodeId> flops;
+  for (std::uint32_t i = 0; i < spec.num_flops; ++i) {
+    const NodeId q = nl.AddFlop(signals[0], "ff" + std::to_string(i));
+    flops.push_back(q);
+    signals.push_back(q);
+  }
+
+  BlockComposer composer(nl, rng, signals);
+
+  // Interleave the requested number of decoder (hard) blocks with the
+  // regular datapath blocks.
+  std::uint32_t hard_blocks_left = spec.num_hard_blocks;
+  const std::uint32_t hard_interval =
+      spec.num_hard_blocks > 0
+          ? std::max<std::uint32_t>(1, spec.num_gates / (spec.num_hard_blocks + 1))
+          : 0;
+  std::uint32_t next_hard_at = hard_interval;
+
+  while (composer.gates_emitted < spec.num_gates) {
+    if (hard_blocks_left > 0 && composer.gates_emitted >= next_hard_at) {
+      composer.DecoderBlock(spec.hard_block_width, rng.Chance(0.5));
+      --hard_blocks_left;
+      next_hard_at += hard_interval;
+      continue;
+    }
+    switch (rng.Below(5)) {
+      case 0:
+        composer.AdderBlock(2 + static_cast<std::uint32_t>(rng.Below(5)));
+        break;
+      case 1:
+        composer.MuxBlock(3 + static_cast<std::uint32_t>(rng.Below(6)));
+        break;
+      case 2:
+        composer.ParityBlock(4 + static_cast<std::uint32_t>(rng.Below(9)));
+        break;
+      case 3:
+        composer.ComparatorBlock(2 + static_cast<std::uint32_t>(rng.Below(5)));
+        break;
+      default:
+        composer.RandomClusterBlock(4 + static_cast<std::uint32_t>(rng.Below(8)));
+        break;
+    }
+  }
+  while (hard_blocks_left > 0) {
+    composer.DecoderBlock(spec.hard_block_width, rng.Chance(0.5));
+    --hard_blocks_left;
+  }
+
+  // Observability closure: every signal never consumed as a fanin is XOR-
+  // merged into one of the sinks (POs and flop D inputs). XOR trees never
+  // mask, so all block logic stays observable; only in-block masking can
+  // make faults hard or redundant — as in real designs.
+  const std::size_t num_sinks =
+      static_cast<std::size_t>(spec.num_outputs) + flops.size();
+  std::vector<std::vector<NodeId>> sink_groups(num_sinks);
+  const auto unused = composer.UnusedSignals(0);
+  for (std::size_t i = 0; i < unused.size(); ++i) {
+    sink_groups[i % num_sinks].push_back(unused[i]);
+  }
+
+  std::vector<NodeId> sink_drivers;
+  for (std::size_t s = 0; s < num_sinks; ++s) {
+    auto& group = sink_groups[s];
+    if (group.empty()) group.push_back(composer.Pick());
+    NodeId acc = group[0];
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      acc = nl.AddGate(GateType::Xor, {acc, group[i]});
+    }
+    sink_drivers.push_back(acc);
+  }
+
+  for (std::uint32_t i = 0; i < spec.num_outputs; ++i) {
+    nl.MarkOutput(sink_drivers[i]);
+  }
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    nl.RebindFlopInput(flops[i], sink_drivers[spec.num_outputs + i]);
+  }
+
+  nl.Finalize();
+  return nl;
+}
+
+}  // namespace bistdse::netlist

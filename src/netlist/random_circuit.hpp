@@ -1,0 +1,34 @@
+// Deterministic generator of synthetic full-scan circuits.
+//
+// The generated circuits stand in for the Infineon automotive microprocessor
+// used as CUT in the paper's case study (which we cannot obtain). They are
+// shaped to reproduce the testability profile that drives mixed-mode BIST
+// trade-offs: the bulk of the logic is random-pattern testable within a few
+// hundred patterns, while embedded wide-AND/OR "decoder" blocks create
+// random-pattern-resistant faults that require deterministic top-up patterns
+// — exactly the structure that makes Table I's coverage/runtime/memory
+// trade-off non-trivial.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::netlist {
+
+struct RandomCircuitSpec {
+  std::uint32_t num_inputs = 32;       ///< Primary inputs.
+  std::uint32_t num_outputs = 32;      ///< Primary outputs.
+  std::uint32_t num_flops = 256;       ///< Scan flip-flops (PPIs/PPOs).
+  std::uint32_t num_gates = 2000;      ///< Combinational gate budget (approx).
+  std::uint32_t num_hard_blocks = 8;   ///< Wide-gate decoder blocks.
+  std::uint32_t hard_block_width = 10; ///< Inputs per decoder block.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a finalized full-scan circuit according to `spec`. The same spec
+/// always yields the identical netlist. Throws std::invalid_argument for
+/// degenerate specs (no primary inputs, or zero gates).
+Netlist GenerateRandomCircuit(const RandomCircuitSpec& spec);
+
+}  // namespace bistdse::netlist

@@ -1,0 +1,64 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace bistdse::netlist {
+
+NetlistStats ComputeStats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.primary_inputs = netlist.PrimaryInputs().size();
+  stats.primary_outputs = netlist.PrimaryOutputs().size();
+  stats.flops = netlist.Flops().size();
+  stats.combinational_gates = netlist.CombinationalGateCount();
+  stats.max_level = netlist.MaxLevel();
+
+  const std::set<NodeId> outputs(netlist.PrimaryOutputs().begin(),
+                                 netlist.PrimaryOutputs().end());
+  std::size_t fanin_sum = 0, fanout_sum = 0, fanout_nodes = 0;
+  for (NodeId id = 0; id < netlist.NodeCount(); ++id) {
+    const GateType type = netlist.TypeOf(id);
+    stats.by_type[static_cast<std::size_t>(type)]++;
+    if (type != GateType::Input) fanin_sum += netlist.FaninsOf(id).size();
+    const std::size_t fanout = netlist.FanoutCount(id);
+    fanout_sum += fanout;
+    ++fanout_nodes;
+    stats.max_fanout = std::max(stats.max_fanout, fanout);
+    if (fanout == 0 && !outputs.count(id)) ++stats.dangling_nodes;
+  }
+  const std::size_t non_inputs = netlist.NodeCount() - stats.primary_inputs;
+  stats.avg_fanin =
+      non_inputs ? static_cast<double>(fanin_sum) / non_inputs : 0.0;
+  stats.avg_fanout =
+      fanout_nodes ? static_cast<double>(fanout_sum) / fanout_nodes : 0.0;
+  return stats;
+}
+
+std::string FormatStats(const NetlistStats& stats) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "PIs %zu, POs %zu, flops %zu, gates %zu, depth %u\n",
+                stats.primary_inputs, stats.primary_outputs, stats.flops,
+                stats.combinational_gates, stats.max_level);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "avg fanin %.2f, avg fanout %.2f (max %zu), dangling %zu, "
+                "scan ratio %.2f\n",
+                stats.avg_fanin, stats.avg_fanout, stats.max_fanout,
+                stats.dangling_nodes, stats.ScanRatio());
+  out += buf;
+  out += "gate mix:";
+  for (std::size_t t = 0; t < stats.by_type.size(); ++t) {
+    if (stats.by_type[t] == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %s=%zu",
+                  std::string(ToString(static_cast<GateType>(t))).c_str(),
+                  stats.by_type[t]);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace bistdse::netlist

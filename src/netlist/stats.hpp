@@ -1,0 +1,39 @@
+// Structural statistics of a netlist — the numbers a test engineer checks
+// before trusting a CUT model (gate mix, depth, fanout distribution, scan
+// ratio).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::netlist {
+
+struct NetlistStats {
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t flops = 0;
+  std::size_t combinational_gates = 0;
+  std::uint32_t max_level = 0;
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  std::size_t dangling_nodes = 0;  ///< No fanout and not a PO.
+  /// Gate counts indexed by GateType.
+  std::array<std::size_t, 10> by_type{};
+
+  /// Scan ratio: flops / (flops + combinational gates).
+  double ScanRatio() const {
+    const auto total = static_cast<double>(flops + combinational_gates);
+    return total > 0 ? static_cast<double>(flops) / total : 0.0;
+  }
+};
+
+NetlistStats ComputeStats(const Netlist& netlist);
+
+/// Multi-line human-readable report.
+std::string FormatStats(const NetlistStats& stats);
+
+}  // namespace bistdse::netlist

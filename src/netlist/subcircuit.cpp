@@ -1,0 +1,54 @@
+#include "netlist/subcircuit.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace bistdse::netlist {
+
+ExtractedCone ExtractFaninCone(const Netlist& netlist, NodeId root) {
+  if (root >= netlist.NodeCount())
+    throw std::invalid_argument("root out of range");
+
+  // Collect the cone (DFS over fanins; stop at Inputs and flop Qs).
+  std::vector<std::uint8_t> in_cone(netlist.NodeCount(), 0);
+  std::vector<NodeId> stack{root};
+  in_cone[root] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const GateType type = netlist.TypeOf(id);
+    if (type == GateType::Input || type == GateType::Dff) continue;
+    for (NodeId f : netlist.FaninsOf(id)) {
+      if (!in_cone[f]) {
+        in_cone[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+
+  ExtractedCone result;
+  // Create boundary inputs first, then gates in topological order.
+  for (NodeId id = 0; id < netlist.NodeCount(); ++id) {
+    if (!in_cone[id]) continue;
+    const GateType type = netlist.TypeOf(id);
+    if (type == GateType::Input || type == GateType::Dff) {
+      const std::string& name = netlist.GetGate(id).name;
+      result.node_map[id] = result.circuit.AddInput(
+          name.empty() ? "b" + std::to_string(id) : name);
+    }
+  }
+  for (NodeId id : netlist.TopologicalOrder()) {
+    if (!in_cone[id]) continue;
+    std::vector<NodeId> fanins;
+    for (NodeId f : netlist.FaninsOf(id)) {
+      fanins.push_back(result.node_map.at(f));
+    }
+    result.node_map[id] = result.circuit.AddGate(
+        netlist.TypeOf(id), fanins, netlist.GetGate(id).name);
+  }
+  result.circuit.MarkOutput(result.node_map.at(root));
+  result.circuit.Finalize();
+  return result;
+}
+
+}  // namespace bistdse::netlist

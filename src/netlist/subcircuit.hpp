@@ -1,0 +1,22 @@
+// Fanin-cone extraction: the standalone subcircuit a failure analyst pulls
+// out once diagnosis has localized a defect candidate.
+#pragma once
+
+#include <map>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::netlist {
+
+struct ExtractedCone {
+  Netlist circuit;  ///< Finalized; boundary nets become primary inputs.
+  /// Original node id -> node id in `circuit` (cone members and boundary).
+  std::map<NodeId, NodeId> node_map;
+};
+
+/// Extracts the transitive fanin cone of `root` (up to and including core
+/// inputs; flop Q pins become plain inputs). The root is marked as the
+/// single primary output.
+ExtractedCone ExtractFaninCone(const Netlist& netlist, NodeId root);
+
+}  // namespace bistdse::netlist

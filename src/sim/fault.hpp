@@ -1,0 +1,46 @@
+// Single stuck-at fault model with structural equivalence collapsing.
+//
+// A fault is located either at a node's output net ("stem", fanin_index < 0)
+// or at one of a gate's input pins ("branch", fanin_index >= 0). Collapsing
+// follows the textbook equivalence rules:
+//   * a branch fault on a fanout-free wire is equivalent to the driver's
+//     stem fault -> dropped;
+//   * an input stuck-at-controlling fault of AND/NAND/OR/NOR is equivalent
+//     to the gate's own stem fault -> dropped;
+//   * BUF/NOT input faults are equivalent to the gate's stem faults ->
+//     dropped;
+//   * everything else (stems everywhere, non-controlling branch faults on
+//     true fanout branches, all XOR/XNOR branch faults on fanout branches,
+//     flop-D branch faults on fanout branches) is kept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::sim {
+
+struct StuckAtFault {
+  netlist::NodeId node = netlist::kInvalidNode;
+  std::int8_t fanin_index = -1;  ///< -1: stem at node output; >=0: branch at pin.
+  bool stuck_value = false;
+
+  bool IsStem() const { return fanin_index < 0; }
+
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+/// Human-readable fault name, e.g. "n42/SA1" or "n42.in2/SA0".
+std::string ToString(const netlist::Netlist& netlist, const StuckAtFault& fault);
+
+/// The collapsed fault universe of a finalized netlist. Order is
+/// deterministic (node-major, stems first).
+std::vector<StuckAtFault> CollapsedFaults(const netlist::Netlist& netlist);
+
+/// The uncollapsed fault universe (every stem and every branch, both
+/// polarities) — used by tests to cross-check collapsing ratios.
+std::vector<StuckAtFault> AllFaults(const netlist::Netlist& netlist);
+
+}  // namespace bistdse::sim

@@ -1,0 +1,173 @@
+#include "sim/fault_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bistdse::sim {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+constexpr PatternWord Mask(bool v) { return v ? ~PatternWord{0} : PatternWord{0}; }
+
+}  // namespace
+
+FaultSimulator::FaultSimulator(const Netlist& netlist)
+    : netlist_(netlist),
+      good_(netlist),
+      fval_(netlist.NodeCount(), 0),
+      is_touched_(netlist.NodeCount(), 0),
+      observed_count_(netlist.NodeCount(), 0),
+      level_buckets_(netlist.MaxLevel() + 1),
+      in_queue_(netlist.NodeCount(), 0) {
+  for (NodeId id : netlist.CoreOutputs()) ++observed_count_[id];
+}
+
+void FaultSimulator::SetPatternBlock(std::span<const PatternWord> words) {
+  good_.Simulate(words);
+}
+
+void FaultSimulator::Reset() {
+  for (NodeId id : touched_) is_touched_[id] = 0;
+  touched_.clear();
+}
+
+PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
+  const NodeId site = fault.node;
+  const GateType site_type = netlist_.TypeOf(site);
+
+  // Flop D-branch faults only corrupt the captured PPO value; the effect
+  // does not propagate combinationally in the same cycle.
+  if (site_type == GateType::Dff && !fault.IsStem()) {
+    const NodeId driver = netlist_.FaninsOf(site)[0];
+    return good_.ValueOf(driver) ^ Mask(fault.stuck_value);
+  }
+
+  PatternWord site_value;
+  if (fault.IsStem()) {
+    site_value = Mask(fault.stuck_value);
+  } else {
+    const auto fanins = netlist_.FaninsOf(site);
+    if (fault.fanin_index >= static_cast<int>(fanins.size()))
+      throw std::invalid_argument("fault pin out of range");
+    std::vector<PatternWord> vals;
+    vals.reserve(fanins.size());
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      vals.push_back(static_cast<int>(i) == fault.fanin_index
+                         ? Mask(fault.stuck_value)
+                         : good_.ValueOf(fanins[i]));
+    }
+    site_value = EvalGate(site_type, vals);
+  }
+
+  const PatternWord site_diff = site_value ^ good_.ValueOf(site);
+  if (site_diff == 0) return 0;
+
+  fval_[site] = site_value;
+  is_touched_[site] = 1;
+  touched_.push_back(site);
+  PatternWord detect = observed_count_[site] ? site_diff : 0;
+
+  auto value_of = [&](NodeId id) {
+    return is_touched_[id] ? fval_[id] : good_.ValueOf(id);
+  };
+
+  std::uint32_t min_level = netlist_.MaxLevel() + 1;
+  std::uint32_t max_pending = 0;
+  auto enqueue_fanouts = [&](NodeId id) {
+    for (NodeId out : netlist_.FanoutsOf(id)) {
+      if (netlist_.TypeOf(out) == GateType::Dff) continue;  // observed at driver
+      if (in_queue_[out]) continue;
+      in_queue_[out] = 1;
+      const std::uint32_t lvl = netlist_.LevelOf(out);
+      level_buckets_[lvl].push_back(out);
+      min_level = std::min(min_level, lvl);
+      max_pending = std::max(max_pending, lvl);
+    }
+  };
+  enqueue_fanouts(site);
+
+  std::vector<PatternWord> vals;
+  for (std::uint32_t lvl = min_level; lvl <= max_pending; ++lvl) {
+    auto& bucket = level_buckets_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId id = bucket[i];
+      in_queue_[id] = 0;
+      const auto fanins = netlist_.FaninsOf(id);
+      vals.clear();
+      for (NodeId f : fanins) vals.push_back(value_of(f));
+      const PatternWord nv = EvalGate(netlist_.TypeOf(id), vals);
+      const PatternWord old = value_of(id);
+      if (nv == old) continue;
+      if (!is_touched_[id]) {
+        is_touched_[id] = 1;
+        touched_.push_back(id);
+      }
+      fval_[id] = nv;
+      if (observed_count_[id]) detect |= nv ^ good_.ValueOf(id);
+      enqueue_fanouts(id);
+    }
+    bucket.clear();
+  }
+  return detect;
+}
+
+PatternWord FaultSimulator::DetectWord(const StuckAtFault& fault) {
+  const PatternWord det = Propagate(fault);
+  Reset();
+  return det;
+}
+
+std::vector<PatternWord> FaultSimulator::FaultyResponse(const StuckAtFault& fault) {
+  const GateType site_type = netlist_.TypeOf(fault.node);
+  std::vector<PatternWord> response;
+  const auto outs = netlist_.CoreOutputs();
+  response.reserve(outs.size());
+
+  if (site_type == GateType::Dff && !fault.IsStem()) {
+    // Only the faulted flop's captured bit is corrupted — and it is stuck.
+    for (NodeId id : outs) response.push_back(good_.ValueOf(id));
+    // The PPO for flop f is listed at position PrimaryOutputs().size() +
+    // index_of(f) and reads the driver's value; overwrite that slot.
+    const auto flops = netlist_.Flops();
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      if (flops[i] == fault.node) {
+        response[netlist_.PrimaryOutputs().size() + i] = Mask(fault.stuck_value);
+      }
+    }
+    return response;
+  }
+
+  Propagate(fault);
+  for (NodeId id : outs) {
+    response.push_back(is_touched_[id] ? fval_[id] : good_.ValueOf(id));
+  }
+  Reset();
+  return response;
+}
+
+std::size_t CountDetectedFaults(const netlist::Netlist& netlist,
+                                std::span<const BitPattern> patterns,
+                                std::span<const StuckAtFault> faults) {
+  FaultSimulator fsim(netlist);
+  const std::size_t width = netlist.CoreInputs().size();
+  std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
+  for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
+       base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.SetPatternBlock(PackPatternBlock(patterns, base, count, width));
+    const PatternWord mask = BlockMask(count);
+    std::vector<StuckAtFault> still;
+    still.reserve(remaining.size());
+    for (const StuckAtFault& f : remaining) {
+      if ((fsim.DetectWord(f) & mask) == 0) still.push_back(f);
+    }
+    remaining = std::move(still);
+  }
+  return faults.size() - remaining.size();
+}
+
+}  // namespace bistdse::sim

@@ -1,0 +1,60 @@
+// Event-driven parallel-pattern single-fault propagation (PPSFP).
+//
+// Usage: load a block of up to 64 patterns with SetPatternBlock(), then query
+// DetectWord(fault) for each still-undetected fault. Bit k of the returned
+// word is 1 iff pattern k of the block detects the fault at a primary output
+// or a flop D input (PPO). Callers implement fault dropping by removing
+// faults whose word is non-zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern_set.hpp"
+
+namespace bistdse::sim {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const netlist::Netlist& netlist);
+
+  /// Simulates the fault-free circuit for a block of patterns (words aligned
+  /// with CoreInputs()).
+  void SetPatternBlock(std::span<const PatternWord> core_input_words);
+
+  /// Detection word of `fault` under the current block.
+  PatternWord DetectWord(const StuckAtFault& fault);
+
+  /// Faulty response at all core outputs under the current block. Used by
+  /// the diagnosis engine to build per-fault response signatures.
+  std::vector<PatternWord> FaultyResponse(const StuckAtFault& fault);
+
+  const LogicSimulator& Good() const { return good_; }
+  const netlist::Netlist& Circuit() const { return netlist_; }
+
+ private:
+  /// Propagates the fault effect and returns the detection word; leaves
+  /// faulty values in fval_/touched_ (caller must call Reset()).
+  PatternWord Propagate(const StuckAtFault& fault);
+  void Reset();
+
+  const netlist::Netlist& netlist_;
+  LogicSimulator good_;
+  std::vector<PatternWord> fval_;
+  std::vector<std::uint8_t> is_touched_;
+  std::vector<netlist::NodeId> touched_;
+  std::vector<std::uint32_t> observed_count_;  // #observation points per node
+  std::vector<std::vector<netlist::NodeId>> level_buckets_;
+  std::vector<std::uint8_t> in_queue_;
+};
+
+/// Fraction bookkeeping helper used across the library: how many of
+/// `faults` are detected by `patterns` (with fault dropping).
+std::size_t CountDetectedFaults(const netlist::Netlist& netlist,
+                                std::span<const BitPattern> patterns,
+                                std::span<const StuckAtFault> faults);
+
+}  // namespace bistdse::sim

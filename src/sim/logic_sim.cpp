@@ -1,0 +1,69 @@
+#include "sim/logic_sim.hpp"
+
+#include <stdexcept>
+
+namespace bistdse::sim {
+
+using netlist::GateType;
+
+PatternWord EvalGate(GateType type, std::span<const PatternWord> fanins) {
+  switch (type) {
+    case GateType::Buf:
+      return fanins[0];
+    case GateType::Not:
+      return ~fanins[0];
+    case GateType::And:
+    case GateType::Nand: {
+      PatternWord v = ~PatternWord{0};
+      for (PatternWord f : fanins) v &= f;
+      return type == GateType::And ? v : ~v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      PatternWord v = 0;
+      for (PatternWord f : fanins) v |= f;
+      return type == GateType::Or ? v : ~v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      PatternWord v = 0;
+      for (PatternWord f : fanins) v ^= f;
+      return type == GateType::Xor ? v : ~v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      throw std::logic_error("EvalGate called on source node");
+  }
+  return 0;
+}
+
+LogicSimulator::LogicSimulator(const netlist::Netlist& netlist)
+    : netlist_(netlist), values_(netlist.NodeCount(), 0) {
+  if (!netlist.IsFinalized())
+    throw std::invalid_argument("netlist must be finalized");
+}
+
+void LogicSimulator::Simulate(std::span<const PatternWord> words) {
+  const auto inputs = netlist_.CoreInputs();
+  if (words.size() != inputs.size())
+    throw std::invalid_argument("input word count mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i) values_[inputs[i]] = words[i];
+
+  std::vector<PatternWord> fanin_vals;
+  for (netlist::NodeId id : netlist_.TopologicalOrder()) {
+    const auto fanins = netlist_.FaninsOf(id);
+    fanin_vals.clear();
+    for (netlist::NodeId f : fanins) fanin_vals.push_back(values_[f]);
+    values_[id] = EvalGate(netlist_.TypeOf(id), fanin_vals);
+  }
+}
+
+std::vector<PatternWord> LogicSimulator::CoreOutputValues() const {
+  const auto outs = netlist_.CoreOutputs();
+  std::vector<PatternWord> result;
+  result.reserve(outs.size());
+  for (netlist::NodeId id : outs) result.push_back(values_[id]);
+  return result;
+}
+
+}  // namespace bistdse::sim

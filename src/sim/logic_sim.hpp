@@ -1,0 +1,47 @@
+// 64-way parallel-pattern logic simulation of the combinational core.
+//
+// Each node value is a 64-bit word: bit k holds the node's logic value under
+// pattern k of the current pattern block. Full-scan view: values are assigned
+// to CoreInputs() (PIs + flop Qs) and observed at CoreOutputs() (POs + flop D
+// nets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::sim {
+
+using PatternWord = std::uint64_t;
+
+/// Evaluates one gate from already-computed fanin words.
+PatternWord EvalGate(netlist::GateType type, std::span<const PatternWord> fanins);
+
+class LogicSimulator {
+ public:
+  /// The netlist must be finalized and must outlive the simulator.
+  explicit LogicSimulator(const netlist::Netlist& netlist);
+
+  /// Assigns `words[i]` to CoreInputs()[i] and evaluates the combinational
+  /// core. `words.size()` must equal CoreInputs().size().
+  void Simulate(std::span<const PatternWord> words);
+
+  /// Value word of any node after Simulate().
+  PatternWord ValueOf(netlist::NodeId node) const { return values_[node]; }
+
+  /// Direct access to the full value vector (indexed by NodeId).
+  std::span<const PatternWord> Values() const { return values_; }
+
+  /// Collects the response at CoreOutputs() in order.
+  std::vector<PatternWord> CoreOutputValues() const;
+
+  const netlist::Netlist& Circuit() const { return netlist_; }
+
+ private:
+  const netlist::Netlist& netlist_;
+  std::vector<PatternWord> values_;
+};
+
+}  // namespace bistdse::sim

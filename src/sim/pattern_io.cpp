@@ -1,0 +1,116 @@
+#include "sim/pattern_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bistdse::sim {
+
+void WritePatterns(std::span<const BitPattern> patterns, std::ostream& out) {
+  for (const BitPattern& p : patterns) {
+    for (std::uint8_t b : p) out << (b ? '1' : '0');
+    out << '\n';
+  }
+}
+
+std::string PatternsToString(std::span<const BitPattern> patterns) {
+  std::ostringstream ss;
+  WritePatterns(patterns, ss);
+  return ss.str();
+}
+
+std::vector<BitPattern> ReadPatterns(std::istream& in, std::size_t width) {
+  std::vector<BitPattern> patterns;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r'))
+      line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() != width) {
+      throw std::runtime_error("patterns line " + std::to_string(lineno) +
+                               ": expected " + std::to_string(width) +
+                               " bits, got " + std::to_string(line.size()));
+    }
+    BitPattern p(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      if (line[i] != '0' && line[i] != '1') {
+        throw std::runtime_error("patterns line " + std::to_string(lineno) +
+                                 ": invalid character");
+      }
+      p[i] = line[i] == '1';
+    }
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+std::vector<BitPattern> PatternsFromString(const std::string& text,
+                                           std::size_t width) {
+  std::istringstream ss(text);
+  return ReadPatterns(ss, width);
+}
+
+void WriteFaults(const netlist::Netlist& netlist,
+                 std::span<const StuckAtFault> faults, std::ostream& out) {
+  for (const StuckAtFault& f : faults) out << ToString(netlist, f) << '\n';
+}
+
+std::vector<StuckAtFault> ReadFaults(const netlist::Netlist& netlist,
+                                     std::istream& in) {
+  std::vector<StuckAtFault> faults;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r'))
+      line.pop_back();
+    if (line.empty()) continue;
+
+    const auto slash = line.rfind('/');
+    if (slash == std::string::npos || slash + 4 != line.size() ||
+        line.compare(slash + 1, 2, "SA") != 0 ||
+        (line[slash + 3] != '0' && line[slash + 3] != '1')) {
+      throw std::runtime_error("faults line " + std::to_string(lineno) +
+                               ": expected <net>[.inK]/SA0|1");
+    }
+    StuckAtFault fault;
+    fault.stuck_value = line[slash + 3] == '1';
+
+    std::string name = line.substr(0, slash);
+    const auto dot = name.rfind(".in");
+    if (dot != std::string::npos) {
+      fault.fanin_index =
+          static_cast<std::int8_t>(std::stoi(name.substr(dot + 3)));
+      name.resize(dot);
+    }
+
+    netlist::NodeId node = netlist.FindByName(name);
+    if (node == netlist::kInvalidNode && name.size() > 1 && name[0] == 'n' &&
+        name.find_first_not_of("0123456789", 1) == std::string::npos) {
+      // Generated fallback name "n<id>".
+      const auto id = std::strtoul(name.c_str() + 1, nullptr, 10);
+      if (id < netlist.NodeCount()) node = static_cast<netlist::NodeId>(id);
+    }
+    if (node == netlist::kInvalidNode) {
+      throw std::runtime_error("faults line " + std::to_string(lineno) +
+                               ": unknown node " + name);
+    }
+    if (fault.fanin_index >= 0 &&
+        fault.fanin_index >=
+            static_cast<std::int8_t>(netlist.FaninsOf(node).size())) {
+      throw std::runtime_error("faults line " + std::to_string(lineno) +
+                               ": pin out of range");
+    }
+    fault.node = node;
+    faults.push_back(fault);
+  }
+  return faults;
+}
+
+}  // namespace bistdse::sim

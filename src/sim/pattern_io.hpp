@@ -1,0 +1,38 @@
+// Text serialization of test patterns and fault lists — the hand-off
+// artifacts between the ATPG/BIST flow and external tooling (a STIL-like
+// minimal format).
+//
+//   patterns file:  one line per pattern, '0'/'1' per core input, comments
+//                   with '#'
+//   faults file:    one fault per line in sim::ToString notation
+//                   (n42/SA1, n42.in2/SA0)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/pattern_set.hpp"
+
+namespace bistdse::sim {
+
+void WritePatterns(std::span<const BitPattern> patterns, std::ostream& out);
+std::string PatternsToString(std::span<const BitPattern> patterns);
+
+/// Parses patterns; every line must have exactly `width` bits. Throws
+/// std::runtime_error with a line number otherwise.
+std::vector<BitPattern> ReadPatterns(std::istream& in, std::size_t width);
+std::vector<BitPattern> PatternsFromString(const std::string& text,
+                                           std::size_t width);
+
+void WriteFaults(const netlist::Netlist& netlist,
+                 std::span<const StuckAtFault> faults, std::ostream& out);
+
+/// Parses a fault list against `netlist` (names resolved via FindByName or
+/// the generated "n<id>" fallback). Throws std::runtime_error on unknown
+/// nodes or malformed entries.
+std::vector<StuckAtFault> ReadFaults(const netlist::Netlist& netlist,
+                                     std::istream& in);
+
+}  // namespace bistdse::sim

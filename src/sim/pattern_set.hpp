@@ -1,0 +1,36 @@
+// Helpers for packing scan patterns into 64-way simulation words.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/logic_sim.hpp"
+
+namespace bistdse::sim {
+
+/// A fully specified test pattern: one bit (0/1) per core input.
+using BitPattern = std::vector<std::uint8_t>;
+
+/// Packs up to 64 patterns (patterns[begin] .. patterns[begin+count-1]) into
+/// per-input words: word[i] bit k = patterns[begin+k][i]. `count` <= 64.
+inline std::vector<PatternWord> PackPatternBlock(
+    std::span<const BitPattern> patterns, std::size_t begin, std::size_t count,
+    std::size_t width) {
+  std::vector<PatternWord> words(width, 0);
+  for (std::size_t k = 0; k < count; ++k) {
+    const BitPattern& p = patterns[begin + k];
+    for (std::size_t i = 0; i < width; ++i) {
+      words[i] |= static_cast<PatternWord>(p[i] & 1) << k;
+    }
+  }
+  return words;
+}
+
+/// Mask with the low `count` bits set; used to ignore unused slots in a
+/// partially filled block.
+inline constexpr PatternWord BlockMask(std::size_t count) {
+  return count >= 64 ? ~PatternWord{0} : ((PatternWord{1} << count) - 1);
+}
+
+}  // namespace bistdse::sim

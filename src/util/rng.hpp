@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation used throughout bistdse.
+//
+// All stochastic algorithms in this library (random circuit generation,
+// pseudo-random BIST patterns, evolutionary operators, ...) draw from
+// explicitly seeded generators so that every experiment is reproducible
+// bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bistdse::util {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator (Steele et al.).
+/// Satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t Below(std::uint64_t bound) {
+    // Lemire-style rejection-free mapping is overkill here; modulo bias is
+    // negligible for the bounds used in this library (<< 2^32).
+    return (*this)() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double UnitReal() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  constexpr bool Chance(double p) { return UnitReal() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bistdse::util

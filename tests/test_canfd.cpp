@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "can/canfd.hpp"
+#include "can/mirroring.hpp"
+
+namespace bistdse::can {
+namespace {
+
+TEST(CanFd, DlcRounding) {
+  EXPECT_EQ(RoundUpFdPayload(0), 0u);
+  EXPECT_EQ(RoundUpFdPayload(8), 8u);
+  EXPECT_EQ(RoundUpFdPayload(9), 12u);
+  EXPECT_EQ(RoundUpFdPayload(13), 16u);
+  EXPECT_EQ(RoundUpFdPayload(33), 48u);
+  EXPECT_EQ(RoundUpFdPayload(64), 64u);
+  EXPECT_THROW(RoundUpFdPayload(65), std::invalid_argument);
+}
+
+TEST(CanFd, FrameTimeScalesWithDataRate) {
+  CanFdTiming slow{500e3, 500e3};
+  CanFdTiming fast{500e3, 4e6};
+  // Same arbitration share, 8x faster data phase.
+  EXPECT_LT(fast.FrameTimeMs(64), slow.FrameTimeMs(64));
+  EXPECT_GT(fast.FrameTimeMs(64), 0.0);
+  // A 64-byte FD frame at 500k/2M beats eight classic 8-byte frames.
+  CanFdTiming typical{500e3, 2e6};
+  CanMessage classic;
+  classic.payload_bytes = 8;
+  EXPECT_LT(typical.FrameTimeMs(64), 8 * classic.FrameTimeMs(500e3));
+}
+
+TEST(CanFd, LargerPayloadLongerFrame) {
+  CanFdTiming t;
+  EXPECT_LT(t.FrameTimeMs(8), t.FrameTimeMs(16));
+  EXPECT_LT(t.FrameTimeMs(16), t.FrameTimeMs(64));
+}
+
+TEST(CanFd, MirroredFdTransferBeatsClassic) {
+  // Classic CAN mirror: 2 messages x 8 B / 10 ms = 1.6 B/ms.
+  std::vector<CanMessage> functional(2);
+  functional[0].payload_bytes = 8;
+  functional[0].period_ms = 10;
+  functional[0].id = 1;
+  functional[1].payload_bytes = 8;
+  functional[1].period_ms = 10;
+  functional[1].id = 2;
+  const double classic_ms = MirroredTransferTimeMs(455061, functional);
+
+  // FD mirror reusing the same two 10 ms slots with 64-byte payloads.
+  const double fd_ms = MirroredFdTransferTimeMs(455061, 2, 10.0, 64);
+  EXPECT_LT(fd_ms, classic_ms);
+  EXPECT_NEAR(classic_ms / fd_ms, 8.0, 0.01);  // payload ratio 64/8
+}
+
+TEST(CanFd, TransferValidation) {
+  EXPECT_THROW(MirroredFdTransferTimeMs(100, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(MirroredFdTransferTimeMs(100, 1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bistdse::can

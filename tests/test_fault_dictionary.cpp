@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "bist/fault_dictionary.hpp"
+#include "test_helpers.hpp"
+
+namespace bistdse::bist {
+namespace {
+
+StumpsConfig DictConfig() {
+  StumpsConfig config;
+  config.signature_window = 16;
+  config.prpg_seed = 0x51;
+  return config;
+}
+
+class FaultDictionaryTest : public ::testing::Test {
+ protected:
+  FaultDictionaryTest()
+      : netlist_(bistdse::testing::MakeSmallRandom(71, 220)),
+        faults_(sim::CollapsedFaults(netlist_)),
+        dictionary_(netlist_, DictConfig(), kPatterns, {}, faults_) {}
+
+  static constexpr std::uint64_t kPatterns = 256;
+  netlist::Netlist netlist_;
+  std::vector<sim::StuckAtFault> faults_;
+  FaultDictionary dictionary_;
+};
+
+TEST_F(FaultDictionaryTest, AgreesWithSessionFailData) {
+  // For sampled injected faults, the dictionary's stored failing windows
+  // must equal the windows the session engine actually reports as failing.
+  StumpsSession session(netlist_, DictConfig());
+  for (std::size_t fi = 0; fi < faults_.size(); fi += 211) {
+    const auto result = session.Run(kPatterns, {}, faults_[fi]);
+    const auto stored = dictionary_.WindowsOf(fi);
+    std::vector<std::uint64_t> observed(stored.size(), 0);
+    for (const auto& fd : result.fail_data) {
+      observed[fd.window_index / 64] |= std::uint64_t{1} << (fd.window_index % 64);
+    }
+    for (std::size_t wword = 0; wword < stored.size(); ++wword) {
+      EXPECT_EQ(stored[wword], observed[wword]) << "fault " << fi;
+    }
+  }
+}
+
+TEST_F(FaultDictionaryTest, DiagnosesInjectedFaults) {
+  StumpsSession session(netlist_, DictConfig());
+  std::size_t attempted = 0, hits = 0;
+  for (std::size_t fi = 0; fi < faults_.size(); fi += 101) {
+    const auto result = session.Run(kPatterns, {}, faults_[fi]);
+    if (result.fail_data.empty()) continue;
+    ++attempted;
+    const auto ranked = dictionary_.Diagnose(result.fail_data, 5);
+    for (const auto& c : ranked) hits += c.fault == faults_[fi] ? 1 : 0;
+  }
+  ASSERT_GT(attempted, 3u);
+  EXPECT_GE(hits * 10, attempted * 8) << hits << "/" << attempted;
+}
+
+TEST_F(FaultDictionaryTest, WindowCountMatchesSession) {
+  EXPECT_EQ(dictionary_.WindowCount(), kPatterns / 16);
+  EXPECT_EQ(dictionary_.FaultCount(), faults_.size());
+}
+
+TEST(FaultDictionaryConfig, RejectsPlainMisr) {
+  auto nl = bistdse::testing::MakeSmallRandom(73, 100);
+  StumpsConfig config = DictConfig();
+  config.reset_misr_per_window = false;
+  auto faults = sim::CollapsedFaults(nl);
+  faults.resize(10);
+  EXPECT_THROW(FaultDictionary(nl, config, 64, {}, faults),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bistdse::bist

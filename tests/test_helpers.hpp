@@ -1,0 +1,60 @@
+// Shared fixtures for bistdse tests.
+#pragma once
+
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/random_circuit.hpp"
+
+namespace bistdse::testing {
+
+/// The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+inline const char* kC17 = R"(
+# c17 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+inline netlist::Netlist MakeC17() {
+  return netlist::ParseBenchString(kC17);
+}
+
+/// A small sequential circuit: 2 inputs, 1 output, 2 flops forming a toggle
+/// structure.
+inline const char* kTinySeq = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(a, q1)
+d1 = AND(b, q0)
+y = OR(q0, q1)
+)";
+
+inline netlist::Netlist MakeSmallRandom(std::uint64_t seed = 7,
+                                        std::uint32_t gates = 300) {
+  netlist::RandomCircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_flops = 24;
+  spec.num_gates = gates;
+  spec.num_hard_blocks = 2;
+  spec.hard_block_width = 6;
+  spec.seed = seed;
+  return netlist::GenerateRandomCircuit(spec);
+}
+
+}  // namespace bistdse::testing

@@ -1,0 +1,121 @@
+// End-to-end integration: the complete flow of the paper on a synthetic CUT.
+//
+//   synthetic circuit -> fault universe -> mixed-mode BIST profiles
+//   (random fault sim + PODEM + reseeding) -> E/E case study augmented with
+//   those profiles -> SAT-decoding exploration -> feasible Pareto front,
+//   schedulable buses, non-intrusive transfers, diagnosable fail data.
+#include <gtest/gtest.h>
+
+#include "bist/diagnosis.hpp"
+#include "bist/profile_generator.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dse/bus_load.hpp"
+#include "dse/exploration.hpp"
+#include "dse/partial_networking.hpp"
+
+namespace bistdse {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Small CUT so the whole pipeline stays in CI budget.
+    netlist::RandomCircuitSpec spec;
+    spec.num_inputs = 16;
+    spec.num_outputs = 16;
+    spec.num_flops = 120;
+    spec.num_gates = 900;
+    spec.num_hard_blocks = 4;
+    spec.hard_block_width = 8;
+    spec.seed = 5;
+    cut_ = new netlist::Netlist(netlist::GenerateRandomCircuit(spec));
+
+    bist::ProfileGeneratorConfig config;
+    config.stumps = casestudy::PaperStumpsConfig();
+    config.prp_counts = {256, 1024};
+    config.coverage_targets_percent = {100.0, 95.0};
+    config.fill_seeds = {3, 3};
+    // Present byte sizes at the paper CUT's magnitude.
+    config.byte_scale = 30.0;
+    bist::ProfileGenerator generator(*cut_, config);
+    profiles_ = new std::vector<bist::BistProfile>(generator.GenerateAll());
+  }
+  static void TearDownTestSuite() {
+    delete cut_;
+    delete profiles_;
+    cut_ = nullptr;
+    profiles_ = nullptr;
+  }
+
+  static netlist::Netlist* cut_;
+  static std::vector<bist::BistProfile>* profiles_;
+};
+
+netlist::Netlist* EndToEnd::cut_ = nullptr;
+std::vector<bist::BistProfile>* EndToEnd::profiles_ = nullptr;
+
+TEST_F(EndToEnd, GeneratedProfilesAreWellFormed) {
+  ASSERT_EQ(profiles_->size(), 4u);
+  for (const auto& p : *profiles_) {
+    EXPECT_GT(p.fault_coverage_percent, 80.0);
+    EXPECT_GT(p.runtime_ms, 0.0);
+    EXPECT_GT(p.data_bytes, 0u);
+  }
+  // More PRPs => longer runtime; max target => more data than 95 % target.
+  EXPECT_LT((*profiles_)[0].runtime_ms, (*profiles_)[2].runtime_ms);
+  EXPECT_GE((*profiles_)[0].data_bytes, (*profiles_)[1].data_bytes);
+}
+
+TEST_F(EndToEnd, ExplorationOnGeneratedProfiles) {
+  auto cs = casestudy::BuildCaseStudy(*profiles_, 42);
+  dse::ExplorationConfig config;
+  config.evaluations = 800;
+  config.population_size = 24;
+  config.seed = 4;
+  config.validate_each_decode = true;  // every decode checked against Eqs.
+  dse::Explorer explorer(cs.spec, cs.augmentation, config);
+  const auto result = explorer.Run();
+
+  ASSERT_GT(result.pareto.size(), 2u);
+  EXPECT_EQ(result.decoder_stats.validation_failures, 0u);
+
+  // Every front implementation: feasible, schedulable, non-intrusive.
+  dse::BusLoadValidator validator(cs.spec);
+  for (const auto& entry : result.pareto) {
+    const auto violations =
+        model::ValidateImplementation(cs.spec, entry.implementation);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations[0]);
+    const auto bus_report = validator.Validate(cs.augmentation,
+                                               entry.implementation);
+    EXPECT_TRUE(bus_report.all_schedulable);
+    EXPECT_EQ(bus_report.mirrored_transfers_intrusive, 0u);
+    // Eq. 5 consistency with the per-ECU analysis.
+    const auto pn = dse::AnalyzePartialNetworking(cs.spec, cs.augmentation,
+                                                  entry.implementation);
+    EXPECT_DOUBLE_EQ(pn.max_session_ms, entry.objectives.shutoff_time_ms);
+  }
+}
+
+TEST_F(EndToEnd, SessionFailDataIsDiagnosable) {
+  // Close the loop on the CUT itself: a faulty chip running the profile's
+  // BIST session produces fail data from which diagnosis recovers the
+  // defect.
+  bist::StumpsConfig config = casestudy::PaperStumpsConfig();
+  config.signature_window = 16;
+  bist::StumpsSession session(*cut_, config);
+  const auto faults = sim::CollapsedFaults(*cut_);
+  const auto& injected = faults[faults.size() / 7];
+
+  const auto result = session.Run(512, {}, injected);
+  if (result.fail_data.empty()) GTEST_SKIP() << "fault escapes 512 patterns";
+
+  bist::SignatureDiagnosis diagnosis(*cut_, config, 512, {});
+  const auto ranked = diagnosis.Diagnose(result.fail_data, faults, 5);
+  bool hit = false;
+  for (const auto& c : ranked) hit |= c.fault == injected;
+  EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace bistdse

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "moea/epsilon_archive.hpp"
+#include "sim/pattern_io.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse {
+namespace {
+
+TEST(PatternIo, RoundTrip) {
+  util::SplitMix64 rng(1);
+  std::vector<sim::BitPattern> patterns;
+  for (int i = 0; i < 10; ++i) {
+    sim::BitPattern p(37);
+    for (auto& b : p) b = rng.Chance(0.5);
+    patterns.push_back(p);
+  }
+  const std::string text = sim::PatternsToString(patterns);
+  const auto parsed = sim::PatternsFromString(text, 37);
+  EXPECT_EQ(parsed, patterns);
+}
+
+TEST(PatternIo, RejectsMalformedLines) {
+  EXPECT_THROW(sim::PatternsFromString("0101\n", 5), std::runtime_error);
+  EXPECT_THROW(sim::PatternsFromString("01x01\n", 5), std::runtime_error);
+  EXPECT_TRUE(sim::PatternsFromString("# only a comment\n\n", 5).empty());
+}
+
+TEST(FaultIo, RoundTripOnC17) {
+  auto nl = testing::MakeC17();
+  const auto faults = sim::CollapsedFaults(nl);
+  std::ostringstream out;
+  sim::WriteFaults(nl, faults, out);
+  std::istringstream in(out.str());
+  const auto parsed = sim::ReadFaults(nl, in);
+  ASSERT_EQ(parsed.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(parsed[i], faults[i]) << i;
+  }
+}
+
+TEST(FaultIo, RoundTripWithGeneratedNames) {
+  auto nl = testing::MakeSmallRandom(3, 120);
+  auto faults = sim::CollapsedFaults(nl);
+  faults.resize(50);
+  std::ostringstream out;
+  sim::WriteFaults(nl, faults, out);
+  std::istringstream in(out.str());
+  const auto parsed = sim::ReadFaults(nl, in);
+  ASSERT_EQ(parsed.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(parsed[i], faults[i]) << i;
+  }
+}
+
+TEST(FaultIo, RejectsBadEntries) {
+  auto nl = testing::MakeC17();
+  std::istringstream bad1("nope/SA1\n");
+  EXPECT_THROW(sim::ReadFaults(nl, bad1), std::runtime_error);
+  std::istringstream bad2("22/SAx\n");
+  EXPECT_THROW(sim::ReadFaults(nl, bad2), std::runtime_error);
+  std::istringstream bad3("22.in9/SA0\n");
+  EXPECT_THROW(sim::ReadFaults(nl, bad3), std::runtime_error);
+}
+
+TEST(EpsilonArchive, BoundsArchiveSize) {
+  moea::EpsilonArchive archive({1.0, 1.0});
+  util::SplitMix64 rng(5);
+  // 1000 random points on/near the front x + y = 100 within a 100x100 box:
+  // with eps 1 the archive holds at most ~100 boxes.
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UnitReal() * 100.0;
+    archive.Offer({x, 100.0 - x + rng.UnitReal()}, i);
+  }
+  EXPECT_LE(archive.Size(), 110u);
+  EXPECT_GE(archive.Size(), 30u);
+}
+
+TEST(EpsilonArchive, KeepsDominanceInvariant) {
+  moea::EpsilonArchive archive({0.5, 0.5});
+  util::SplitMix64 rng(7);
+  for (int i = 0; i < 300; ++i) {
+    archive.Offer({rng.UnitReal() * 10, rng.UnitReal() * 10}, i);
+  }
+  const auto entries = archive.Entries();
+  for (const auto& a : entries) {
+    for (const auto& b : entries) {
+      if (&a == &b) continue;
+      // No entry may epsilon-dominate another: their boxes are mutually
+      // non-dominated by construction.
+      EXPECT_FALSE(moea::Dominates(
+          {a.objectives[0] + 0.5, a.objectives[1] + 0.5}, b.objectives))
+          << "box dominance violated";
+    }
+  }
+}
+
+TEST(EpsilonArchive, SameBoxKeepsBetterPoint) {
+  moea::EpsilonArchive archive({10.0, 10.0});
+  EXPECT_TRUE(archive.Offer({5.0, 5.0}, 1));
+  EXPECT_FALSE(archive.Offer({6.0, 6.0}, 2));  // same box, dominated
+  EXPECT_TRUE(archive.Offer({4.0, 4.0}, 3));   // same box, better
+  ASSERT_EQ(archive.Size(), 1u);
+  EXPECT_EQ(archive.Entries()[0].payload, 3u);
+}
+
+TEST(EpsilonArchive, RejectsBadConfig) {
+  EXPECT_THROW(moea::EpsilonArchive({}), std::invalid_argument);
+  EXPECT_THROW(moea::EpsilonArchive({1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bistdse

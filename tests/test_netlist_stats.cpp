@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "netlist/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace bistdse::netlist {
+namespace {
+
+TEST(NetlistStats, C17Counts) {
+  const auto nl = testing::MakeC17();
+  const auto stats = ComputeStats(nl);
+  EXPECT_EQ(stats.primary_inputs, 5u);
+  EXPECT_EQ(stats.primary_outputs, 2u);
+  EXPECT_EQ(stats.flops, 0u);
+  EXPECT_EQ(stats.combinational_gates, 6u);
+  EXPECT_EQ(stats.max_level, 3u);
+  EXPECT_EQ(stats.by_type[static_cast<std::size_t>(GateType::Nand)], 6u);
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+  // Every NAND has 2 fanins.
+  EXPECT_DOUBLE_EQ(stats.avg_fanin, 2.0);
+}
+
+TEST(NetlistStats, SyntheticCircuitIsClean) {
+  const auto nl = bistdse::testing::MakeSmallRandom(3, 300);
+  const auto stats = ComputeStats(nl);
+  // The generator's observability closure leaves no dangling logic.
+  EXPECT_EQ(stats.dangling_nodes, 0u);
+  EXPECT_GT(stats.ScanRatio(), 0.0);
+  EXPECT_LT(stats.ScanRatio(), 0.5);
+  EXPECT_GT(stats.max_fanout, 1u);
+}
+
+TEST(NetlistStats, FormatMentionsKeyNumbers) {
+  const auto nl = testing::MakeC17();
+  const std::string report = FormatStats(ComputeStats(nl));
+  EXPECT_NE(report.find("PIs 5"), std::string::npos);
+  EXPECT_NE(report.find("NAND=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bistdse::netlist

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "bist/reseeding.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse::bist {
+namespace {
+
+using atpg::TestCube;
+using atpg::Value3;
+
+TestCube RandomCube(std::uint32_t width, std::uint32_t care_bits,
+                    util::SplitMix64& rng) {
+  TestCube cube;
+  cube.bits.assign(width, Value3::X);
+  for (std::uint32_t placed = 0; placed < care_bits;) {
+    const auto pos = static_cast<std::size_t>(rng.Below(width));
+    if (cube.bits[pos] != Value3::X) continue;
+    cube.bits[pos] = rng.Chance(0.5) ? Value3::One : Value3::Zero;
+    ++placed;
+  }
+  return cube;
+}
+
+TEST(Reseeding, ExpansionHonorsCareBits) {
+  util::SplitMix64 rng(1);
+  ReseedingEncoder encoder(120);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto cube = RandomCube(120, 8 + trial, rng);
+    const auto enc = encoder.Encode(cube);
+    ASSERT_TRUE(enc.has_value()) << "trial " << trial;
+    const auto expanded = encoder.Expand(*enc);
+    ASSERT_EQ(expanded.size(), 120u);
+    for (std::size_t i = 0; i < 120; ++i) {
+      if (cube.bits[i] == Value3::X) continue;
+      EXPECT_EQ(expanded[i], cube.bits[i] == Value3::One ? 1 : 0)
+          << "trial " << trial << " position " << i;
+    }
+  }
+}
+
+TEST(Reseeding, SeedIsSmallerThanPattern) {
+  // The whole point of reseeding: storage proportional to care bits, not to
+  // scan-chain length.
+  util::SplitMix64 rng(2);
+  ReseedingEncoder encoder(2000);
+  const auto cube = RandomCube(2000, 30, rng);
+  const auto enc = encoder.Encode(cube);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_LT(enc->StorageBytes(), 2000u / 8);
+  EXPECT_LE(enc->lfsr_degree, 30u + 20u + 64u);
+}
+
+TEST(Reseeding, FullySpecifiedCubeStillEncodable) {
+  // Degenerate but legal: every bit is a care bit. The encoder must grow the
+  // seed until the system solves (possibly degree > width).
+  util::SplitMix64 rng(3);
+  ReseedingEncoder encoder(48);
+  const auto cube = RandomCube(48, 48, rng);
+  const auto enc = encoder.Encode(cube);
+  ASSERT_TRUE(enc.has_value());
+  const auto expanded = encoder.Expand(*enc);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(expanded[i], cube.bits[i] == Value3::One ? 1 : 0);
+  }
+}
+
+TEST(Reseeding, AllZeroCube) {
+  ReseedingEncoder encoder(64);
+  TestCube cube;
+  cube.bits.assign(64, Value3::Zero);
+  const auto enc = encoder.Encode(cube);
+  ASSERT_TRUE(enc.has_value());
+  const auto expanded = encoder.Expand(*enc);
+  for (auto b : expanded) EXPECT_EQ(b, 0);
+}
+
+TEST(Reseeding, EmptyCubeEncodesTrivially) {
+  ReseedingEncoder encoder(64);
+  TestCube cube;
+  cube.bits.assign(64, Value3::X);
+  const auto enc = encoder.Encode(cube);
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(encoder.Expand(*enc).size(), 64u);
+}
+
+TEST(Reseeding, RejectsWidthMismatch) {
+  ReseedingEncoder encoder(64);
+  TestCube cube;
+  cube.bits.assign(32, Value3::X);
+  EXPECT_THROW(encoder.Encode(cube), std::invalid_argument);
+}
+
+TEST(Reseeding, StorageBytesFormula) {
+  EncodedPattern enc;
+  enc.lfsr_degree = 33;
+  enc.seed_bits.assign(33, 0);
+  EXPECT_EQ(enc.StorageBytes(), 5u + 2u);  // ceil(33/8)=5 + header
+}
+
+}  // namespace
+}  // namespace bistdse::bist

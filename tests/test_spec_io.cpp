@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dse/exploration.hpp"
+#include "model/spec_io.hpp"
+
+namespace bistdse::model {
+namespace {
+
+const char* kTinySpec = R"(
+# two ECUs, one bus, sensor -> ctrl -> actuator
+resource gw gateway 20 1e-6
+resource can0 bus 1 0 500000
+resource ecu1 ecu 10 2e-5
+resource ecu2 ecu 14 2e-5
+resource s0 sensor 2 0
+resource a0 actuator 3 0
+link gw can0
+link ecu1 can0
+link ecu2 can0
+link s0 can0
+link a0 can0
+
+task sense
+task ctrl
+task act
+message speed sense ctrl 2 10
+message torque ctrl act 4 20
+mapping sense s0
+mapping ctrl ecu1
+mapping ctrl ecu2
+mapping act a0
+
+profile ecu1 1 500 99.8 4.9 2400000
+profile ecu1 2 500 95.7 1.7 455000
+profile ecu2 1 500 99.8 4.9 2400000
+cuttype ecu2 1
+)";
+
+TEST(SpecIo, ParsesTinySpec) {
+  auto parsed = ParseSpecString(kTinySpec);
+  EXPECT_EQ(parsed.spec.Architecture().ResourceCount(), 6u);
+  EXPECT_EQ(parsed.spec.Application().TaskCount(), 3u);
+  EXPECT_EQ(parsed.spec.Application().MessageCount(), 2u);
+  EXPECT_EQ(parsed.spec.Mappings().size(), 4u);
+  EXPECT_EQ(parsed.profiles.size(), 2u);
+  EXPECT_EQ(parsed.cut_types.size(), 1u);
+
+  const auto augmentation = parsed.Augment();
+  EXPECT_EQ(augmentation.programs_by_ecu.size(), 2u);
+  // ecu1: 2 profiles, ecu2: 1 profile with cut type 1.
+  const auto ecu2 = parsed.spec.Architecture().ResourceCount() - 4;  // "ecu2"
+  (void)ecu2;
+  std::size_t total_programs = 0;
+  bool saw_type1 = false;
+  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
+    total_programs += programs.size();
+    for (const auto& p : programs) saw_type1 |= p.cut_type == 1;
+  }
+  EXPECT_EQ(total_programs, 3u);
+  EXPECT_TRUE(saw_type1);
+}
+
+TEST(SpecIo, ParsedSpecIsExplorable) {
+  auto parsed = ParseSpecString(kTinySpec);
+  const auto augmentation = parsed.Augment();
+  dse::ExplorationConfig cfg;
+  cfg.evaluations = 200;
+  cfg.population_size = 12;
+  cfg.seed = 2;
+  cfg.validate_each_decode = true;
+  dse::Explorer explorer(parsed.spec, augmentation, cfg);
+  const auto result = explorer.Run();
+  EXPECT_GT(result.pareto.size(), 1u);
+}
+
+TEST(SpecIo, RoundTrip) {
+  auto parsed = ParseSpecString(kTinySpec);
+  std::ostringstream out;
+  WriteSpec(parsed.spec, parsed.profiles, parsed.cut_types, out);
+  auto reparsed = ParseSpecString(out.str());
+  EXPECT_EQ(reparsed.spec.Architecture().ResourceCount(),
+            parsed.spec.Architecture().ResourceCount());
+  EXPECT_EQ(reparsed.spec.Application().TaskCount(),
+            parsed.spec.Application().TaskCount());
+  EXPECT_EQ(reparsed.spec.Application().MessageCount(),
+            parsed.spec.Application().MessageCount());
+  EXPECT_EQ(reparsed.spec.Mappings().size(), parsed.spec.Mappings().size());
+  EXPECT_EQ(reparsed.profiles.size(), parsed.profiles.size());
+  EXPECT_EQ(reparsed.cut_types, parsed.cut_types);
+}
+
+TEST(SpecIo, ReportsErrorsWithLineNumbers) {
+  EXPECT_THROW(ParseSpecString("frobnicate x\n"), std::runtime_error);
+  EXPECT_THROW(ParseSpecString("resource x widget 1 0\n"), std::runtime_error);
+  EXPECT_THROW(ParseSpecString("link a b\n"), std::runtime_error);
+  EXPECT_THROW(ParseSpecString("task t\nmessage m t t 4 10\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseSpecString("resource e ecu 1 0\nprofile x 1 500 99 4 100\n"),
+               std::runtime_error);
+  try {
+    ParseSpecString("resource gw gateway 1 0\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, MessageWithMultipleReceivers) {
+  auto parsed = ParseSpecString(R"(
+resource gw gateway 1 0
+resource e1 ecu 1 0
+resource can0 bus 1 0 500000
+link gw can0
+link e1 can0
+task a
+task b
+task c
+message m a b,c 8 10
+mapping a e1
+mapping b e1
+mapping c e1
+)");
+  const auto& m = parsed.spec.Application().GetMessage(0);
+  EXPECT_EQ(m.receivers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bistdse::model

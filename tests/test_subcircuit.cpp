@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "netlist/subcircuit.hpp"
+#include "sim/logic_sim.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse::netlist {
+namespace {
+
+TEST(Subcircuit, C17ConeOfOutput22) {
+  auto nl = testing::MakeC17();
+  const auto cone = ExtractFaninCone(nl, nl.FindByName("22"));
+  // Cone of 22: gates 22, 10, 16, 11 + inputs 1, 2, 3, 6.
+  EXPECT_EQ(cone.circuit.CombinationalGateCount(), 4u);
+  EXPECT_EQ(cone.circuit.PrimaryInputs().size(), 4u);
+  EXPECT_EQ(cone.circuit.PrimaryOutputs().size(), 1u);
+}
+
+TEST(Subcircuit, ConeSimulatesIdenticallyToParent) {
+  auto nl = bistdse::testing::MakeSmallRandom(35, 250);
+  // Pick a deep node as root.
+  NodeId root = nl.TopologicalOrder().back();
+  const auto cone = ExtractFaninCone(nl, root);
+
+  util::SplitMix64 rng(4);
+  sim::LogicSimulator parent(nl);
+  sim::LogicSimulator sub(cone.circuit);
+
+  std::vector<sim::PatternWord> parent_words(nl.CoreInputs().size());
+  for (auto& w : parent_words) w = rng();
+  parent.Simulate(parent_words);
+
+  // Drive the cone's boundary inputs with the parent's values.
+  std::vector<sim::PatternWord> sub_words(cone.circuit.CoreInputs().size());
+  for (std::size_t i = 0; i < cone.circuit.CoreInputs().size(); ++i) {
+    const NodeId sub_input = cone.circuit.CoreInputs()[i];
+    // Find the original node mapped to this input.
+    NodeId original = kInvalidNode;
+    for (const auto& [from, to] : cone.node_map) {
+      if (to == sub_input) {
+        original = from;
+        break;
+      }
+    }
+    ASSERT_NE(original, kInvalidNode);
+    sub_words[i] = parent.ValueOf(original);
+  }
+  sub.Simulate(sub_words);
+  EXPECT_EQ(sub.ValueOf(cone.node_map.at(root)), parent.ValueOf(root));
+}
+
+TEST(Subcircuit, RejectsOutOfRange) {
+  auto nl = testing::MakeC17();
+  EXPECT_THROW(ExtractFaninCone(nl, 9999), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bistdse::netlist

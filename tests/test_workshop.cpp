@@ -1,0 +1,68 @@
+// Workshop-repair consistency (paper §I + §IV.B): the success rate of
+// identifying a faulty ECU equals the deployed profile's fault coverage.
+// This test closes the end-to-end loop over encode -> expand -> session:
+// actual STUMPS sessions running the generated random + deterministic
+// patterns detect injected defects at (almost exactly) the rate the profile
+// generator reported as c(b).
+#include <gtest/gtest.h>
+
+#include "bist/profile_generator.hpp"
+#include "bist/stumps.hpp"
+#include "test_helpers.hpp"
+
+namespace bistdse::bist {
+namespace {
+
+TEST(WorkshopRepair, SessionDetectionRateMatchesProfileCoverage) {
+  auto nl = bistdse::testing::MakeSmallRandom(99, 300);
+
+  ProfileGeneratorConfig config;
+  config.stumps.signature_window = 32;
+  config.podem_backtrack_limit = 100;
+  ProfileGenerator generator(nl, config);
+  const auto generated = generator.GenerateOne(256, 100.0, 11);
+  ASSERT_GT(generated.profile.fault_coverage_percent, 90.0);
+  ASSERT_GT(generated.encoded_patterns.size(), 0u);
+
+  // Run real sessions with the deployable artifacts against sampled faults.
+  StumpsSession session(nl, config.stumps);
+  const auto faults = sim::CollapsedFaults(nl);
+  std::size_t sampled = 0, detected = 0;
+  for (std::size_t fi = 0; fi < faults.size(); fi += 13) {
+    ++sampled;
+    const auto result =
+        session.Run(256, generated.encoded_patterns, faults[fi]);
+    detected += result.pass ? 0 : 1;
+  }
+  const double measured = 100.0 * detected / sampled;
+  // Sampling every 13th fault: allow a few percent of statistical slack.
+  EXPECT_NEAR(measured, generated.profile.fault_coverage_percent, 4.0)
+      << detected << "/" << sampled;
+}
+
+TEST(WorkshopRepair, LeanProfileDetectsFewerDefects) {
+  auto nl = bistdse::testing::MakeSmallRandom(99, 300);
+  ProfileGeneratorConfig config;
+  config.stumps.signature_window = 32;
+  ProfileGenerator generator(nl, config);
+  const auto thorough = generator.GenerateOne(256, 100.0, 11);
+  const auto lean = generator.GenerateOne(256, 90.0, 11);
+  EXPECT_GE(thorough.profile.fault_coverage_percent,
+            lean.profile.fault_coverage_percent);
+  EXPECT_GE(thorough.encoded_patterns.size(), lean.encoded_patterns.size());
+
+  StumpsSession session(nl, config.stumps);
+  const auto faults = sim::CollapsedFaults(nl);
+  auto rate = [&](const GeneratedProfile& g) {
+    std::size_t sampled = 0, detected = 0;
+    for (std::size_t fi = 0; fi < faults.size(); fi += 29) {
+      ++sampled;
+      detected += session.Run(256, g.encoded_patterns, faults[fi]).pass ? 0 : 1;
+    }
+    return 100.0 * detected / sampled;
+  };
+  EXPECT_GE(rate(thorough) + 1e-9, rate(lean));
+}
+
+}  // namespace
+}  // namespace bistdse::bist

@@ -1,0 +1,272 @@
+// bistdse command-line front end.
+//
+//   bistdse_cli explore   — run the DSE on a case study, export the front
+//   bistdse_cli profiles  — generate BIST profiles for a synthetic CUT
+//   bistdse_cli diagnose  — measure diagnosis accuracy on a synthetic CUT
+//   bistdse_cli plan      — session timelines for a saved implementation
+//
+// Examples:
+//   bistdse_cli explore --evals 50000 --csv front.csv --report 3
+//   bistdse_cli explore --future --evals 20000
+//   bistdse_cli profiles --prps 500,1000,5000 --seed 7
+//   bistdse_cli diagnose --patterns 1024 --samples 50
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bist/diagnosis_eval.hpp"
+#include "bist/profile_generator.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dse/exploration.hpp"
+#include "dse/parallel.hpp"
+#include "dse/partial_networking.hpp"
+#include "dse/session_plan.hpp"
+#include "dse/report.hpp"  // WriteFrontCsv, DescribeImplementation, SummarizeFront
+#include "model/spec_io.hpp"
+
+using namespace bistdse;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+  std::uint64_t U64(const std::string& name, std::uint64_t fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback
+                              : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double Real(const std::string& name, double fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::string Str(const std::string& name, const std::string& fallback) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg);
+      std::exit(2);
+    }
+    const std::string name = arg + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags.values[name] = argv[++i];
+    } else {
+      flags.values[name] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bistdse_cli <command> [flags]\n"
+      "  explore  --evals N --pop N --seed N [--future] [--spec FILE]\n"
+      "           [--csv FILE] [--islands K] [--plan]\n"
+      "           [--report K] [--deadline MS] [--min-quality PCT]\n"
+      "  profiles --seed N [--prps A,B,C] [--scale X]\n"
+      "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
+      "  plan     --spec FILE --impl FILE [--deadline MS]\n");
+  return 2;
+}
+
+int RunExplore(const Flags& flags) {
+  casestudy::CaseStudy cs;
+  if (flags.Has("spec")) {
+    auto parsed = model::ParseSpecFile(flags.Str("spec", ""));
+    cs.augmentation = parsed.Augment();
+    cs.spec = std::move(parsed.spec);
+  } else {
+    cs = flags.Has("future") ? casestudy::BuildFutureCaseStudy()
+                             : casestudy::BuildCaseStudy();
+  }
+  dse::ExplorationConfig config;
+  config.evaluations = flags.U64("evals", 20000);
+  config.population_size = flags.U64("pop", 100);
+  config.seed = flags.U64("seed", 1);
+
+  dse::ExplorationResult result;
+  const std::size_t islands = flags.U64("islands", 1);
+  if (islands > 1) {
+    const auto merged =
+        dse::ExploreParallel(cs.spec, cs.augmentation, config, islands);
+    result.pareto = merged.pareto;
+    result.evaluations = merged.evaluations;
+    result.wall_seconds = merged.wall_seconds;
+  } else {
+    dse::Explorer explorer(cs.spec, cs.augmentation, config);
+    result = explorer.Run();
+  }
+  std::printf("%zu evaluations in %.1f s -> %zu Pareto-optimal "
+              "implementations\n",
+              result.evaluations, result.wall_seconds, result.pareto.size());
+  std::printf("%s", dse::SummarizeFront(result,
+                                        flags.Real("min-quality", 80.0))
+                        .c_str());
+
+  if (flags.Has("deadline")) {
+    const double deadline = flags.Real("deadline", 1000.0);
+    std::size_t feasible = 0;
+    for (const auto& entry : result.pareto) {
+      const auto report = dse::AnalyzePartialNetworking(
+          cs.spec, cs.augmentation, entry.implementation, {}, deadline);
+      feasible += report.AllDeadlinesMet();
+    }
+    std::printf("partial-networking deadline %.0f ms: %zu/%zu designs "
+                "feasible\n",
+                deadline, feasible, result.pareto.size());
+  }
+
+  if (flags.Has("csv")) {
+    const std::string path = flags.Str("csv", "front.csv");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    dse::WriteFrontCsv(result, out);
+    std::printf("front written to %s\n", path.c_str());
+  }
+
+  const double min_quality = flags.Real("min-quality", 80.0);
+  const std::size_t report_k = flags.U64("report", 0);
+  if (report_k > 0) {
+    // Cheapest implementations reaching the quality bar.
+    std::vector<const dse::ExplorationEntry*> picks;
+    for (const auto& e : result.pareto) {
+      if (e.objectives.test_quality_percent >= min_quality) picks.push_back(&e);
+    }
+    std::sort(picks.begin(), picks.end(), [](const auto* a, const auto* b) {
+      return a->objectives.monetary_cost < b->objectives.monetary_cost;
+    });
+    for (std::size_t i = 0; i < picks.size() && i < report_k; ++i) {
+      std::printf("\n--- implementation %zu ---\n%s", i + 1,
+                  dse::DescribeImplementation(cs.spec, cs.augmentation,
+                                              *picks[i])
+                      .c_str());
+      if (flags.Has("plan")) {
+        const auto plans = dse::PlanSessions(cs.spec, cs.augmentation,
+                                             picks[i]->implementation);
+        for (const auto& plan : plans) {
+          std::printf("%s", dse::FormatSessionPlan(cs.spec, plan).c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int RunProfiles(const Flags& flags) {
+  auto spec = casestudy::ScaledCutSpec(flags.U64("seed", 1));
+  const auto cut = netlist::GenerateRandomCircuit(spec);
+
+  bist::ProfileGeneratorConfig config;
+  config.stumps = casestudy::PaperStumpsConfig();
+  config.byte_scale = flags.Real("scale", 1.0);
+  if (flags.Has("prps")) {
+    config.prp_counts.clear();
+    const std::string list = flags.Str("prps", "");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      config.prp_counts.push_back(std::strtoull(list.c_str() + pos, nullptr, 10));
+      pos = list.find(',', pos);
+      if (pos == std::string::npos) break;
+      ++pos;
+    }
+  } else {
+    config.prp_counts = {500, 1000, 5000, 20000};
+  }
+  bist::ProfileGenerator generator(cut, config);
+  const auto profiles = generator.GenerateAll();
+  std::printf("%s", bist::FormatProfileTable(profiles).c_str());
+  return 0;
+}
+
+int RunDiagnose(const Flags& flags) {
+  auto spec = casestudy::ScaledCutSpec(flags.U64("seed", 3));
+  spec.num_gates = 1500;
+  spec.num_flops = 128;
+  const auto cut = netlist::GenerateRandomCircuit(spec);
+
+  bist::StumpsConfig config = casestudy::PaperStumpsConfig();
+  config.signature_window =
+      static_cast<std::uint32_t>(flags.U64("window", 32));
+  bist::DiagnosisEvalOptions options;
+  options.num_random_patterns = flags.U64("patterns", 512);
+  options.max_samples = flags.U64("samples", 60);
+  const auto faults_total = sim::CollapsedFaults(cut).size();
+  options.sample_stride =
+      std::max<std::size_t>(1, faults_total / options.max_samples);
+
+  const auto acc = bist::EvaluateDiagnosisAccuracy(cut, config, options);
+  std::printf("injected %zu (escaped %zu): top-1 %.0f %%, top-%zu %.0f %%, "
+              "mean rank %.1f\n",
+              acc.injected, acc.escaped, 100.0 * acc.Top1Rate(), acc.k,
+              100.0 * acc.TopkRate(), acc.mean_rank);
+  return 0;
+}
+
+int RunPlan(const Flags& flags) {
+  if (!flags.Has("spec") || !flags.Has("impl")) {
+    std::fprintf(stderr, "plan requires --spec and --impl\n");
+    return 2;
+  }
+  auto parsed = model::ParseSpecFile(flags.Str("spec", ""));
+  const auto augmentation = parsed.Augment();
+  std::ifstream impl_in(flags.Str("impl", ""));
+  if (!impl_in) {
+    std::fprintf(stderr, "cannot open %s\n", flags.Str("impl", "").c_str());
+    return 1;
+  }
+  const auto impl = model::ReadImplementation(parsed.spec, impl_in);
+  const auto violations = model::ValidateImplementation(parsed.spec, impl);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "implementation infeasible: %s\n",
+                 violations.front().c_str());
+    return 1;
+  }
+
+  const auto plans = dse::PlanSessions(parsed.spec, augmentation, impl);
+  if (plans.empty()) {
+    std::printf("no BIST program selected in this implementation\n");
+    return 0;
+  }
+  for (const auto& plan : plans) {
+    std::printf("%s", dse::FormatSessionPlan(parsed.spec, plan).c_str());
+  }
+  if (flags.Has("deadline")) {
+    const double deadline = flags.Real("deadline", 1000.0);
+    const auto report = dse::AnalyzePartialNetworking(
+        parsed.spec, augmentation, impl, {}, deadline);
+    std::printf("partial-networking deadline %.0f ms: %s (%zu violations)\n",
+                deadline,
+                report.AllDeadlinesMet() ? "MET" : "VIOLATED",
+                report.deadline_violations.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "explore") return RunExplore(flags);
+  if (command == "profiles") return RunProfiles(flags);
+  if (command == "diagnose") return RunDiagnose(flags);
+  if (command == "plan") return RunPlan(flags);
+  return Usage();
+}
