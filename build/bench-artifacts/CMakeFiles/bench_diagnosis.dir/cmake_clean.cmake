@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diagnosis"
+  "../bench/bench_diagnosis.pdb"
+  "CMakeFiles/bench_diagnosis.dir/bench_diagnosis.cpp.o"
+  "CMakeFiles/bench_diagnosis.dir/bench_diagnosis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

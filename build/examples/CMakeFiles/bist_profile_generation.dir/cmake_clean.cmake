@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_profile_generation.dir/bist_profile_generation.cpp.o"
+  "CMakeFiles/bist_profile_generation.dir/bist_profile_generation.cpp.o.d"
+  "bist_profile_generation"
+  "bist_profile_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_profile_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

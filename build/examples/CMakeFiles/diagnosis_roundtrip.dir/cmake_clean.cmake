@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnosis_roundtrip.dir/diagnosis_roundtrip.cpp.o"
+  "CMakeFiles/diagnosis_roundtrip.dir/diagnosis_roundtrip.cpp.o.d"
+  "diagnosis_roundtrip"
+  "diagnosis_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ee_architecture_dse.dir/ee_architecture_dse.cpp.o"
+  "CMakeFiles/ee_architecture_dse.dir/ee_architecture_dse.cpp.o.d"
+  "ee_architecture_dse"
+  "ee_architecture_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ee_architecture_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ee_architecture_dse.
+# This may be replaced when dependencies are built.

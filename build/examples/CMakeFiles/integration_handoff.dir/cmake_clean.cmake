@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_handoff.dir/integration_handoff.cpp.o"
+  "CMakeFiles/integration_handoff.dir/integration_handoff.cpp.o.d"
+  "integration_handoff"
+  "integration_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

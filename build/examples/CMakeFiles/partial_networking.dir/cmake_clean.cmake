@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_networking.dir/partial_networking.cpp.o"
+  "CMakeFiles/partial_networking.dir/partial_networking.cpp.o.d"
+  "partial_networking"
+  "partial_networking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

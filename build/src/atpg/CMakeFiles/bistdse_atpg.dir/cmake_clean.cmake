@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_atpg.dir/podem.cpp.o"
+  "CMakeFiles/bistdse_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/bistdse_atpg.dir/tpg.cpp.o"
+  "CMakeFiles/bistdse_atpg.dir/tpg.cpp.o.d"
+  "libbistdse_atpg.a"
+  "libbistdse_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

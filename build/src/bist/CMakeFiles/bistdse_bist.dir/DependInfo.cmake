@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/diagnosis.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/diagnosis.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/bist/diagnosis_eval.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/diagnosis_eval.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/diagnosis_eval.cpp.o.d"
+  "/root/repo/src/bist/fault_dictionary.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/fault_dictionary.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/fault_dictionary.cpp.o.d"
+  "/root/repo/src/bist/lfsr.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/lfsr.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/lfsr.cpp.o.d"
+  "/root/repo/src/bist/phase_shifter.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/phase_shifter.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/phase_shifter.cpp.o.d"
+  "/root/repo/src/bist/profile_generator.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/profile_generator.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/profile_generator.cpp.o.d"
+  "/root/repo/src/bist/reseeding.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/reseeding.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/reseeding.cpp.o.d"
+  "/root/repo/src/bist/scan_sim.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/scan_sim.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/scan_sim.cpp.o.d"
+  "/root/repo/src/bist/stumps.cpp" "src/bist/CMakeFiles/bistdse_bist.dir/stumps.cpp.o" "gcc" "src/bist/CMakeFiles/bistdse_bist.dir/stumps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

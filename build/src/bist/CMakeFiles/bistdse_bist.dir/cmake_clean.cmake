@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_bist.dir/diagnosis.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/diagnosis_eval.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/diagnosis_eval.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/fault_dictionary.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/fault_dictionary.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/lfsr.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/lfsr.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/phase_shifter.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/phase_shifter.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/profile_generator.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/profile_generator.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/reseeding.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/reseeding.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/scan_sim.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/scan_sim.cpp.o.d"
+  "CMakeFiles/bistdse_bist.dir/stumps.cpp.o"
+  "CMakeFiles/bistdse_bist.dir/stumps.cpp.o.d"
+  "libbistdse_bist.a"
+  "libbistdse_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

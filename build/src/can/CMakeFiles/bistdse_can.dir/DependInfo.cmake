@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/bus.cpp" "src/can/CMakeFiles/bistdse_can.dir/bus.cpp.o" "gcc" "src/can/CMakeFiles/bistdse_can.dir/bus.cpp.o.d"
+  "/root/repo/src/can/canfd.cpp" "src/can/CMakeFiles/bistdse_can.dir/canfd.cpp.o" "gcc" "src/can/CMakeFiles/bistdse_can.dir/canfd.cpp.o.d"
+  "/root/repo/src/can/mirroring.cpp" "src/can/CMakeFiles/bistdse_can.dir/mirroring.cpp.o" "gcc" "src/can/CMakeFiles/bistdse_can.dir/mirroring.cpp.o.d"
+  "/root/repo/src/can/simulator.cpp" "src/can/CMakeFiles/bistdse_can.dir/simulator.cpp.o" "gcc" "src/can/CMakeFiles/bistdse_can.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_can.dir/bus.cpp.o"
+  "CMakeFiles/bistdse_can.dir/bus.cpp.o.d"
+  "CMakeFiles/bistdse_can.dir/canfd.cpp.o"
+  "CMakeFiles/bistdse_can.dir/canfd.cpp.o.d"
+  "CMakeFiles/bistdse_can.dir/mirroring.cpp.o"
+  "CMakeFiles/bistdse_can.dir/mirroring.cpp.o.d"
+  "CMakeFiles/bistdse_can.dir/simulator.cpp.o"
+  "CMakeFiles/bistdse_can.dir/simulator.cpp.o.d"
+  "libbistdse_can.a"
+  "libbistdse_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

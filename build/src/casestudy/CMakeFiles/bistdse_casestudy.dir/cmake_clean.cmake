@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_casestudy.dir/casestudy.cpp.o"
+  "CMakeFiles/bistdse_casestudy.dir/casestudy.cpp.o.d"
+  "libbistdse_casestudy.a"
+  "libbistdse_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/bus_load.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/bus_load.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/bus_load.cpp.o.d"
+  "/root/repo/src/dse/decoder.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/decoder.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/decoder.cpp.o.d"
+  "/root/repo/src/dse/encoding.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/encoding.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/encoding.cpp.o.d"
+  "/root/repo/src/dse/exploration.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/exploration.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/exploration.cpp.o.d"
+  "/root/repo/src/dse/objectives.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/objectives.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/objectives.cpp.o.d"
+  "/root/repo/src/dse/parallel.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/parallel.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/parallel.cpp.o.d"
+  "/root/repo/src/dse/partial_networking.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/partial_networking.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/partial_networking.cpp.o.d"
+  "/root/repo/src/dse/refine.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/refine.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/refine.cpp.o.d"
+  "/root/repo/src/dse/report.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/report.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/report.cpp.o.d"
+  "/root/repo/src/dse/routing_encoding.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/routing_encoding.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/routing_encoding.cpp.o.d"
+  "/root/repo/src/dse/session_plan.cpp" "src/dse/CMakeFiles/bistdse_dse.dir/session_plan.cpp.o" "gcc" "src/dse/CMakeFiles/bistdse_dse.dir/session_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/bistdse_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bistdse_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/moea/CMakeFiles/bistdse_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/bistdse_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/bistdse_can.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

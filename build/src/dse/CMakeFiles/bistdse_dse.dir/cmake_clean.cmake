@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_dse.dir/bus_load.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/bus_load.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/decoder.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/decoder.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/encoding.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/encoding.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/exploration.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/exploration.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/objectives.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/objectives.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/parallel.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/parallel.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/partial_networking.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/partial_networking.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/refine.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/refine.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/report.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/report.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/routing_encoding.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/routing_encoding.cpp.o.d"
+  "CMakeFiles/bistdse_dse.dir/session_plan.cpp.o"
+  "CMakeFiles/bistdse_dse.dir/session_plan.cpp.o.d"
+  "libbistdse_dse.a"
+  "libbistdse_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

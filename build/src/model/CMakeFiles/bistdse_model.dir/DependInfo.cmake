@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/application.cpp" "src/model/CMakeFiles/bistdse_model.dir/application.cpp.o" "gcc" "src/model/CMakeFiles/bistdse_model.dir/application.cpp.o.d"
+  "/root/repo/src/model/architecture.cpp" "src/model/CMakeFiles/bistdse_model.dir/architecture.cpp.o" "gcc" "src/model/CMakeFiles/bistdse_model.dir/architecture.cpp.o.d"
+  "/root/repo/src/model/implementation.cpp" "src/model/CMakeFiles/bistdse_model.dir/implementation.cpp.o" "gcc" "src/model/CMakeFiles/bistdse_model.dir/implementation.cpp.o.d"
+  "/root/repo/src/model/spec_io.cpp" "src/model/CMakeFiles/bistdse_model.dir/spec_io.cpp.o" "gcc" "src/model/CMakeFiles/bistdse_model.dir/spec_io.cpp.o.d"
+  "/root/repo/src/model/specification.cpp" "src/model/CMakeFiles/bistdse_model.dir/specification.cpp.o" "gcc" "src/model/CMakeFiles/bistdse_model.dir/specification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bist/CMakeFiles/bistdse_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/bistdse_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_model.dir/application.cpp.o"
+  "CMakeFiles/bistdse_model.dir/application.cpp.o.d"
+  "CMakeFiles/bistdse_model.dir/architecture.cpp.o"
+  "CMakeFiles/bistdse_model.dir/architecture.cpp.o.d"
+  "CMakeFiles/bistdse_model.dir/implementation.cpp.o"
+  "CMakeFiles/bistdse_model.dir/implementation.cpp.o.d"
+  "CMakeFiles/bistdse_model.dir/spec_io.cpp.o"
+  "CMakeFiles/bistdse_model.dir/spec_io.cpp.o.d"
+  "CMakeFiles/bistdse_model.dir/specification.cpp.o"
+  "CMakeFiles/bistdse_model.dir/specification.cpp.o.d"
+  "libbistdse_model.a"
+  "libbistdse_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moea/archive.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/archive.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/archive.cpp.o.d"
+  "/root/repo/src/moea/dominance.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/dominance.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/dominance.cpp.o.d"
+  "/root/repo/src/moea/epsilon_archive.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/epsilon_archive.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/epsilon_archive.cpp.o.d"
+  "/root/repo/src/moea/genotype.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/genotype.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/genotype.cpp.o.d"
+  "/root/repo/src/moea/indicators.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/indicators.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/indicators.cpp.o.d"
+  "/root/repo/src/moea/nsga2.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/nsga2.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/nsga2.cpp.o.d"
+  "/root/repo/src/moea/spea2.cpp" "src/moea/CMakeFiles/bistdse_moea.dir/spea2.cpp.o" "gcc" "src/moea/CMakeFiles/bistdse_moea.dir/spea2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_moea.dir/archive.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/archive.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/dominance.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/dominance.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/epsilon_archive.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/epsilon_archive.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/genotype.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/genotype.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/indicators.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/indicators.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/nsga2.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/nsga2.cpp.o.d"
+  "CMakeFiles/bistdse_moea.dir/spea2.cpp.o"
+  "CMakeFiles/bistdse_moea.dir/spea2.cpp.o.d"
+  "libbistdse_moea.a"
+  "libbistdse_moea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_moea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

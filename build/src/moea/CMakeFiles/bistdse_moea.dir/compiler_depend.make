@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bistdse_moea.
+# This may be replaced when dependencies are built.

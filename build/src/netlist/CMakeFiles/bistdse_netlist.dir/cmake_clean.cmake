@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/bistdse_netlist.dir/library.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/bistdse_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/bistdse_netlist.dir/random_circuit.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/random_circuit.cpp.o.d"
+  "CMakeFiles/bistdse_netlist.dir/stats.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/bistdse_netlist.dir/subcircuit.cpp.o"
+  "CMakeFiles/bistdse_netlist.dir/subcircuit.cpp.o.d"
+  "libbistdse_netlist.a"
+  "libbistdse_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_sat.dir/solver.cpp.o"
+  "CMakeFiles/bistdse_sat.dir/solver.cpp.o.d"
+  "libbistdse_sat.a"
+  "libbistdse_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_sim.dir/fault.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/bistdse_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/bistdse_sim.dir/transition_fault.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/transition_fault.cpp.o.d"
+  "libbistdse_sim.a"
+  "libbistdse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

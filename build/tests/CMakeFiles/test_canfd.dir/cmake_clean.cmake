@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canfd.dir/test_canfd.cpp.o"
+  "CMakeFiles/test_canfd.dir/test_canfd.cpp.o.d"
+  "test_canfd"
+  "test_canfd.pdb"
+  "test_canfd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

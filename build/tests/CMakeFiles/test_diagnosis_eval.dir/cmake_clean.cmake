@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnosis_eval.dir/test_diagnosis_eval.cpp.o"
+  "CMakeFiles/test_diagnosis_eval.dir/test_diagnosis_eval.cpp.o.d"
+  "test_diagnosis_eval"
+  "test_diagnosis_eval.pdb"
+  "test_diagnosis_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnosis_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_extensions.dir/test_dse_extensions.cpp.o"
+  "CMakeFiles/test_dse_extensions.dir/test_dse_extensions.cpp.o.d"
+  "test_dse_extensions"
+  "test_dse_extensions.pdb"
+  "test_dse_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_model.dir/test_dual_model.cpp.o"
+  "CMakeFiles/test_dual_model.dir/test_dual_model.cpp.o.d"
+  "test_dual_model"
+  "test_dual_model.pdb"
+  "test_dual_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

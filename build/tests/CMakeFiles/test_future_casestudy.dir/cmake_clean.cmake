@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future_casestudy.dir/test_future_casestudy.cpp.o"
+  "CMakeFiles/test_future_casestudy.dir/test_future_casestudy.cpp.o.d"
+  "test_future_casestudy"
+  "test_future_casestudy.pdb"
+  "test_future_casestudy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

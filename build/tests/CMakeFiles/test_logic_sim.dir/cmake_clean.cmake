@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic_sim.dir/test_logic_sim.cpp.o"
+  "CMakeFiles/test_logic_sim.dir/test_logic_sim.cpp.o.d"
+  "test_logic_sim"
+  "test_logic_sim.pdb"
+  "test_logic_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moea.dir/test_moea.cpp.o"
+  "CMakeFiles/test_moea.dir/test_moea.cpp.o.d"
+  "test_moea"
+  "test_moea.pdb"
+  "test_moea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_stats.dir/test_netlist_stats.cpp.o"
+  "CMakeFiles/test_netlist_stats.dir/test_netlist_stats.cpp.o.d"
+  "test_netlist_stats"
+  "test_netlist_stats.pdb"
+  "test_netlist_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_new_helpers.dir/test_new_helpers.cpp.o"
+  "CMakeFiles/test_new_helpers.dir/test_new_helpers.cpp.o.d"
+  "test_new_helpers"
+  "test_new_helpers.pdb"
+  "test_new_helpers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_new_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

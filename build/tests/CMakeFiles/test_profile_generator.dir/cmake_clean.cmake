@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_generator.dir/test_profile_generator.cpp.o"
+  "CMakeFiles/test_profile_generator.dir/test_profile_generator.cpp.o.d"
+  "test_profile_generator"
+  "test_profile_generator.pdb"
+  "test_profile_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

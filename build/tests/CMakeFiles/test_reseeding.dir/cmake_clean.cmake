@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reseeding.dir/test_reseeding.cpp.o"
+  "CMakeFiles/test_reseeding.dir/test_reseeding.cpp.o.d"
+  "test_reseeding"
+  "test_reseeding.pdb"
+  "test_reseeding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reseeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

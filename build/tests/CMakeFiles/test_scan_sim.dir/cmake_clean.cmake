@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan_sim.dir/test_scan_sim.cpp.o"
+  "CMakeFiles/test_scan_sim.dir/test_scan_sim.cpp.o.d"
+  "test_scan_sim"
+  "test_scan_sim.pdb"
+  "test_scan_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_plan.dir/test_session_plan.cpp.o"
+  "CMakeFiles/test_session_plan.dir/test_session_plan.cpp.o.d"
+  "test_session_plan"
+  "test_session_plan.pdb"
+  "test_session_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_io.dir/test_spec_io.cpp.o"
+  "CMakeFiles/test_spec_io.dir/test_spec_io.cpp.o.d"
+  "test_spec_io"
+  "test_spec_io.pdb"
+  "test_spec_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

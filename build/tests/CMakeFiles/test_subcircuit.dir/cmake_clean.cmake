@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subcircuit.dir/test_subcircuit.cpp.o"
+  "CMakeFiles/test_subcircuit.dir/test_subcircuit.cpp.o.d"
+  "test_subcircuit"
+  "test_subcircuit.pdb"
+  "test_subcircuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subcircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

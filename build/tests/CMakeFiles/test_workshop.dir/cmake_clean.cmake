@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workshop.dir/test_workshop.cpp.o"
+  "CMakeFiles/test_workshop.dir/test_workshop.cpp.o.d"
+  "test_workshop"
+  "test_workshop.pdb"
+  "test_workshop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workshop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

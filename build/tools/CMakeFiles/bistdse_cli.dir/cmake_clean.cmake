@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_cli.dir/bistdse_cli.cpp.o"
+  "CMakeFiles/bistdse_cli.dir/bistdse_cli.cpp.o.d"
+  "bistdse_cli"
+  "bistdse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

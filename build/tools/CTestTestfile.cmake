@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_explore "/root/repo/build/tools/bistdse_cli" "explore" "--evals" "300" "--pop" "16" "--report" "1" "--deadline" "100000" "--plan" "--islands" "2")
+set_tests_properties(cli_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore_spec "/root/repo/build/tools/bistdse_cli" "explore" "--spec" "/root/repo/examples/specs/tiny_subnet.spec" "--evals" "200" "--pop" "12" "--csv" "/root/repo/build/cli_front.csv")
+set_tests_properties(cli_explore_spec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profiles "/root/repo/build/tools/bistdse_cli" "profiles" "--prps" "128,512" "--seed" "2")
+set_tests_properties(cli_profiles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose "/root/repo/build/tools/bistdse_cli" "diagnose" "--patterns" "96" "--samples" "4")
+set_tests_properties(cli_diagnose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/bistdse_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore_dual_gen "/root/repo/build/tools/bistdse_cli" "explore" "--spec" "/root/repo/examples/specs/dual_generation.spec" "--evals" "300" "--pop" "12" "--report" "1")
+set_tests_properties(cli_explore_dual_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_roundtrip "sh" "-c" "cd /root/repo/build && /root/repo/build/examples/integration_handoff /root/repo/examples/specs/tiny_subnet.spec > /dev/null && /root/repo/build/tools/bistdse_cli plan --spec /root/repo/examples/specs/tiny_subnet.spec --impl chosen.impl")
+set_tests_properties(cli_plan_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
