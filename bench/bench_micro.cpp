@@ -11,8 +11,10 @@
 #include "dse/objectives.hpp"
 #include "netlist/random_circuit.hpp"
 #include "bist/fault_dictionary.hpp"
+#include "bist/profile_generator.hpp"
 #include "bist/scan_sim.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
 #include "sim/transition_fault.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +63,76 @@ void BM_FaultSimBlock(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FaultSimBlock);
+
+const std::vector<sim::BitPattern>& BenchPatterns() {
+  static const std::vector<sim::BitPattern> patterns = [] {
+    util::SplitMix64 rng(9);
+    const std::size_t width = Cut().CoreInputs().size();
+    std::vector<sim::BitPattern> out(512);
+    for (auto& p : out) {
+      p.resize(width);
+      for (auto& b : p) b = rng.Chance(0.5);
+    }
+    return out;
+  }();
+  return patterns;
+}
+
+// Serial baseline for the fault-simulation speedup trajectory: full
+// drop-list sweep of every collapsed fault over 512 patterns.
+void BM_CountDetectedFaults(benchmark::State& state) {
+  const auto& cut = Cut();
+  const auto faults = sim::CollapsedFaults(cut);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::CountDetectedFaults(cut, BenchPatterns(), faults));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_CountDetectedFaults)->Unit(benchmark::kMillisecond);
+
+// Fault-partitioned parallel sweep; Arg = thread count. Results are
+// bit-identical to the serial baseline for every arg.
+void BM_ParallelCountDetectedFaults(benchmark::State& state) {
+  const auto& cut = Cut();
+  const auto faults = sim::CollapsedFaults(cut);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::ParallelCountDetectedFaults(cut, BenchPatterns(), faults, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelCountDetectedFaults)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Random phase of the profile generator (coverage target 0 skips the PODEM
+// top-up); Arg = thread count, Arg 1 being the serial baseline.
+void BM_ProfileRandomPhase(benchmark::State& state) {
+  const auto& cut = Cut();
+  bist::ProfileGeneratorConfig config;
+  config.stumps = casestudy::PaperStumpsConfig();
+  config.prp_counts = {4096};
+  config.coverage_targets_percent = {0.0};
+  config.fill_seeds = {11};
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bist::ProfileGenerator generator(cut, config);
+    benchmark::DoNotOptimize(generator.GenerateAll());
+  }
+  state.counters["threads"] = static_cast<double>(config.threads);
+}
+BENCHMARK(BM_ProfileRandomPhase)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PodemEasyFault(benchmark::State& state) {
   const auto& cut = Cut();

@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sat/CMakeFiles/bistdse_sat.dir/DependInfo.cmake"
   "/root/repo/build/src/moea/CMakeFiles/bistdse_moea.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bistdse_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/model/CMakeFiles/bistdse_model.dir/DependInfo.cmake"
   "/root/repo/build/src/sat/CMakeFiles/bistdse_sat.dir/DependInfo.cmake"
   "/root/repo/build/src/moea/CMakeFiles/bistdse_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bistdse_util.dir/DependInfo.cmake"
   "/root/repo/build/src/bist/CMakeFiles/bistdse_bist.dir/DependInfo.cmake"
   "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/fault_sim.cpp.o.d"
   "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/parallel_fault_sim.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/parallel_fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/parallel_fault_sim.cpp.o.d"
   "/root/repo/src/sim/pattern_io.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o.d"
   "/root/repo/src/sim/transition_fault.cpp" "src/sim/CMakeFiles/bistdse_sim.dir/transition_fault.cpp.o" "gcc" "src/sim/CMakeFiles/bistdse_sim.dir/transition_fault.cpp.o.d"
   )
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bistdse_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

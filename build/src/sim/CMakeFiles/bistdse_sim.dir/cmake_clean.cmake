@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bistdse_sim.dir/fault_sim.cpp.o.d"
   "CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o"
   "CMakeFiles/bistdse_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/bistdse_sim.dir/parallel_fault_sim.cpp.o"
+  "CMakeFiles/bistdse_sim.dir/parallel_fault_sim.cpp.o.d"
   "CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o"
   "CMakeFiles/bistdse_sim.dir/pattern_io.cpp.o.d"
   "CMakeFiles/bistdse_sim.dir/transition_fault.cpp.o"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistdse_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bistdse_util.dir/thread_pool.cpp.o.d"
+  "libbistdse_util.a"
+  "libbistdse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistdse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

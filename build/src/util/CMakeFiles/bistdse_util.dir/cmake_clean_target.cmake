@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbistdse_util.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_sim.cpp" "tests/CMakeFiles/test_parallel_sim.dir/test_parallel_sim.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_sim.dir/test_parallel_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bist/CMakeFiles/bistdse_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bistdse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

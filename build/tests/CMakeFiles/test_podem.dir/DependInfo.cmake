@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/atpg/CMakeFiles/bistdse_atpg.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bistdse_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/netlist/CMakeFiles/bistdse_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bistdse_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,6 +1,21 @@
 #include "bist/diagnosis_eval.hpp"
 
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
 namespace bistdse::bist {
+
+namespace {
+
+struct SampleOutcome {
+  bool escaped = false;
+  bool top1 = false;
+  bool topk = false;
+  std::size_t rank = 0;
+};
+
+}  // namespace
 
 DiagnosisAccuracy EvaluateDiagnosisAccuracy(
     const netlist::Netlist& netlist, const StumpsConfig& config,
@@ -9,39 +24,65 @@ DiagnosisAccuracy EvaluateDiagnosisAccuracy(
   accuracy.k = options.top_k;
 
   const auto faults = sim::CollapsedFaults(netlist);
-  StumpsSession session(netlist, config);
-  SignatureDiagnosis diagnosis(netlist, config, options.num_random_patterns,
-                               {});
-
-  double rank_sum = 0.0;
-  std::size_t sampled = 0;
-  for (std::size_t fi = 0; fi < faults.size() && sampled < options.max_samples;
+  std::vector<std::size_t> samples;
+  for (std::size_t fi = 0;
+       fi < faults.size() && samples.size() < options.max_samples;
        fi += options.sample_stride) {
-    ++sampled;
-    const auto result =
-        session.Run(options.num_random_patterns, {}, faults[fi]);
-    if (result.fail_data.empty()) {
+    samples.push_back(fi);
+  }
+
+  // Every sample is an independent inject -> session -> diagnose run; chunks
+  // carry their own session/diagnosis engines (their golden caches are not
+  // shareable across threads) and write one outcome slot per sample.
+  std::vector<SampleOutcome> outcomes(samples.size());
+  auto& pool = util::ThreadPool::Global();
+  const std::size_t chunks =
+      std::min(samples.empty() ? std::size_t{1} : samples.size(),
+               options.threads ? options.threads : pool.WorkerCount() + 1);
+  pool.ParallelFor(
+      0, samples.size(), chunks,
+      [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
+        StumpsSession session(netlist, config);
+        SignatureDiagnosis diagnosis(netlist, config,
+                                     options.num_random_patterns, {});
+        for (std::size_t s = begin; s < end; ++s) {
+          SampleOutcome& outcome = outcomes[s];
+          const auto result =
+              session.Run(options.num_random_patterns, {}, faults[samples[s]]);
+          if (result.fail_data.empty()) {
+            outcome.escaped = true;
+            continue;
+          }
+          // Rank against the full candidate universe.
+          const auto ranked =
+              diagnosis.Diagnose(result.fail_data, faults, faults.size());
+          std::size_t rank = ranked.size();
+          for (std::size_t r = 0; r < ranked.size(); ++r) {
+            if (ranked[r].fault == faults[samples[s]]) {
+              rank = r + 1;
+              break;
+            }
+          }
+          outcome.rank = rank;
+          outcome.top1 =
+              rank == 1 ||
+              (ranked.size() > 1 && rank <= ranked.size() &&
+               ranked[0].score == ranked[rank - 1].score);
+          outcome.topk = rank <= options.top_k;
+        }
+      });
+
+  // Serial reduction in sample order — identical to the serial loop.
+  double rank_sum = 0.0;
+  for (const SampleOutcome& outcome : outcomes) {
+    if (outcome.escaped) {
       ++accuracy.escaped;
       continue;
     }
     ++accuracy.injected;
-    // Rank against the full candidate universe.
-    const auto ranked =
-        diagnosis.Diagnose(result.fail_data, faults, faults.size());
-    std::size_t rank = ranked.size();
-    for (std::size_t r = 0; r < ranked.size(); ++r) {
-      if (ranked[r].fault == faults[fi]) {
-        rank = r + 1;
-        break;
-      }
-    }
-    rank_sum += static_cast<double>(rank);
-    if (rank == 1 ||
-        (ranked.size() > 1 && rank <= ranked.size() &&
-         ranked[0].score == ranked[rank - 1].score)) {
-      ++accuracy.top1;  // first or tied with the first
-    }
-    if (rank <= options.top_k) ++accuracy.topk;
+    rank_sum += static_cast<double>(outcome.rank);
+    if (outcome.top1) ++accuracy.top1;
+    if (outcome.topk) ++accuracy.topk;
   }
   accuracy.mean_rank =
       accuracy.injected ? rank_sum / static_cast<double>(accuracy.injected)

@@ -33,6 +33,10 @@ struct DiagnosisEvalOptions {
   std::size_t sample_stride = 37;  ///< Every stride-th collapsed fault.
   std::size_t top_k = 5;
   std::size_t max_samples = 200;
+  /// Samples are independent inject->session->diagnose runs; they fan out
+  /// over this many workers (1 = serial, 0 = full pool width) with results
+  /// reduced in sample order, so the accuracy report is bit-identical.
+  std::size_t threads = 0;
 };
 
 /// Runs the inject -> session -> diagnose loop over a sample of the

@@ -7,18 +7,21 @@
 #include "bist/misr.hpp"
 #include "bist/pattern_source.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
 
 namespace bistdse::bist {
 
 using sim::BitPattern;
 using sim::FaultSimulator;
+using sim::ParallelFaultSimulator;
 using sim::PatternWord;
 
 FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
                                  const StumpsConfig& config,
                                  std::uint64_t num_random,
                                  std::span<const EncodedPattern> deterministic,
-                                 std::vector<sim::StuckAtFault> faults)
+                                 std::vector<sim::StuckAtFault> faults,
+                                 std::size_t threads)
     : faults_(std::move(faults)) {
   if (!config.reset_misr_per_window) {
     throw std::invalid_argument(
@@ -47,7 +50,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     return expander.Expand(deterministic[det_next++]);
   };
 
-  FaultSimulator fsim(netlist);
+  ParallelFaultSimulator fsim(netlist, threads);
   for (std::uint32_t w = 0; w < window_count_; ++w) {
     const std::uint64_t remaining = total - static_cast<std::uint64_t>(w) * window;
     const std::size_t in_window =
@@ -57,7 +60,9 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     for (std::size_t i = 0; i < in_window; ++i) patterns.push_back(next_pattern());
 
     // Pass 1: detection words per block (cheap fault propagation) identify
-    // the faults whose signature can differ in this window at all.
+    // the faults whose signature can differ in this window at all. Each
+    // fault index is owned by one chunk, so the parallel sweep writes
+    // is_active without contention and `active` keeps its serial order.
     const std::size_t num_blocks = (in_window + 63) / 64;
     std::vector<std::size_t> active;  // fault indices detected in this window
     {
@@ -67,11 +72,13 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
         const std::size_t count = std::min<std::size_t>(64, in_window - base);
         fsim.SetPatternBlock(sim::PackPatternBlock(patterns, base, count, width));
         const PatternWord mask = sim::BlockMask(count);
-        for (std::size_t f = 0; f < faults_.size(); ++f) {
-          if (!is_active[f] && (fsim.DetectWord(faults_[f]) & mask) != 0) {
-            is_active[f] = 1;
-          }
-        }
+        fsim.ForEachFault(faults_.size(),
+                          [&](std::size_t f, FaultSimulator& sim) {
+                            if (!is_active[f] &&
+                                (sim.DetectWord(faults_[f]) & mask) != 0) {
+                              is_active[f] = 1;
+                            }
+                          });
       }
       for (std::size_t f = 0; f < faults_.size(); ++f) {
         if (is_active[f]) active.push_back(f);
@@ -94,14 +101,17 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
           golden_misr.AbsorbBit((good[j] >> k) & 1);
         }
       }
-      for (std::size_t a = 0; a < active.size(); ++a) {
-        const auto response = fsim.FaultyResponse(faults_[active[a]]);
-        for (std::size_t k = 0; k < count; ++k) {
-          for (std::size_t j = 0; j < num_outputs; ++j) {
-            fault_misrs[a].AbsorbBit((response[j] >> k) & 1);
-          }
-        }
-      }
+      // Each active fault's MISR is advanced by its owning chunk only; the
+      // block loop stays serial, so absorb order per fault is unchanged.
+      fsim.ForEachFault(
+          active.size(), [&](std::size_t a, FaultSimulator& sim) {
+            const auto response = sim.FaultyResponse(faults_[active[a]]);
+            for (std::size_t k = 0; k < count; ++k) {
+              for (std::size_t j = 0; j < num_outputs; ++j) {
+                fault_misrs[a].AbsorbBit((response[j] >> k) & 1);
+              }
+            }
+          });
     }
 
     const std::uint64_t golden_signature = golden_misr.Signature();

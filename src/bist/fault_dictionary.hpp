@@ -18,10 +18,14 @@ class FaultDictionary {
  public:
   /// Builds the dictionary for the given session (pattern stream defined by
   /// `config`, `num_random`, `deterministic`) over the candidate `faults`.
+  /// The build fault-simulates in parallel over `threads` workers (1 =
+  /// serial, 0 = full pool width); the dictionary is bit-identical for
+  /// every value.
   FaultDictionary(const netlist::Netlist& netlist, const StumpsConfig& config,
                   std::uint64_t num_random,
                   std::span<const EncodedPattern> deterministic,
-                  std::vector<sim::StuckAtFault> faults);
+                  std::vector<sim::StuckAtFault> faults,
+                  std::size_t threads = 0);
 
   std::size_t FaultCount() const { return faults_.size(); }
   std::uint32_t WindowCount() const { return window_count_; }

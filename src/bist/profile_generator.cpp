@@ -1,12 +1,13 @@
-#include <bit>
 #include "bist/profile_generator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <stdexcept>
 
 #include "bist/pattern_source.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
 #include "sim/pattern_set.hpp"
 #include "sim/transition_fault.hpp"
 
@@ -16,7 +17,7 @@ using atpg::DeterministicTpgOptions;
 using atpg::GenerateDeterministicPatterns;
 using netlist::Netlist;
 using sim::BitPattern;
-using sim::FaultSimulator;
+using sim::ParallelFaultSimulator;
 using sim::PatternWord;
 using sim::StuckAtFault;
 
@@ -85,7 +86,7 @@ void ProfileGenerator::RunRandomPhase() {
   const std::uint64_t max_prps = config_.prp_counts.back();
   const std::size_t width = netlist_.CoreInputs().size();
 
-  FaultSimulator fsim(netlist_);
+  ParallelFaultSimulator fsim(netlist_, config_.threads);
   PatternSource prpg(config_.stumps, width);
 
   first_detect_.assign(faults_.size(), UINT64_MAX);
@@ -94,6 +95,7 @@ void ProfileGenerator::RunRandomPhase() {
 
   std::vector<BitPattern> block;
   block.reserve(64);
+  std::vector<PatternWord> detect;
   std::uint64_t base = 0;
   while (base < max_prps && !remaining.empty()) {
     block.clear();
@@ -104,13 +106,23 @@ void ProfileGenerator::RunRandomPhase() {
     fsim.SetPatternBlock(words);
     const PatternWord mask = sim::BlockMask(count);
 
+    // Fault-partitioned sweep: detection of each surviving fault only reads
+    // the shared good-machine block, so the loop fans out across the pool.
+    detect.assign(remaining.size(), 0);
+    fsim.ForEachFault(remaining.size(),
+                      [&](std::size_t i, sim::FaultSimulator& sim) {
+                        detect[i] = sim.DetectWord(faults_[remaining[i]]) & mask;
+                      });
+
+    // Serial merge in fault order keeps first_detect_ and the drop list
+    // bit-identical to the serial sweep for any thread count.
     std::vector<std::size_t> still;
     still.reserve(remaining.size());
-    for (std::size_t idx : remaining) {
-      const PatternWord det = fsim.DetectWord(faults_[idx]) & mask;
-      if (det != 0) {
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const std::size_t idx = remaining[i];
+      if (detect[i] != 0) {
         first_detect_[idx] =
-            base + static_cast<std::uint64_t>(std::countr_zero(det));
+            base + static_cast<std::uint64_t>(std::countr_zero(detect[i]));
       } else {
         still.push_back(idx);
       }
@@ -124,31 +136,56 @@ void ProfileGenerator::RunRandomPhase() {
   random_phase_done_ = true;
 }
 
+void ProfileGenerator::SurvivorsAt(std::uint64_t prps,
+                                   std::vector<StuckAtFault>* undetected,
+                                   std::size_t* random_detected) const {
+  undetected->clear();
+  *random_detected = 0;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (first_detect_[i] < prps) {
+      ++*random_detected;
+    } else {
+      undetected->push_back(faults_[i]);
+    }
+  }
+}
+
 GeneratedProfile ProfileGenerator::GenerateOne(std::uint64_t prps,
                                                double target_percent,
                                                std::uint64_t fill_seed) {
-  ProfileGeneratorConfig config = config_;
-  config.prp_counts = {prps};
-  config.coverage_targets_percent = {target_percent};
-  config.fill_seeds = {fill_seed};
-  ProfileGenerator generator(netlist_, config);
-  // Reuse the random phase by regenerating (cheap relative to TPG) and
-  // capture the encoded patterns of the single generated profile.
-  generator.keep_encoded_ = true;
-  auto profiles = generator.GenerateAll();
+  if (prps > config_.prp_counts.back()) {
+    // The cached random phase stops at the configured maximum; a longer
+    // session needs a fresh phase over the longer PRPG stream.
+    ProfileGeneratorConfig config = config_;
+    config.prp_counts = {prps};
+    config.coverage_targets_percent = {target_percent};
+    config.fill_seeds = {fill_seed};
+    ProfileGenerator generator(netlist_, config);
+    return generator.GenerateOne(prps, target_percent, fill_seed);
+  }
+
+  RunRandomPhase();
+  std::vector<StuckAtFault> undetected;
+  std::size_t random_detected = 0;
+  SurvivorsAt(prps, &undetected, &random_detected);
+
+  const std::size_t width = netlist_.CoreInputs().size();
+  ReseedingEncoder encoder(static_cast<std::uint32_t>(width));
+  ParallelFaultSimulator fsim(netlist_, config_.threads);
+
   GeneratedProfile out;
-  out.profile = profiles.front();
-  out.encoded_patterns = std::move(generator.kept_encoded_);
+  out.profile =
+      GenerateVariant(prps, target_percent, fill_seed, 1, undetected,
+                      random_detected, fsim, encoder, &out.encoded_patterns);
   return out;
 }
 
 std::vector<BistProfile> ProfileGenerator::GenerateAll() {
   RunRandomPhase();
 
-  const std::size_t total = faults_.size();
   const std::size_t width = netlist_.CoreInputs().size();
   ReseedingEncoder encoder(static_cast<std::uint32_t>(width));
-  FaultSimulator fsim(netlist_);
+  ParallelFaultSimulator fsim(netlist_, config_.threads);
 
   std::vector<BistProfile> profiles;
   std::uint32_t number = 1;
@@ -157,109 +194,120 @@ std::vector<BistProfile> ProfileGenerator::GenerateAll() {
     // Faults surviving the random phase of length `prps`.
     std::vector<StuckAtFault> undetected;
     std::size_t random_detected = 0;
-    for (std::size_t i = 0; i < total; ++i) {
-      if (first_detect_[i] < prps) {
-        ++random_detected;
-      } else {
-        undetected.push_back(faults_[i]);
-      }
-    }
+    SurvivorsAt(prps, &undetected, &random_detected);
 
     for (std::size_t v = 0; v < config_.coverage_targets_percent.size(); ++v) {
-      const double target = config_.coverage_targets_percent[v];
-
-      DeterministicTpgOptions opts;
-      opts.seed = config_.fill_seeds[v] * 1000003 + prps;
-      opts.backtrack_limit = config_.podem_backtrack_limit;
-      opts.reverse_compaction = true;
-      auto tpg = GenerateDeterministicPatterns(netlist_, undetected, opts);
-      stats_.untestable = std::max(stats_.untestable, tpg.untestable);
-      stats_.aborted = std::max(stats_.aborted, tpg.aborted);
-
-      // Order of `tpg.patterns` is generation order; walk it with fault
-      // dropping to find the shortest prefix reaching the target coverage.
-      std::vector<StuckAtFault> rem = undetected;
-      std::size_t covered = random_detected;
-      std::size_t prefix = 0;
-      std::vector<std::size_t> gain_per_pattern(tpg.patterns.size(), 0);
-      const bool already_met =
-          100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
-          target;
-      for (std::size_t p = 0; !already_met && p < tpg.patterns.size(); ++p) {
-        std::vector<PatternWord> words(width);
-        for (std::size_t k = 0; k < width; ++k)
-          words[k] = tpg.patterns[p][k] ? ~PatternWord{0} : PatternWord{0};
-        fsim.SetPatternBlock(words);
-        std::vector<StuckAtFault> still;
-        still.reserve(rem.size());
-        for (const StuckAtFault& f : rem) {
-          if (fsim.DetectWord(f) != 0) {
-            ++gain_per_pattern[p];
-          } else {
-            still.push_back(f);
-          }
-        }
-        covered += gain_per_pattern[p];
-        rem = std::move(still);
-        prefix = p + 1;
-        if (100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
-            target) {
-          break;
-        }
-      }
-
-      // Recompute achieved coverage for the chosen prefix.
-      std::size_t achieved = random_detected;
-      for (std::size_t p = 0; p < prefix; ++p) achieved += gain_per_pattern[p];
-
-      BistProfile prof;
-      prof.profile_number = number++;
-      prof.num_random_patterns = prps;
-      prof.num_deterministic_patterns = prefix;
-      prof.fault_coverage_percent =
-          100.0 * static_cast<double>(achieved) / static_cast<double>(total);
-      prof.runtime_ms =
-          config_.stumps.PatternTimeMs(prps + prefix) + config_.state_restore_ms;
-
-      std::uint64_t encoded_bytes = 0;
-      std::uint64_t care = 0;
-      for (std::size_t p = 0; p < prefix; ++p) {
-        care += tpg.cubes[p].CareBitCount();
-        if (auto enc = encoder.Encode(tpg.cubes[p])) {
-          encoded_bytes += enc->StorageBytes();
-          if (keep_encoded_) kept_encoded_.push_back(std::move(*enc));
-        } else {
-          // Unencodable cube (practically unreachable): store it verbatim.
-          encoded_bytes += (width + 7) / 8;
-        }
-      }
-      prof.care_bits = care;
-      if (config_.measure_transition_coverage) {
-        // Assemble the session's applied patterns (random prefix capped,
-        // then the deterministic top-up) and measure LOC TDF coverage.
-        std::vector<BitPattern> applied;
-        const std::uint64_t random_take =
-            std::min<std::uint64_t>(prps, config_.transition_pairs_cap);
-        PatternSource source(config_.stumps, width);
-        for (std::uint64_t i = 0; i < random_take; ++i) {
-          applied.push_back(source.Next());
-        }
-        for (std::size_t p = 0; p < prefix; ++p) {
-          applied.push_back(tpg.patterns[p]);
-        }
-        prof.transition_coverage_percent =
-            100.0 * sim::MeasureLocTransitionCoverage(netlist_, applied);
-      }
-      const std::uint64_t response_bytes =
-          StumpsSession(netlist_, config_.stumps)
-              .ResponseDataBytes(prps + prefix);
-      prof.data_bytes = static_cast<std::uint64_t>(
-          static_cast<double>(encoded_bytes + response_bytes) *
-          config_.byte_scale);
-      profiles.push_back(prof);
+      profiles.push_back(GenerateVariant(
+          prps, config_.coverage_targets_percent[v], config_.fill_seeds[v],
+          number++, undetected, random_detected, fsim, encoder, nullptr));
     }
   }
   return profiles;
+}
+
+BistProfile ProfileGenerator::GenerateVariant(
+    std::uint64_t prps, double target_percent, std::uint64_t fill_seed,
+    std::uint32_t number, const std::vector<StuckAtFault>& undetected,
+    std::size_t random_detected, ParallelFaultSimulator& fsim,
+    ReseedingEncoder& encoder, std::vector<EncodedPattern>* encoded_sink) {
+  const std::size_t total = faults_.size();
+  const std::size_t width = netlist_.CoreInputs().size();
+  const bool already_met = 100.0 * static_cast<double>(random_detected) /
+                               static_cast<double>(total) >=
+                           target_percent;
+
+  atpg::DeterministicTpgResult tpg;
+  if (!already_met) {
+    DeterministicTpgOptions opts;
+    opts.seed = fill_seed * 1000003 + prps;
+    opts.backtrack_limit = config_.podem_backtrack_limit;
+    opts.reverse_compaction = true;
+    tpg = GenerateDeterministicPatterns(netlist_, undetected, opts);
+    stats_.untestable = std::max(stats_.untestable, tpg.untestable);
+    stats_.aborted = std::max(stats_.aborted, tpg.aborted);
+  }
+
+  // Order of `tpg.patterns` is generation order; walk it with fault
+  // dropping to find the shortest prefix reaching the target coverage.
+  std::vector<StuckAtFault> rem = undetected;
+  std::size_t covered = random_detected;
+  std::size_t prefix = 0;
+  std::vector<std::size_t> gain_per_pattern(tpg.patterns.size(), 0);
+  std::vector<PatternWord> detect;
+  for (std::size_t p = 0; !already_met && p < tpg.patterns.size(); ++p) {
+    std::vector<PatternWord> words(width);
+    for (std::size_t k = 0; k < width; ++k)
+      words[k] = tpg.patterns[p][k] ? ~PatternWord{0} : PatternWord{0};
+    fsim.SetPatternBlock(words);
+    detect.assign(rem.size(), 0);
+    fsim.DetectWords(rem, detect);
+    std::vector<StuckAtFault> still;
+    still.reserve(rem.size());
+    for (std::size_t i = 0; i < rem.size(); ++i) {
+      if (detect[i] != 0) {
+        ++gain_per_pattern[p];
+      } else {
+        still.push_back(rem[i]);
+      }
+    }
+    covered += gain_per_pattern[p];
+    rem = std::move(still);
+    prefix = p + 1;
+    if (100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
+        target_percent) {
+      break;
+    }
+  }
+
+  // Recompute achieved coverage for the chosen prefix.
+  std::size_t achieved = random_detected;
+  for (std::size_t p = 0; p < prefix; ++p) achieved += gain_per_pattern[p];
+
+  BistProfile prof;
+  prof.profile_number = number;
+  prof.num_random_patterns = prps;
+  prof.num_deterministic_patterns = prefix;
+  prof.fault_coverage_percent =
+      100.0 * static_cast<double>(achieved) / static_cast<double>(total);
+  prof.runtime_ms =
+      config_.stumps.PatternTimeMs(prps + prefix) + config_.state_restore_ms;
+
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t care = 0;
+  for (std::size_t p = 0; p < prefix; ++p) {
+    care += tpg.cubes[p].CareBitCount();
+    if (auto enc = encoder.Encode(tpg.cubes[p])) {
+      encoded_bytes += enc->StorageBytes();
+      if (encoded_sink) encoded_sink->push_back(std::move(*enc));
+    } else {
+      // Unencodable cube (practically unreachable): store it verbatim.
+      encoded_bytes += (width + 7) / 8;
+    }
+  }
+  prof.care_bits = care;
+  if (config_.measure_transition_coverage) {
+    // Assemble the session's applied patterns (random prefix capped,
+    // then the deterministic top-up) and measure LOC TDF coverage.
+    std::vector<BitPattern> applied;
+    const std::uint64_t random_take =
+        std::min<std::uint64_t>(prps, config_.transition_pairs_cap);
+    PatternSource source(config_.stumps, width);
+    for (std::uint64_t i = 0; i < random_take; ++i) {
+      applied.push_back(source.Next());
+    }
+    for (std::size_t p = 0; p < prefix; ++p) {
+      applied.push_back(tpg.patterns[p]);
+    }
+    prof.transition_coverage_percent =
+        100.0 * sim::MeasureLocTransitionCoverage(netlist_, applied);
+  }
+  const std::uint64_t response_bytes =
+      StumpsSession(netlist_, config_.stumps)
+          .ResponseDataBytes(prps + prefix);
+  prof.data_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(encoded_bytes + response_bytes) *
+      config_.byte_scale);
+  return prof;
 }
 
 }  // namespace bistdse::bist

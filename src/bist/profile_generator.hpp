@@ -12,6 +12,10 @@
 #include "bist/stumps.hpp"
 #include "netlist/netlist.hpp"
 
+namespace bistdse::sim {
+class ParallelFaultSimulator;
+}
+
 namespace bistdse::bist {
 
 struct ProfileGeneratorConfig {
@@ -39,6 +43,10 @@ struct ProfileGeneratorConfig {
   /// the cap biases long sessions only marginally.
   bool measure_transition_coverage = false;
   std::uint64_t transition_pairs_cap = 4096;
+  /// Fault-simulation parallelism for the random phase and the deterministic
+  /// top-up sweeps: 1 = serial, 0 = full width of the shared thread pool.
+  /// Results are bit-identical for every value (see docs/PERF.md).
+  std::size_t threads = 0;
 };
 
 struct ProfileGenerationStats {
@@ -65,7 +73,9 @@ class ProfileGenerator {
   std::vector<BistProfile> GenerateAll();
 
   /// Generates one profile and keeps its encoded deterministic patterns,
-  /// ready to run in a StumpsSession.
+  /// ready to run in a StumpsSession. Reuses the generator's cached random
+  /// phase (first_detect_) whenever `prps` does not exceed the configured
+  /// maximum, so repeated calls only pay for the deterministic top-up.
   GeneratedProfile GenerateOne(std::uint64_t prps, double target_percent,
                                std::uint64_t fill_seed);
 
@@ -76,10 +86,25 @@ class ProfileGenerator {
   /// PRPG stream of config_.stumps.
   void RunRandomPhase();
 
+  /// Faults surviving a random phase of length `prps` plus the count the
+  /// phase already detected. Requires RunRandomPhase().
+  void SurvivorsAt(std::uint64_t prps,
+                   std::vector<sim::StuckAtFault>* undetected,
+                   std::size_t* random_detected) const;
+
+  /// One Table-I variant: PODEM top-up of `undetected`, shortest prefix to
+  /// `target_percent`, reseeding encoding, and the cost model. Encoded
+  /// patterns of the chosen prefix go to `encoded_sink` when non-null.
+  BistProfile GenerateVariant(std::uint64_t prps, double target_percent,
+                              std::uint64_t fill_seed, std::uint32_t number,
+                              const std::vector<sim::StuckAtFault>& undetected,
+                              std::size_t random_detected,
+                              sim::ParallelFaultSimulator& fsim,
+                              ReseedingEncoder& encoder,
+                              std::vector<EncodedPattern>* encoded_sink);
+
   const netlist::Netlist& netlist_;
   ProfileGeneratorConfig config_;
-  bool keep_encoded_ = false;
-  std::vector<EncodedPattern> kept_encoded_;
   std::vector<sim::StuckAtFault> faults_;
   std::vector<std::uint64_t> first_detect_;  // aligned with faults_
   ProfileGenerationStats stats_;

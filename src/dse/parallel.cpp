@@ -1,9 +1,9 @@
 #include "dse/parallel.hpp"
 
 #include <chrono>
-#include <thread>
 
 #include "moea/archive.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bistdse::dse {
 
@@ -14,18 +14,20 @@ ParallelResult ExploreParallel(const model::Specification& spec,
   if (islands == 0) islands = 1;
   const auto start = std::chrono::steady_clock::now();
 
+  // Islands run on the shared executor — the same pool the fault-simulation
+  // layer uses — so stacking island parallelism on top of parallel coverage
+  // evaluation cannot oversubscribe the machine.
   std::vector<ExplorationResult> results(islands);
-  std::vector<std::thread> workers;
-  workers.reserve(islands);
-  for (std::size_t i = 0; i < islands; ++i) {
-    workers.emplace_back([&, i] {
-      ExplorationConfig island_config = config;
-      island_config.seed = config.seed + i;
-      Explorer explorer(spec, augmentation, island_config);
-      results[i] = explorer.Run();
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  util::ThreadPool::Global().ParallelFor(
+      0, islands, islands,
+      [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ExplorationConfig island_config = config;
+          island_config.seed = config.seed + i;
+          Explorer explorer(spec, augmentation, island_config);
+          results[i] = explorer.Run();
+        }
+      });
 
   // Deterministic merge: islands in seed order, entries in archive order.
   ParallelResult merged;

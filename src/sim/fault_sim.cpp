@@ -16,8 +16,14 @@ constexpr PatternWord Mask(bool v) { return v ? ~PatternWord{0} : PatternWord{0}
 }  // namespace
 
 FaultSimulator::FaultSimulator(const Netlist& netlist)
+    : FaultSimulator(netlist, nullptr) {}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist,
+                               const LogicSimulator* shared_good)
     : netlist_(netlist),
-      good_(netlist),
+      good_owned_(shared_good ? nullptr
+                              : std::make_unique<LogicSimulator>(netlist)),
+      good_(shared_good ? shared_good : good_owned_.get()),
       fval_(netlist.NodeCount(), 0),
       is_touched_(netlist.NodeCount(), 0),
       observed_count_(netlist.NodeCount(), 0),
@@ -26,8 +32,17 @@ FaultSimulator::FaultSimulator(const Netlist& netlist)
   for (NodeId id : netlist.CoreOutputs()) ++observed_count_[id];
 }
 
+FaultSimulator FaultSimulator::WorkerClone(const FaultSimulator& parent) {
+  return FaultSimulator(parent.netlist_, parent.good_);
+}
+
 void FaultSimulator::SetPatternBlock(std::span<const PatternWord> words) {
-  good_.Simulate(words);
+  if (!good_owned_) {
+    throw std::logic_error(
+        "worker clones share the parent's pattern block; call "
+        "SetPatternBlock() on the owning simulator");
+  }
+  good_owned_->Simulate(words);
 }
 
 void FaultSimulator::Reset() {
@@ -43,7 +58,7 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
   // does not propagate combinationally in the same cycle.
   if (site_type == GateType::Dff && !fault.IsStem()) {
     const NodeId driver = netlist_.FaninsOf(site)[0];
-    return good_.ValueOf(driver) ^ Mask(fault.stuck_value);
+    return good_->ValueOf(driver) ^ Mask(fault.stuck_value);
   }
 
   PatternWord site_value;
@@ -58,12 +73,12 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
     for (std::size_t i = 0; i < fanins.size(); ++i) {
       vals.push_back(static_cast<int>(i) == fault.fanin_index
                          ? Mask(fault.stuck_value)
-                         : good_.ValueOf(fanins[i]));
+                         : good_->ValueOf(fanins[i]));
     }
     site_value = EvalGate(site_type, vals);
   }
 
-  const PatternWord site_diff = site_value ^ good_.ValueOf(site);
+  const PatternWord site_diff = site_value ^ good_->ValueOf(site);
   if (site_diff == 0) return 0;
 
   fval_[site] = site_value;
@@ -72,7 +87,7 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
   PatternWord detect = observed_count_[site] ? site_diff : 0;
 
   auto value_of = [&](NodeId id) {
-    return is_touched_[id] ? fval_[id] : good_.ValueOf(id);
+    return is_touched_[id] ? fval_[id] : good_->ValueOf(id);
   };
 
   std::uint32_t min_level = netlist_.MaxLevel() + 1;
@@ -107,7 +122,7 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
         touched_.push_back(id);
       }
       fval_[id] = nv;
-      if (observed_count_[id]) detect |= nv ^ good_.ValueOf(id);
+      if (observed_count_[id]) detect |= nv ^ good_->ValueOf(id);
       enqueue_fanouts(id);
     }
     bucket.clear();
@@ -129,7 +144,7 @@ std::vector<PatternWord> FaultSimulator::FaultyResponse(const StuckAtFault& faul
 
   if (site_type == GateType::Dff && !fault.IsStem()) {
     // Only the faulted flop's captured bit is corrupted — and it is stuck.
-    for (NodeId id : outs) response.push_back(good_.ValueOf(id));
+    for (NodeId id : outs) response.push_back(good_->ValueOf(id));
     // The PPO for flop f is listed at position PrimaryOutputs().size() +
     // index_of(f) and reads the driver's value; overwrite that slot.
     const auto flops = netlist_.Flops();
@@ -143,7 +158,7 @@ std::vector<PatternWord> FaultSimulator::FaultyResponse(const StuckAtFault& faul
 
   Propagate(fault);
   for (NodeId id : outs) {
-    response.push_back(is_touched_[id] ? fval_[id] : good_.ValueOf(id));
+    response.push_back(is_touched_[id] ? fval_[id] : good_->ValueOf(id));
   }
   Reset();
   return response;

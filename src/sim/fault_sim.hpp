@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,14 @@ namespace bistdse::sim {
 class FaultSimulator {
  public:
   explicit FaultSimulator(const netlist::Netlist& netlist);
+  FaultSimulator(FaultSimulator&&) = default;
+
+  /// Cheap per-thread clone for fault-partitioned parallel sweeps: shares
+  /// `parent`'s netlist and good-machine block read-only and only allocates
+  /// its own propagation scratch. The parent must outlive the clone and owns
+  /// the pattern block — SetPatternBlock() on a clone throws; the clone sees
+  /// whatever block the parent loaded last.
+  static FaultSimulator WorkerClone(const FaultSimulator& parent);
 
   /// Simulates the fault-free circuit for a block of patterns (words aligned
   /// with CoreInputs()).
@@ -32,17 +41,20 @@ class FaultSimulator {
   /// the diagnosis engine to build per-fault response signatures.
   std::vector<PatternWord> FaultyResponse(const StuckAtFault& fault);
 
-  const LogicSimulator& Good() const { return good_; }
+  const LogicSimulator& Good() const { return *good_; }
   const netlist::Netlist& Circuit() const { return netlist_; }
 
  private:
+  FaultSimulator(const netlist::Netlist& netlist, const LogicSimulator* shared_good);
+
   /// Propagates the fault effect and returns the detection word; leaves
   /// faulty values in fval_/touched_ (caller must call Reset()).
   PatternWord Propagate(const StuckAtFault& fault);
   void Reset();
 
   const netlist::Netlist& netlist_;
-  LogicSimulator good_;
+  std::unique_ptr<LogicSimulator> good_owned_;  ///< Null in worker clones.
+  const LogicSimulator* good_;                  ///< Owned or the parent's.
   std::vector<PatternWord> fval_;
   std::vector<std::uint8_t> is_touched_;
   std::vector<netlist::NodeId> touched_;

@@ -1,0 +1,91 @@
+#include "sim/parallel_fault_sim.hpp"
+
+#include <algorithm>
+
+namespace bistdse::sim {
+
+namespace {
+
+/// Below this many faults per slot a sweep is not worth fanning out; the
+/// chunk count shrinks so each slot keeps a useful grain. Results do not
+/// depend on the chunking, only wall-clock does.
+constexpr std::size_t kMinFaultsPerSlot = 64;
+
+}  // namespace
+
+ParallelFaultSimulator::ParallelFaultSimulator(const netlist::Netlist& netlist,
+                                               std::size_t threads,
+                                               util::ThreadPool* pool)
+    : pool_(pool ? *pool : util::ThreadPool::Global()),
+      threads_(threads ? threads : pool_.WorkerCount() + 1),
+      primary_(netlist) {}
+
+void ParallelFaultSimulator::SetPatternBlock(
+    std::span<const PatternWord> core_input_words) {
+  primary_.SetPatternBlock(core_input_words);
+}
+
+std::size_t ParallelFaultSimulator::ChunkCount(std::size_t n) const {
+  const std::size_t by_grain = std::max<std::size_t>(1, n / kMinFaultsPerSlot);
+  return std::min(threads_, by_grain);
+}
+
+void ParallelFaultSimulator::EnsureSlots(std::size_t count) {
+  while (clones_.size() + 1 < count) {
+    clones_.push_back(std::make_unique<FaultSimulator>(
+        FaultSimulator::WorkerClone(primary_)));
+  }
+}
+
+void ParallelFaultSimulator::ForEachFault(
+    std::size_t n, const std::function<void(std::size_t, FaultSimulator&)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = ChunkCount(n);
+  if (chunks == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, primary_);
+    return;
+  }
+  EnsureSlots(chunks);
+  pool_.ParallelFor(0, n, chunks,
+                    [&](std::size_t begin, std::size_t end, std::size_t slot) {
+                      FaultSimulator& sim =
+                          slot == 0 ? primary_ : *clones_[slot - 1];
+                      for (std::size_t i = begin; i < end; ++i) fn(i, sim);
+                    });
+}
+
+void ParallelFaultSimulator::DetectWords(std::span<const StuckAtFault> faults,
+                                         std::span<PatternWord> detect) {
+  ForEachFault(faults.size(), [&](std::size_t i, FaultSimulator& sim) {
+    detect[i] = sim.DetectWord(faults[i]);
+  });
+}
+
+std::size_t ParallelCountDetectedFaults(const netlist::Netlist& netlist,
+                                        std::span<const BitPattern> patterns,
+                                        std::span<const StuckAtFault> faults,
+                                        std::size_t threads) {
+  ParallelFaultSimulator fsim(netlist, threads);
+  const std::size_t width = netlist.CoreInputs().size();
+  std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
+  std::vector<PatternWord> detect;
+  for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
+       base += 64) {
+    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
+    fsim.SetPatternBlock(PackPatternBlock(patterns, base, count, width));
+    const PatternWord mask = BlockMask(count);
+    detect.assign(remaining.size(), 0);
+    fsim.DetectWords(remaining, detect);
+    // Serial merge in fault order — the drop list stays identical to the
+    // serial sweep's.
+    std::vector<StuckAtFault> still;
+    still.reserve(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if ((detect[i] & mask) == 0) still.push_back(remaining[i]);
+    }
+    remaining = std::move(still);
+  }
+  return faults.size() - remaining.size();
+}
+
+}  // namespace bistdse::sim

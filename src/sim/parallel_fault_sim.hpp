@@ -1,0 +1,71 @@
+// Fault-partitioned parallel simulation over a shared good-machine block.
+//
+// Per-fault detection under one 64-pattern block only reads the fault-free
+// node values, so the sweep over the fault list is embarrassingly parallel:
+// one FaultSimulator owns the good machine, per-slot worker clones share its
+// values read-only, and the fault index range is chunked across the shared
+// thread pool. Every sweep writes its results per fault index and merges
+// them in index order, which makes the outcome bit-identical to the serial
+// path for any thread count and any scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/fault_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bistdse::sim {
+
+class ParallelFaultSimulator {
+ public:
+  /// `threads` caps the sweep parallelism: 1 runs inline on the caller
+  /// (bit-for-bit the serial path), 0 uses the executor's full width.
+  /// `pool` defaults to util::ThreadPool::Global(); tests inject their own.
+  explicit ParallelFaultSimulator(const netlist::Netlist& netlist,
+                                  std::size_t threads = 0,
+                                  util::ThreadPool* pool = nullptr);
+
+  /// Loads the fault-free block once; all slots observe it.
+  void SetPatternBlock(std::span<const PatternWord> core_input_words);
+
+  const LogicSimulator& Good() const { return primary_.Good(); }
+  const netlist::Netlist& Circuit() const { return primary_.Circuit(); }
+
+  /// The owning serial simulator (slot 0) for callers that mix in serial
+  /// queries between parallel sweeps.
+  FaultSimulator& Primary() { return primary_; }
+
+  /// detect[i] = DetectWord(faults[i]) under the current block, computed in
+  /// parallel. `detect.size()` must equal `faults.size()`.
+  void DetectWords(std::span<const StuckAtFault> faults,
+                   std::span<PatternWord> detect);
+
+  /// Generic fault-partitioned sweep: runs fn(i, sim) for every i in [0, n)
+  /// where `sim` is the executing chunk's simulator sharing the current
+  /// block. fn must only write state owned by index i.
+  void ForEachFault(std::size_t n,
+                    const std::function<void(std::size_t, FaultSimulator&)>& fn);
+
+ private:
+  std::size_t ChunkCount(std::size_t n) const;
+  void EnsureSlots(std::size_t count);
+
+  util::ThreadPool& pool_;
+  std::size_t threads_;
+  FaultSimulator primary_;
+  std::vector<std::unique_ptr<FaultSimulator>> clones_;  ///< Slots 1, 2, ...
+};
+
+/// Parallel CountDetectedFaults: same result as the serial helper (identical
+/// drop order, block by block), with each block's sweep fault-partitioned
+/// across `threads` workers.
+std::size_t ParallelCountDetectedFaults(const netlist::Netlist& netlist,
+                                        std::span<const BitPattern> patterns,
+                                        std::span<const StuckAtFault> faults,
+                                        std::size_t threads = 0);
+
+}  // namespace bistdse::sim

@@ -76,8 +76,9 @@ int Usage() {
       "  explore  --evals N --pop N --seed N [--future] [--spec FILE]\n"
       "           [--csv FILE] [--islands K] [--plan]\n"
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
-      "  profiles --seed N [--prps A,B,C] [--scale X]\n"
+      "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
+      "           [--threads K]\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n");
   return 2;
 }
@@ -175,6 +176,8 @@ int RunProfiles(const Flags& flags) {
   bist::ProfileGeneratorConfig config;
   config.stumps = casestudy::PaperStumpsConfig();
   config.byte_scale = flags.Real("scale", 1.0);
+  // 0 = all cores; results are bit-identical for every thread count.
+  config.threads = flags.U64("threads", 0);
   if (flags.Has("prps")) {
     config.prp_counts.clear();
     const std::string list = flags.Str("prps", "");
@@ -206,6 +209,7 @@ int RunDiagnose(const Flags& flags) {
   bist::DiagnosisEvalOptions options;
   options.num_random_patterns = flags.U64("patterns", 512);
   options.max_samples = flags.U64("samples", 60);
+  options.threads = flags.U64("threads", 0);
   const auto faults_total = sim::CollapsedFaults(cut).size();
   options.sample_stride =
       std::max<std::size_t>(1, faults_total / options.max_samples);
