@@ -2,6 +2,11 @@
 // simulation, PODEM, reseeding, SAT decoding, CAN response-time analysis.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
 #include "atpg/podem.hpp"
 #include "bist/reseeding.hpp"
 #include "can/bus.hpp"
@@ -111,8 +116,108 @@ BENCHMARK(BM_ParallelCountDetectedFaults)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Raw PPSFP datapath throughput: detect every fault against every pattern
+// block, no dropping — the access pattern of the dictionary build and
+// signature diagnosis. One sweep at width W covers W*64 patterns, and the
+// faulty activity cone of a wide block is the union of W narrow cones, so
+// patterns/s scales superlinearly in sweep savings (see docs/PERF.md).
+template <std::size_t W>
+std::uint64_t PpsfpDetectSweep(const netlist::Netlist& cut,
+                               std::span<const sim::BitPattern> patterns,
+                               std::span<const sim::StuckAtFault> faults) {
+  sim::FaultSimulatorT<W> fsim(cut);
+  const std::size_t width = cut.CoreInputs().size();
+  std::uint64_t detected = 0;
+  for (std::size_t base = 0; base < patterns.size(); base += W * 64) {
+    const std::size_t count =
+        std::min<std::size_t>(W * 64, patterns.size() - base);
+    fsim.SetPatternBlock(
+        sim::PackPatternBlockWide(patterns, base, count, width, W));
+    const sim::WideWord<W> mask = sim::BlockMaskWide<W>(count);
+    for (const sim::StuckAtFault& f : faults) {
+      detected += (fsim.DetectBlock(f) & mask).Any();
+    }
+  }
+  return detected;
+}
+
+// Arg = block width W. The detect count is identical for every W.
+void BM_PpsfpThroughput(benchmark::State& state) {
+  const auto& cut = Cut();
+  const auto faults = sim::CollapsedFaults(cut);
+  const auto w = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::DispatchBlockWidth(w, [&](auto width) {
+      benchmark::DoNotOptimize(
+          PpsfpDetectSweep<width()>(cut, BenchPatterns(), faults));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+  state.counters["block_width"] = static_cast<double>(w);
+  state.counters["patterns/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * BenchPatterns().size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PpsfpThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Drop-list sweep at width W, single-threaded. Wide blocks trade dropping
+// granularity for sweep savings, so unlike BM_PpsfpThroughput this does NOT
+// improve with W on drop-heavy pattern sets — the measured reason the
+// profile generator's random phase runs a narrow warm-up first.
+void BM_WideCountDetectedFaults(benchmark::State& state) {
+  const auto& cut = Cut();
+  const auto faults = sim::CollapsedFaults(cut);
+  const auto w = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::CountDetectedFaults(cut, BenchPatterns(), faults, w));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+  state.counters["block_width"] = static_cast<double>(w);
+  state.counters["patterns/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * BenchPatterns().size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WideCountDetectedFaults)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Width x threads: the wide datapath composes multiplicatively with the
+// fault-partitioned pool. Args = {block width W, thread count}.
+void BM_WideParallelCountDetectedFaults(benchmark::State& state) {
+  const auto& cut = Cut();
+  const auto faults = sim::CollapsedFaults(cut);
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::ParallelCountDetectedFaults(
+        cut, BenchPatterns(), faults, threads, w));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+  state.counters["block_width"] = static_cast<double>(w);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["patterns/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * BenchPatterns().size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WideParallelCountDetectedFaults)
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+
 // Random phase of the profile generator (coverage target 0 skips the PODEM
-// top-up); Arg = thread count, Arg 1 being the serial baseline.
+// top-up); Args = {thread count, block width W}, {1, 1} being the serial
+// narrow baseline. The profile table is identical for every combination.
 void BM_ProfileRandomPhase(benchmark::State& state) {
   const auto& cut = Cut();
   bist::ProfileGeneratorConfig config;
@@ -121,17 +226,21 @@ void BM_ProfileRandomPhase(benchmark::State& state) {
   config.coverage_targets_percent = {0.0};
   config.fill_seeds = {11};
   config.threads = static_cast<std::size_t>(state.range(0));
+  config.block_width = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     bist::ProfileGenerator generator(cut, config);
     benchmark::DoNotOptimize(generator.GenerateAll());
   }
   state.counters["threads"] = static_cast<double>(config.threads);
+  state.counters["block_width"] = static_cast<double>(config.block_width);
 }
 BENCHMARK(BM_ProfileRandomPhase)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Args({8, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PodemEasyFault(benchmark::State& state) {
@@ -256,6 +365,123 @@ void BM_CanResponseTimeAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_CanResponseTimeAnalysis);
 
+// Parallel no-drop detect sweep for the JSON grid: the fault loop of each
+// block fans out over `threads` workers.
+template <std::size_t W>
+std::uint64_t ParallelPpsfpDetectSweep(
+    const netlist::Netlist& cut, std::span<const sim::BitPattern> patterns,
+    std::span<const sim::StuckAtFault> faults, std::size_t threads) {
+  sim::ParallelFaultSimulatorT<W> fsim(cut, threads);
+  const std::size_t width = cut.CoreInputs().size();
+  std::vector<sim::WideWord<W>> detect(faults.size());
+  std::uint64_t detected = 0;
+  for (std::size_t base = 0; base < patterns.size(); base += W * 64) {
+    const std::size_t count =
+        std::min<std::size_t>(W * 64, patterns.size() - base);
+    fsim.SetPatternBlock(
+        sim::PackPatternBlockWide(patterns, base, count, width, W));
+    const sim::WideWord<W> mask = sim::BlockMaskWide<W>(count);
+    fsim.DetectBlocks(faults, detect);
+    for (const auto& d : detect) detected += (d & mask).Any();
+  }
+  return detected;
+}
+
+// Machine-readable PPSFP throughput sweep (patterns/s over the width x
+// thread grid), independent of google-benchmark's own reporters so CI can
+// track the wide-datapath speedup as one small artifact. Measures the raw
+// no-drop datapath (see BM_PpsfpThroughput).
+int WritePpsfpJson(const char* path) {
+  const auto& cut = Cut();
+  const auto& patterns = BenchPatterns();
+  const auto faults = sim::CollapsedFaults(cut);
+  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+
+  struct Cell {
+    std::size_t width, threads;
+    double patterns_per_second;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t threads : {std::size_t{1}, hw}) {
+    for (const std::size_t w : sim::kSupportedBlockWidths) {
+      // Time whole sweeps until the sample is long enough to be stable;
+      // each sweep applies every pattern to every fault.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::size_t iters = 0;
+      double elapsed = 0.0;
+      do {
+        sim::DispatchBlockWidth(w, [&](auto width_c) {
+          if (threads == 1) {
+            benchmark::DoNotOptimize(
+                PpsfpDetectSweep<width_c()>(cut, patterns, faults));
+          } else {
+            benchmark::DoNotOptimize(ParallelPpsfpDetectSweep<width_c()>(
+                cut, patterns, faults, threads));
+          }
+        });
+        ++iters;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      } while (elapsed < 0.4 || iters < 3);
+      cells.push_back(
+          {w, threads,
+           static_cast<double>(iters * patterns.size()) / elapsed});
+    }
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  const double base = cells.front().patterns_per_second;  // W=1, 1 thread
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"ppsfp_detect_throughput\",\n"
+               "  \"patterns\": %zu,\n"
+               "  \"collapsed_faults\": %zu,\n"
+               "  \"results\": [\n",
+               patterns.size(), faults.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"block_width\": %zu, \"threads\": %zu, "
+                 "\"patterns_per_second\": %.1f, \"speedup_vs_w1t1\": "
+                 "%.3f}%s\n",
+                 cells[i].width, cells[i].threads,
+                 cells[i].patterns_per_second,
+                 cells[i].patterns_per_second / base,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("ppsfp throughput written to %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr std::string_view kFlag = "--ppsfp_json=";
+    if (std::string_view(argv[i]).starts_with(kFlag)) {
+      json_path = argv[i] + kFlag.size();
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (json_path) {
+    const int rc = WritePpsfpJson(json_path);
+    if (rc != 0) return rc;
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

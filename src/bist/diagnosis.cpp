@@ -13,37 +13,40 @@
 namespace bistdse::bist {
 
 using sim::BitPattern;
-using sim::FaultSimulator;
 using sim::PatternWord;
 using sim::StuckAtFault;
 
 SignatureDiagnosis::SignatureDiagnosis(
     const netlist::Netlist& netlist, StumpsConfig config,
-    std::uint64_t num_random, std::span<const EncodedPattern> deterministic)
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+    std::size_t block_width)
     : netlist_(netlist),
       config_(config),
       num_random_(num_random),
-      deterministic_(deterministic.begin(), deterministic.end()) {
+      deterministic_(deterministic.begin(), deterministic.end()),
+      block_width_(block_width) {
   const std::uint64_t total = num_random_ + deterministic_.size();
   window_ = config_.EffectiveWindow(total);
   window_count_ = static_cast<std::uint32_t>((total + window_ - 1) / window_);
+  // Validate eagerly so a bad width fails at construction, not per query.
+  sim::DispatchBlockWidth(block_width_, [](auto) {});
 }
 
 namespace {
 
-/// Walks the session's pattern stream in blocks of <= 64 patterns, invoking
-/// `visit(block, base_index)` for each block.
+/// Walks the session's pattern stream in blocks of <= `block_size` patterns,
+/// invoking `visit(block, base_index)` for each block.
 template <typename Visitor>
 void ForEachPatternBlock(const netlist::Netlist& netlist,
                          const StumpsConfig& config, std::uint64_t num_random,
                          std::span<const EncodedPattern> deterministic,
-                         Visitor&& visit) {
+                         std::size_t block_size, Visitor&& visit) {
   const std::size_t width = netlist.CoreInputs().size();
   ReseedingEncoder expander(static_cast<std::uint32_t>(width));
   PatternSource prpg(config, width);
 
   std::vector<BitPattern> block;
-  block.reserve(64);
+  block.reserve(block_size);
   std::uint64_t base = 0;
   std::size_t det_next = 0;
   auto flush = [&] {
@@ -54,11 +57,11 @@ void ForEachPatternBlock(const netlist::Netlist& netlist,
   };
   for (std::uint64_t i = 0; i < num_random; ++i) {
     block.push_back(prpg.Next());
-    if (block.size() == 64) flush();
+    if (block.size() == block_size) flush();
   }
   while (det_next < deterministic.size()) {
     block.push_back(expander.Expand(deterministic[det_next++]));
-    if (block.size() == 64) flush();
+    if (block.size() == block_size) flush();
   }
   flush();
 }
@@ -68,9 +71,19 @@ void ForEachPatternBlock(const netlist::Netlist& netlist,
 std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
     std::span<const FailDatum> fail_data,
     std::span<const StuckAtFault> candidates, std::size_t top_k) const {
+  return sim::DispatchBlockWidth(block_width_, [&](auto width) {
+    return DiagnoseT<width()>(fail_data, candidates, top_k);
+  });
+}
+
+template <std::size_t W>
+std::vector<DiagnosisCandidate> SignatureDiagnosis::DiagnoseT(
+    std::span<const FailDatum> fail_data,
+    std::span<const StuckAtFault> candidates, std::size_t top_k) const {
+  using Word = sim::WideWord<W>;
   const std::size_t width = netlist_.CoreInputs().size();
   const std::size_t num_outputs = netlist_.CoreOutputs().size();
-  FaultSimulator fsim(netlist_);
+  sim::FaultSimulatorT<W> fsim(netlist_);
 
   // ---- Stage 1: failing-window set match ---------------------------------
   const std::size_t wwords = (window_count_ + 63) / 64;
@@ -78,19 +91,22 @@ std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
       candidates.size(), std::vector<std::uint64_t>(wwords, 0));
 
   ForEachPatternBlock(
-      netlist_, config_, num_random_, deterministic_,
+      netlist_, config_, num_random_, deterministic_, W * 64,
       [&](std::span<const BitPattern> block, std::uint64_t base) {
         fsim.SetPatternBlock(
-            sim::PackPatternBlock(block, 0, block.size(), width));
-        const PatternWord mask = sim::BlockMask(block.size());
+            sim::PackPatternBlockWide(block, 0, block.size(), width, W));
+        const Word mask = sim::BlockMaskWide<W>(block.size());
         for (std::size_t c = 0; c < candidates.size(); ++c) {
-          PatternWord det = fsim.DetectWord(candidates[c]) & mask;
-          while (det != 0) {
-            const int k = std::countr_zero(det);
-            det &= det - 1;
-            const std::uint64_t w =
-                (base + static_cast<std::uint64_t>(k)) / window_;
-            predicted[c][w / 64] |= std::uint64_t{1} << (w % 64);
+          const Word det = fsim.DetectBlock(candidates[c]) & mask;
+          for (std::size_t l = 0; l < W; ++l) {
+            PatternWord dl = det.lane[l];
+            while (dl != 0) {
+              const int k = std::countr_zero(dl);
+              dl &= dl - 1;
+              const std::uint64_t w =
+                  (base + l * 64 + static_cast<std::uint64_t>(k)) / window_;
+              predicted[c][w / 64] |= std::uint64_t{1} << (w % 64);
+            }
           }
         }
       });
@@ -142,7 +158,7 @@ std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
     std::map<std::uint32_t, std::vector<BitPattern>> window_patterns;
     for (const FailDatum* f : selected) window_patterns[f->window_index] = {};
     ForEachPatternBlock(
-        netlist_, config_, num_random_, deterministic_,
+        netlist_, config_, num_random_, deterministic_, W * 64,
         [&](std::span<const BitPattern> block, std::uint64_t base) {
           for (std::size_t k = 0; k < block.size(); ++k) {
             const auto w = static_cast<std::uint32_t>((base + k) / window_);
@@ -153,20 +169,26 @@ std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
 
     // Per candidate and selected window, reproduce the window signature.
     // Loop order is window-major so each pattern block is good-simulated
-    // once for all shortlist candidates.
+    // once for all shortlist candidates; lanes absorb in block-then-lane
+    // order, i.e. exactly the serial pattern order.
     std::vector<std::vector<Misr>> misrs(
         shortlist,
         std::vector<Misr>(selected.size(), Misr(config_.misr_width)));
     for (std::size_t wi = 0; wi < selected.size(); ++wi) {
       const auto& pats = window_patterns.at(selected[wi]->window_index);
-      for (std::size_t base = 0; base < pats.size(); base += 64) {
-        const std::size_t count = std::min<std::size_t>(64, pats.size() - base);
-        fsim.SetPatternBlock(sim::PackPatternBlock(pats, base, count, width));
+      for (std::size_t base = 0; base < pats.size(); base += W * 64) {
+        const std::size_t count =
+            std::min<std::size_t>(W * 64, pats.size() - base);
+        fsim.SetPatternBlock(
+            sim::PackPatternBlockWide(pats, base, count, width, W));
         for (std::size_t r = 0; r < shortlist; ++r) {
           const auto response = fsim.FaultyResponse(ranked[r].fault);
-          for (std::size_t k = 0; k < count; ++k) {
-            for (std::size_t j = 0; j < num_outputs; ++j) {
-              misrs[r][wi].AbsorbBit((response[j] >> k) & 1);
+          for (std::size_t l = 0; l < W; ++l) {
+            const std::size_t lane_count = sim::LanePatternCount(count, l);
+            for (std::size_t k = 0; k < lane_count; ++k) {
+              for (std::size_t j = 0; j < num_outputs; ++j) {
+                misrs[r][wi].AbsorbBit((response[j * W + l] >> k) & 1);
+              }
             }
           }
         }

@@ -25,9 +25,13 @@ class SignatureDiagnosis {
  public:
   /// Describes the session whose fail data will be diagnosed (same pattern
   /// stream parameters as the StumpsSession that produced it).
+  /// `block_width` (W in {1, 2, 4, 8}) selects the wide simulation datapath
+  /// — W*64 patterns per fault-simulation sweep; the ranking is
+  /// bit-identical for every width.
   SignatureDiagnosis(const netlist::Netlist& netlist, StumpsConfig config,
                      std::uint64_t num_random,
-                     std::span<const EncodedPattern> deterministic);
+                     std::span<const EncodedPattern> deterministic,
+                     std::size_t block_width = 4);
 
   /// Ranks `candidates` against the observed fail data; returns the top_k
   /// best-matching candidates, best first. Ties keep fault-list order.
@@ -38,12 +42,18 @@ class SignatureDiagnosis {
   std::uint32_t WindowCount() const { return window_count_; }
 
  private:
+  template <std::size_t W>
+  std::vector<DiagnosisCandidate> DiagnoseT(
+      std::span<const FailDatum> fail_data,
+      std::span<const sim::StuckAtFault> candidates, std::size_t top_k) const;
+
   const netlist::Netlist& netlist_;
   StumpsConfig config_;
   std::uint64_t num_random_;
   std::vector<EncodedPattern> deterministic_;
   std::uint64_t window_ = 0;  ///< Effective patterns per window.
   std::uint32_t window_count_ = 0;
+  std::size_t block_width_ = 4;
 };
 
 }  // namespace bistdse::bist

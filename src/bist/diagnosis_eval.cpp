@@ -44,7 +44,8 @@ DiagnosisAccuracy EvaluateDiagnosisAccuracy(
       [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
         StumpsSession session(netlist, config);
         SignatureDiagnosis diagnosis(netlist, config,
-                                     options.num_random_patterns, {});
+                                     options.num_random_patterns, {},
+                                     options.block_width);
         for (std::size_t s = begin; s < end; ++s) {
           SampleOutcome& outcome = outcomes[s];
           const auto result =

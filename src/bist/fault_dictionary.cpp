@@ -21,12 +21,24 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
                                  std::uint64_t num_random,
                                  std::span<const EncodedPattern> deterministic,
                                  std::vector<sim::StuckAtFault> faults,
-                                 std::size_t threads)
+                                 std::size_t threads, std::size_t block_width)
     : faults_(std::move(faults)) {
   if (!config.reset_misr_per_window) {
     throw std::invalid_argument(
         "fault dictionary requires strong windows (per-window MISR reset)");
   }
+  sim::DispatchBlockWidth(block_width, [&](auto width) {
+    Build<width()>(netlist, config, num_random, deterministic, threads);
+  });
+}
+
+template <std::size_t W>
+void FaultDictionary::Build(const netlist::Netlist& netlist,
+                            const StumpsConfig& config,
+                            std::uint64_t num_random,
+                            std::span<const EncodedPattern> deterministic,
+                            std::size_t threads) {
+  using Word = sim::WideWord<W>;
   const std::size_t width = netlist.CoreInputs().size();
   const std::size_t num_outputs = netlist.CoreOutputs().size();
   const std::uint64_t total = num_random + deterministic.size();
@@ -50,7 +62,7 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     return expander.Expand(deterministic[det_next++]);
   };
 
-  ParallelFaultSimulator fsim(netlist, threads);
+  sim::ParallelFaultSimulatorT<W> fsim(netlist, threads);
   for (std::uint32_t w = 0; w < window_count_; ++w) {
     const std::uint64_t remaining = total - static_cast<std::uint64_t>(w) * window;
     const std::size_t in_window =
@@ -59,23 +71,26 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     patterns.reserve(in_window);
     for (std::size_t i = 0; i < in_window; ++i) patterns.push_back(next_pattern());
 
-    // Pass 1: detection words per block (cheap fault propagation) identify
-    // the faults whose signature can differ in this window at all. Each
-    // fault index is owned by one chunk, so the parallel sweep writes
-    // is_active without contention and `active` keeps its serial order.
-    const std::size_t num_blocks = (in_window + 63) / 64;
+    // Pass 1: detection blocks (cheap fault propagation, W*64 patterns per
+    // sweep) identify the faults whose signature can differ in this window
+    // at all. Each fault index is owned by one chunk, so the parallel sweep
+    // writes is_active without contention and `active` keeps its serial
+    // order.
+    const std::size_t num_blocks = (in_window + W * 64 - 1) / (W * 64);
     std::vector<std::size_t> active;  // fault indices detected in this window
     {
       std::vector<std::uint8_t> is_active(faults_.size(), 0);
       for (std::size_t b = 0; b < num_blocks; ++b) {
-        const std::size_t base = b * 64;
-        const std::size_t count = std::min<std::size_t>(64, in_window - base);
-        fsim.SetPatternBlock(sim::PackPatternBlock(patterns, base, count, width));
-        const PatternWord mask = sim::BlockMask(count);
+        const std::size_t base = b * W * 64;
+        const std::size_t count =
+            std::min<std::size_t>(W * 64, in_window - base);
+        fsim.SetPatternBlock(
+            sim::PackPatternBlockWide(patterns, base, count, width, W));
+        const Word mask = sim::BlockMaskWide<W>(count);
         fsim.ForEachFault(faults_.size(),
-                          [&](std::size_t f, FaultSimulator& sim) {
+                          [&](std::size_t f, sim::FaultSimulatorT<W>& sim) {
                             if (!is_active[f] &&
-                                (sim.DetectWord(faults_[f]) & mask) != 0) {
+                                (sim.DetectBlock(faults_[f]) & mask).Any()) {
                               is_active[f] = 1;
                             }
                           });
@@ -86,29 +101,41 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     }
 
     // Pass 2: golden signature plus faulty signatures of the active faults.
+    // Lanes are absorbed in block-then-lane-then-pattern order, which is
+    // exactly the serial pattern order — the MISR states are bit-identical
+    // to the narrow build.
     Misr golden_misr(config.misr_width);
     std::vector<Misr> fault_misrs(active.size(), Misr(config.misr_width));
     for (std::size_t b = 0; b < num_blocks; ++b) {
-      const std::size_t base = b * 64;
-      const std::size_t count = std::min<std::size_t>(64, in_window - base);
-      fsim.SetPatternBlock(sim::PackPatternBlock(patterns, base, count, width));
+      const std::size_t base = b * W * 64;
+      const std::size_t count = std::min<std::size_t>(W * 64, in_window - base);
+      fsim.SetPatternBlock(
+          sim::PackPatternBlockWide(patterns, base, count, width, W));
       std::vector<PatternWord> good;
-      good.reserve(num_outputs);
-      for (netlist::NodeId id : netlist.CoreOutputs())
-        good.push_back(fsim.Good().ValueOf(id));
-      for (std::size_t k = 0; k < count; ++k) {
-        for (std::size_t j = 0; j < num_outputs; ++j) {
-          golden_misr.AbsorbBit((good[j] >> k) & 1);
+      good.reserve(num_outputs * W);
+      for (netlist::NodeId id : netlist.CoreOutputs()) {
+        const auto lanes = fsim.Good().LanesOf(id);
+        good.insert(good.end(), lanes.begin(), lanes.end());
+      }
+      for (std::size_t l = 0; l < W; ++l) {
+        const std::size_t lane_count = sim::LanePatternCount(count, l);
+        for (std::size_t k = 0; k < lane_count; ++k) {
+          for (std::size_t j = 0; j < num_outputs; ++j) {
+            golden_misr.AbsorbBit((good[j * W + l] >> k) & 1);
+          }
         }
       }
       // Each active fault's MISR is advanced by its owning chunk only; the
       // block loop stays serial, so absorb order per fault is unchanged.
       fsim.ForEachFault(
-          active.size(), [&](std::size_t a, FaultSimulator& sim) {
+          active.size(), [&](std::size_t a, sim::FaultSimulatorT<W>& sim) {
             const auto response = sim.FaultyResponse(faults_[active[a]]);
-            for (std::size_t k = 0; k < count; ++k) {
-              for (std::size_t j = 0; j < num_outputs; ++j) {
-                fault_misrs[a].AbsorbBit((response[j] >> k) & 1);
+            for (std::size_t l = 0; l < W; ++l) {
+              const std::size_t lane_count = sim::LanePatternCount(count, l);
+              for (std::size_t k = 0; k < lane_count; ++k) {
+                for (std::size_t j = 0; j < num_outputs; ++j) {
+                  fault_misrs[a].AbsorbBit((response[j * W + l] >> k) & 1);
+                }
               }
             }
           });

@@ -19,13 +19,14 @@ class FaultDictionary {
   /// Builds the dictionary for the given session (pattern stream defined by
   /// `config`, `num_random`, `deterministic`) over the candidate `faults`.
   /// The build fault-simulates in parallel over `threads` workers (1 =
-  /// serial, 0 = full pool width); the dictionary is bit-identical for
-  /// every value.
+  /// serial, 0 = full pool width) with `block_width`*64 patterns per sweep
+  /// (block_width in {1, 2, 4, 8}); the dictionary is bit-identical for
+  /// every thread count and block width.
   FaultDictionary(const netlist::Netlist& netlist, const StumpsConfig& config,
                   std::uint64_t num_random,
                   std::span<const EncodedPattern> deterministic,
                   std::vector<sim::StuckAtFault> faults,
-                  std::size_t threads = 0);
+                  std::size_t threads = 0, std::size_t block_width = 4);
 
   std::size_t FaultCount() const { return faults_.size(); }
   std::uint32_t WindowCount() const { return window_count_; }
@@ -43,6 +44,12 @@ class FaultDictionary {
   }
 
  private:
+  template <std::size_t W>
+  void Build(const netlist::Netlist& netlist, const StumpsConfig& config,
+             std::uint64_t num_random,
+             std::span<const EncodedPattern> deterministic,
+             std::size_t threads);
+
   std::vector<sim::StuckAtFault> faults_;
   std::uint32_t window_count_ = 0;
   std::size_t words_per_fault_ = 0;

@@ -84,45 +84,69 @@ ProfileGenerator::ProfileGenerator(const Netlist& netlist,
 void ProfileGenerator::RunRandomPhase() {
   if (random_phase_done_) return;
   const std::uint64_t max_prps = config_.prp_counts.back();
-  const std::size_t width = netlist_.CoreInputs().size();
-
-  ParallelFaultSimulator fsim(netlist_, config_.threads);
-  PatternSource prpg(config_.stumps, width);
-
   first_detect_.assign(faults_.size(), UINT64_MAX);
   std::vector<std::size_t> remaining(faults_.size());
   for (std::size_t i = 0; i < faults_.size(); ++i) remaining[i] = i;
 
+  PatternSource prpg(config_.stumps, netlist_.CoreInputs().size());
+  // The drop-heavy head runs narrow: a wide block walks the union of W
+  // narrow activity cones for every fault a narrow sweep would already have
+  // dropped, which costs more than the W-fold sweep reduction saves. Once
+  // the survivor set is sparse, the wide tail wins (see docs/PERF.md).
+  // Detection outcomes are width-independent, so the split point does not
+  // change any result.
+  const std::uint64_t warmup =
+      config_.block_width > 1
+          ? std::min<std::uint64_t>(config_.narrow_warmup_patterns, max_prps)
+          : 0;
+  if (warmup > 0) RunRandomPhaseSegment<1>(prpg, 0, warmup, remaining);
+  sim::DispatchBlockWidth(config_.block_width, [&](auto width) {
+    RunRandomPhaseSegment<width()>(prpg, warmup, max_prps, remaining);
+  });
+  stats_.random_detected_at_max_prps = faults_.size() - remaining.size();
+  random_phase_done_ = true;
+}
+
+template <std::size_t W>
+void ProfileGenerator::RunRandomPhaseSegment(
+    PatternSource& prpg, std::uint64_t base, std::uint64_t end,
+    std::vector<std::size_t>& remaining) {
+  using Word = sim::WideWord<W>;
+  const std::size_t width = netlist_.CoreInputs().size();
+  sim::ParallelFaultSimulatorT<W> fsim(netlist_, config_.threads);
+
   std::vector<BitPattern> block;
-  block.reserve(64);
-  std::vector<PatternWord> detect;
-  std::uint64_t base = 0;
-  while (base < max_prps && !remaining.empty()) {
+  block.reserve(W * 64);
+  std::vector<Word> detect;
+  while (base < end && !remaining.empty()) {
     block.clear();
     const std::size_t count =
-        static_cast<std::size_t>(std::min<std::uint64_t>(64, max_prps - base));
+        static_cast<std::size_t>(std::min<std::uint64_t>(W * 64, end - base));
     for (std::size_t k = 0; k < count; ++k) block.push_back(prpg.Next());
-    const auto words = sim::PackPatternBlock(block, 0, count, width);
+    const auto words = sim::PackPatternBlockWide(block, 0, count, width, W);
     fsim.SetPatternBlock(words);
-    const PatternWord mask = sim::BlockMask(count);
+    const Word mask = sim::BlockMaskWide<W>(count);
 
     // Fault-partitioned sweep: detection of each surviving fault only reads
     // the shared good-machine block, so the loop fans out across the pool.
-    detect.assign(remaining.size(), 0);
+    detect.assign(remaining.size(), Word::Zero());
     fsim.ForEachFault(remaining.size(),
-                      [&](std::size_t i, sim::FaultSimulator& sim) {
-                        detect[i] = sim.DetectWord(faults_[remaining[i]]) & mask;
+                      [&](std::size_t i, sim::FaultSimulatorT<W>& sim) {
+                        detect[i] =
+                            sim.DetectBlock(faults_[remaining[i]]) & mask;
                       });
 
     // Serial merge in fault order keeps first_detect_ and the drop list
-    // bit-identical to the serial sweep for any thread count.
+    // bit-identical to the serial sweep for any thread count; FirstSetBit
+    // walks lanes in block order, so the first-detection index equals the
+    // one W sequential narrow blocks would have recorded.
     std::vector<std::size_t> still;
     still.reserve(remaining.size());
     for (std::size_t i = 0; i < remaining.size(); ++i) {
       const std::size_t idx = remaining[i];
-      if (detect[i] != 0) {
-        first_detect_[idx] =
-            base + static_cast<std::uint64_t>(std::countr_zero(detect[i]));
+      const int first = detect[i].FirstSetBit();
+      if (first >= 0) {
+        first_detect_[idx] = base + static_cast<std::uint64_t>(first);
       } else {
         still.push_back(idx);
       }
@@ -130,10 +154,6 @@ void ProfileGenerator::RunRandomPhase() {
     remaining = std::move(still);
     base += count;
   }
-
-  stats_.random_detected_at_max_prps =
-      faults_.size() - remaining.size();
-  random_phase_done_ = true;
 }
 
 void ProfileGenerator::SurvivorsAt(std::uint64_t prps,

@@ -13,10 +13,14 @@
 #include "netlist/netlist.hpp"
 
 namespace bistdse::sim {
-class ParallelFaultSimulator;
+template <std::size_t W>
+class ParallelFaultSimulatorT;
+using ParallelFaultSimulator = ParallelFaultSimulatorT<1>;
 }
 
 namespace bistdse::bist {
+
+class PatternSource;
 
 struct ProfileGeneratorConfig {
   /// Pseudo-random pattern counts to profile (Table I column 2).
@@ -47,6 +51,15 @@ struct ProfileGeneratorConfig {
   /// top-up sweeps: 1 = serial, 0 = full width of the shared thread pool.
   /// Results are bit-identical for every value (see docs/PERF.md).
   std::size_t threads = 0;
+  /// Simulation block width W of the random phase: W*64 patterns per sweep
+  /// (W in {1, 2, 4, 8}). Composes multiplicatively with `threads`; results
+  /// are bit-identical for every width (see docs/PERF.md).
+  std::size_t block_width = 4;
+  /// Leading patterns of the random phase simulated at W = 1 regardless of
+  /// `block_width`. The head of the phase drops faults so fast that wide
+  /// blocks do more union-cone work than the drops they save; the sparse
+  /// survivor tail is then swept W times fewer. 0 = wide from pattern 0.
+  std::uint64_t narrow_warmup_patterns = 512;
 };
 
 struct ProfileGenerationStats {
@@ -83,8 +96,16 @@ class ProfileGenerator {
 
  private:
   /// First-detecting pattern index per fault (UINT64_MAX = never), under the
-  /// PRPG stream of config_.stumps.
+  /// PRPG stream of config_.stumps. Runs the narrow warm-up segment, then
+  /// dispatches the tail to the W-wide sweep selected by config_.block_width.
   void RunRandomPhase();
+  /// Drop-list sweep of patterns [base, end) of `prpg`'s stream over the
+  /// faults in `remaining` (indices into faults_); detected faults record
+  /// their first-detection index and leave `remaining`.
+  template <std::size_t W>
+  void RunRandomPhaseSegment(PatternSource& prpg, std::uint64_t base,
+                             std::uint64_t end,
+                             std::vector<std::size_t>& remaining);
 
   /// Faults surviving a random phase of length `prps` plus the count the
   /// phase already detected. Requires RunRandomPhase().

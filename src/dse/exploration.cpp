@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <limits>
+#include <unordered_map>
 
 #include "moea/archive.hpp"
 #include "moea/spea2.hpp"
@@ -9,6 +10,28 @@
 namespace bistdse::dse {
 
 namespace {
+
+/// FNV-1a content hash of a decoded implementation (allocation + binding +
+/// routing). Objective evaluation is a pure function of the implementation,
+/// so equal signatures let Run() reuse the memoized objectives.
+std::uint64_t ImplementationSignature(const model::Implementation& impl) {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(impl.allocation.size());
+  for (const bool a : impl.allocation) mix(a);
+  mix(impl.binding.size());
+  for (const std::size_t b : impl.binding) mix(b);
+  mix(impl.routing.size());
+  for (const auto& [msg, path] : impl.routing) {
+    mix(msg);
+    mix(path.size());
+    for (const model::ResourceId r : path) mix(r);
+  }
+  return h;
+}
 
 /// Corner genotypes: no BIST; per-ECU extreme profiles local/at-gateway.
 /// Selector picks the program per ECU; `local` the b^D placement.
@@ -62,13 +85,28 @@ ExplorationResult Explorer::Run(const moea::GenerationCallback& on_generation) {
   moea::ParetoArchive archive;
   std::vector<ExplorationEntry> store;
 
+  // Objective memo: the SAT decoder maps many genotypes to few distinct
+  // implementations, so whole-implementation memoization skips a large share
+  // of the (dominant) objective-evaluation cost. The archive/store path below
+  // is unchanged — hits produce the very vector a fresh evaluation would.
+  std::unordered_map<std::uint64_t, Objectives> memo;
+
   const moea::Evaluator evaluator =
       [&](const moea::Genotype& genotype)
       -> std::optional<moea::ObjectiveVector> {
     auto impl = decoder_.Decode(genotype);
     if (!impl) return std::nullopt;
+    const std::uint64_t signature = ImplementationSignature(*impl);
+    const auto hit = memo.find(signature);
+    if (hit != memo.end()) ++result.eval_cache_hits;
     const Objectives objectives =
-        EvaluateImplementation(spec_, augmentation_, *impl, config_.evaluation);
+        hit != memo.end()
+            ? hit->second
+            : memo
+                  .emplace(signature,
+                           EvaluateImplementation(spec_, augmentation_, *impl,
+                                                  config_.evaluation))
+                  .first->second;
     auto vec =
         objectives.ToMinimizationVector(config_.include_transition_objective);
     if (archive.Offer(vec, store.size())) {

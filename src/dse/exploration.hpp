@@ -50,6 +50,10 @@ struct ExplorationResult {
   /// Pareto-optimal implementations (non-dominated in all three objectives).
   std::vector<ExplorationEntry> pareto;
   std::size_t evaluations = 0;
+  /// Evaluations answered from the implementation-signature memo instead of
+  /// a full objective evaluation (SAT decoding regularly reproduces the same
+  /// implementation from different genotypes).
+  std::size_t eval_cache_hits = 0;
   double wall_seconds = 0.0;
   DecoderStats decoder_stats;
 

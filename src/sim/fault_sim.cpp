@@ -13,18 +13,25 @@ namespace {
 
 constexpr PatternWord Mask(bool v) { return v ? ~PatternWord{0} : PatternWord{0}; }
 
+template <std::size_t W>
+constexpr WideWord<W> MaskWide(bool v) {
+  return v ? WideWord<W>::Ones() : WideWord<W>::Zero();
+}
+
 }  // namespace
 
-FaultSimulator::FaultSimulator(const Netlist& netlist)
-    : FaultSimulator(netlist, nullptr) {}
+template <std::size_t W>
+FaultSimulatorT<W>::FaultSimulatorT(const Netlist& netlist)
+    : FaultSimulatorT(netlist, nullptr) {}
 
-FaultSimulator::FaultSimulator(const Netlist& netlist,
-                               const LogicSimulator* shared_good)
+template <std::size_t W>
+FaultSimulatorT<W>::FaultSimulatorT(const Netlist& netlist,
+                                    const LogicSimulatorT<W>* shared_good)
     : netlist_(netlist),
       good_owned_(shared_good ? nullptr
-                              : std::make_unique<LogicSimulator>(netlist)),
+                              : std::make_unique<LogicSimulatorT<W>>(netlist)),
       good_(shared_good ? shared_good : good_owned_.get()),
-      fval_(netlist.NodeCount(), 0),
+      fval_(netlist.NodeCount(), Word::Zero()),
       is_touched_(netlist.NodeCount(), 0),
       observed_count_(netlist.NodeCount(), 0),
       level_buckets_(netlist.MaxLevel() + 1),
@@ -32,11 +39,14 @@ FaultSimulator::FaultSimulator(const Netlist& netlist,
   for (NodeId id : netlist.CoreOutputs()) ++observed_count_[id];
 }
 
-FaultSimulator FaultSimulator::WorkerClone(const FaultSimulator& parent) {
-  return FaultSimulator(parent.netlist_, parent.good_);
+template <std::size_t W>
+FaultSimulatorT<W> FaultSimulatorT<W>::WorkerClone(
+    const FaultSimulatorT<W>& parent) {
+  return FaultSimulatorT(parent.netlist_, parent.good_);
 }
 
-void FaultSimulator::SetPatternBlock(std::span<const PatternWord> words) {
+template <std::size_t W>
+void FaultSimulatorT<W>::SetPatternBlock(std::span<const PatternWord> words) {
   if (!good_owned_) {
     throw std::logic_error(
         "worker clones share the parent's pattern block; call "
@@ -45,12 +55,14 @@ void FaultSimulator::SetPatternBlock(std::span<const PatternWord> words) {
   good_owned_->Simulate(words);
 }
 
-void FaultSimulator::Reset() {
+template <std::size_t W>
+void FaultSimulatorT<W>::Reset() {
   for (NodeId id : touched_) is_touched_[id] = 0;
   touched_.clear();
 }
 
-PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
+template <std::size_t W>
+WideWord<W> FaultSimulatorT<W>::Propagate(const StuckAtFault& fault) {
   const NodeId site = fault.node;
   const GateType site_type = netlist_.TypeOf(site);
 
@@ -58,37 +70,38 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
   // does not propagate combinationally in the same cycle.
   if (site_type == GateType::Dff && !fault.IsStem()) {
     const NodeId driver = netlist_.FaninsOf(site)[0];
-    return good_->ValueOf(driver) ^ Mask(fault.stuck_value);
+    return good_->BlockOf(driver) ^ MaskWide<W>(fault.stuck_value);
   }
 
-  PatternWord site_value;
+  Word site_value;
   if (fault.IsStem()) {
-    site_value = Mask(fault.stuck_value);
+    site_value = MaskWide<W>(fault.stuck_value);
   } else {
     const auto fanins = netlist_.FaninsOf(site);
     if (fault.fanin_index >= static_cast<int>(fanins.size()))
       throw std::invalid_argument("fault pin out of range");
-    std::vector<PatternWord> vals;
+    std::vector<Word> vals;
     vals.reserve(fanins.size());
     for (std::size_t i = 0; i < fanins.size(); ++i) {
       vals.push_back(static_cast<int>(i) == fault.fanin_index
-                         ? Mask(fault.stuck_value)
-                         : good_->ValueOf(fanins[i]));
+                         ? MaskWide<W>(fault.stuck_value)
+                         : good_->BlockOf(fanins[i]));
     }
-    site_value = EvalGate(site_type, vals);
+    site_value = EvalGateWide<W>(site_type, vals);
   }
 
-  const PatternWord site_diff = site_value ^ good_->ValueOf(site);
-  if (site_diff == 0) return 0;
+  const Word site_diff = site_value ^ good_->BlockOf(site);
+  if (!site_diff.Any()) return Word::Zero();
 
   fval_[site] = site_value;
   is_touched_[site] = 1;
   touched_.push_back(site);
-  PatternWord detect = observed_count_[site] ? site_diff : 0;
+  Word detect = observed_count_[site] ? site_diff : Word::Zero();
 
-  auto value_of = [&](NodeId id) {
-    return is_touched_[id] ? fval_[id] : good_->ValueOf(id);
+  auto value_of = [&](NodeId id) -> const Word& {
+    return is_touched_[id] ? fval_[id] : good_->BlockOf(id);
   };
+  std::vector<const Word*> fanin_ptrs;
 
   std::uint32_t min_level = netlist_.MaxLevel() + 1;
   std::uint32_t max_pending = 0;
@@ -105,24 +118,23 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
   };
   enqueue_fanouts(site);
 
-  std::vector<PatternWord> vals;
   for (std::uint32_t lvl = min_level; lvl <= max_pending; ++lvl) {
     auto& bucket = level_buckets_[lvl];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const NodeId id = bucket[i];
       in_queue_[id] = 0;
       const auto fanins = netlist_.FaninsOf(id);
-      vals.clear();
-      for (NodeId f : fanins) vals.push_back(value_of(f));
-      const PatternWord nv = EvalGate(netlist_.TypeOf(id), vals);
-      const PatternWord old = value_of(id);
+      fanin_ptrs.clear();
+      for (NodeId f : fanins) fanin_ptrs.push_back(&value_of(f));
+      const Word nv = EvalGateWide<W>(netlist_.TypeOf(id), fanin_ptrs);
+      const Word old = value_of(id);
       if (nv == old) continue;
       if (!is_touched_[id]) {
         is_touched_[id] = 1;
         touched_.push_back(id);
       }
       fval_[id] = nv;
-      if (observed_count_[id]) detect |= nv ^ good_->ValueOf(id);
+      if (observed_count_[id]) detect |= nv ^ good_->BlockOf(id);
       enqueue_fanouts(id);
     }
     bucket.clear();
@@ -130,27 +142,37 @@ PatternWord FaultSimulator::Propagate(const StuckAtFault& fault) {
   return detect;
 }
 
-PatternWord FaultSimulator::DetectWord(const StuckAtFault& fault) {
-  const PatternWord det = Propagate(fault);
+template <std::size_t W>
+WideWord<W> FaultSimulatorT<W>::DetectBlock(const StuckAtFault& fault) {
+  const Word det = Propagate(fault);
   Reset();
   return det;
 }
 
-std::vector<PatternWord> FaultSimulator::FaultyResponse(const StuckAtFault& fault) {
+template <std::size_t W>
+std::vector<PatternWord> FaultSimulatorT<W>::FaultyResponse(
+    const StuckAtFault& fault) {
   const GateType site_type = netlist_.TypeOf(fault.node);
   std::vector<PatternWord> response;
   const auto outs = netlist_.CoreOutputs();
-  response.reserve(outs.size());
+  response.reserve(outs.size() * W);
 
   if (site_type == GateType::Dff && !fault.IsStem()) {
     // Only the faulted flop's captured bit is corrupted — and it is stuck.
-    for (NodeId id : outs) response.push_back(good_->ValueOf(id));
+    for (NodeId id : outs) {
+      for (std::size_t l = 0; l < W; ++l) {
+        response.push_back(good_->BlockOf(id).lane[l]);
+      }
+    }
     // The PPO for flop f is listed at position PrimaryOutputs().size() +
     // index_of(f) and reads the driver's value; overwrite that slot.
     const auto flops = netlist_.Flops();
     for (std::size_t i = 0; i < flops.size(); ++i) {
       if (flops[i] == fault.node) {
-        response[netlist_.PrimaryOutputs().size() + i] = Mask(fault.stuck_value);
+        const std::size_t slot = netlist_.PrimaryOutputs().size() + i;
+        for (std::size_t l = 0; l < W; ++l) {
+          response[slot * W + l] = Mask(fault.stuck_value);
+        }
       }
     }
     return response;
@@ -158,31 +180,43 @@ std::vector<PatternWord> FaultSimulator::FaultyResponse(const StuckAtFault& faul
 
   Propagate(fault);
   for (NodeId id : outs) {
-    response.push_back(is_touched_[id] ? fval_[id] : good_->ValueOf(id));
+    const Word& v = is_touched_[id] ? fval_[id] : good_->BlockOf(id);
+    for (std::size_t l = 0; l < W; ++l) response.push_back(v.lane[l]);
   }
   Reset();
   return response;
 }
 
+template class FaultSimulatorT<1>;
+template class FaultSimulatorT<2>;
+template class FaultSimulatorT<4>;
+template class FaultSimulatorT<8>;
+
 std::size_t CountDetectedFaults(const netlist::Netlist& netlist,
                                 std::span<const BitPattern> patterns,
-                                std::span<const StuckAtFault> faults) {
-  FaultSimulator fsim(netlist);
-  const std::size_t width = netlist.CoreInputs().size();
-  std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
-  for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
-       base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    fsim.SetPatternBlock(PackPatternBlock(patterns, base, count, width));
-    const PatternWord mask = BlockMask(count);
-    std::vector<StuckAtFault> still;
-    still.reserve(remaining.size());
-    for (const StuckAtFault& f : remaining) {
-      if ((fsim.DetectWord(f) & mask) == 0) still.push_back(f);
+                                std::span<const StuckAtFault> faults,
+                                std::size_t block_width) {
+  return DispatchBlockWidth(block_width, [&](auto width) {
+    constexpr std::size_t W = width();
+    FaultSimulatorT<W> fsim(netlist);
+    const std::size_t width_inputs = netlist.CoreInputs().size();
+    std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
+    for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
+         base += W * 64) {
+      const std::size_t count =
+          std::min<std::size_t>(W * 64, patterns.size() - base);
+      fsim.SetPatternBlock(
+          PackPatternBlockWide(patterns, base, count, width_inputs, W));
+      const WideWord<W> mask = BlockMaskWide<W>(count);
+      std::vector<StuckAtFault> still;
+      still.reserve(remaining.size());
+      for (const StuckAtFault& f : remaining) {
+        if (!(fsim.DetectBlock(f) & mask).Any()) still.push_back(f);
+      }
+      remaining = std::move(still);
     }
-    remaining = std::move(still);
-  }
-  return faults.size() - remaining.size();
+    return faults.size() - remaining.size();
+  });
 }
 
 }  // namespace bistdse::sim

@@ -1,10 +1,15 @@
 // Event-driven parallel-pattern single-fault propagation (PPSFP).
 //
-// Usage: load a block of up to 64 patterns with SetPatternBlock(), then query
-// DetectWord(fault) for each still-undetected fault. Bit k of the returned
-// word is 1 iff pattern k of the block detects the fault at a primary output
-// or a flop D input (PPO). Callers implement fault dropping by removing
-// faults whose word is non-zero.
+// Usage: load a block of up to W*64 patterns with SetPatternBlock(), then
+// query DetectBlock(fault) for each still-undetected fault. Bit k of lane l
+// of the returned block is 1 iff pattern l*64+k of the block detects the
+// fault at a primary output or a flop D input (PPO). Callers implement
+// fault dropping by removing faults whose block is non-zero.
+//
+// `FaultSimulator` (= FaultSimulatorT<1>) is the classic 64-way simulator;
+// its DetectWord()/FaultyResponse() results are unchanged. A wide block is
+// equivalent to W sequential narrow blocks: every lane carries exactly the
+// detect word the narrow path would have produced for that 64-pattern slice.
 #pragma once
 
 #include <cstdint>
@@ -18,44 +23,57 @@
 
 namespace bistdse::sim {
 
-class FaultSimulator {
+template <std::size_t W>
+class FaultSimulatorT {
  public:
-  explicit FaultSimulator(const netlist::Netlist& netlist);
-  FaultSimulator(FaultSimulator&&) = default;
+  using Word = WideWord<W>;
+  static constexpr std::size_t kLanes = W;
+
+  explicit FaultSimulatorT(const netlist::Netlist& netlist);
+  FaultSimulatorT(FaultSimulatorT&&) = default;
 
   /// Cheap per-thread clone for fault-partitioned parallel sweeps: shares
   /// `parent`'s netlist and good-machine block read-only and only allocates
   /// its own propagation scratch. The parent must outlive the clone and owns
   /// the pattern block — SetPatternBlock() on a clone throws; the clone sees
   /// whatever block the parent loaded last.
-  static FaultSimulator WorkerClone(const FaultSimulator& parent);
+  static FaultSimulatorT WorkerClone(const FaultSimulatorT& parent);
 
-  /// Simulates the fault-free circuit for a block of patterns (words aligned
-  /// with CoreInputs()).
+  /// Simulates the fault-free circuit for a block of patterns (W words per
+  /// core input, lane 0 first — see LogicSimulatorT<W>::Simulate).
   void SetPatternBlock(std::span<const PatternWord> core_input_words);
 
-  /// Detection word of `fault` under the current block.
-  PatternWord DetectWord(const StuckAtFault& fault);
+  /// Detection block of `fault` under the current block: one detect word
+  /// per lane.
+  Word DetectBlock(const StuckAtFault& fault);
 
-  /// Faulty response at all core outputs under the current block. Used by
-  /// the diagnosis engine to build per-fault response signatures.
+  /// Lane-0 detection word — the full detection result at W = 1.
+  PatternWord DetectWord(const StuckAtFault& fault) {
+    return DetectBlock(fault).lane[0];
+  }
+
+  /// Faulty response at all core outputs under the current block, W
+  /// contiguous words (lane 0 first) per output — the same layout as
+  /// LogicSimulatorT<W>::CoreOutputValues(). Used by the diagnosis engine
+  /// to build per-fault response signatures.
   std::vector<PatternWord> FaultyResponse(const StuckAtFault& fault);
 
-  const LogicSimulator& Good() const { return *good_; }
+  const LogicSimulatorT<W>& Good() const { return *good_; }
   const netlist::Netlist& Circuit() const { return netlist_; }
 
  private:
-  FaultSimulator(const netlist::Netlist& netlist, const LogicSimulator* shared_good);
+  FaultSimulatorT(const netlist::Netlist& netlist,
+                  const LogicSimulatorT<W>* shared_good);
 
-  /// Propagates the fault effect and returns the detection word; leaves
+  /// Propagates the fault effect and returns the detection block; leaves
   /// faulty values in fval_/touched_ (caller must call Reset()).
-  PatternWord Propagate(const StuckAtFault& fault);
+  Word Propagate(const StuckAtFault& fault);
   void Reset();
 
   const netlist::Netlist& netlist_;
-  std::unique_ptr<LogicSimulator> good_owned_;  ///< Null in worker clones.
-  const LogicSimulator* good_;                  ///< Owned or the parent's.
-  std::vector<PatternWord> fval_;
+  std::unique_ptr<LogicSimulatorT<W>> good_owned_;  ///< Null in worker clones.
+  const LogicSimulatorT<W>* good_;                  ///< Owned or the parent's.
+  std::vector<Word> fval_;
   std::vector<std::uint8_t> is_touched_;
   std::vector<netlist::NodeId> touched_;
   std::vector<std::uint32_t> observed_count_;  // #observation points per node
@@ -63,10 +81,21 @@ class FaultSimulator {
   std::vector<std::uint8_t> in_queue_;
 };
 
+extern template class FaultSimulatorT<1>;
+extern template class FaultSimulatorT<2>;
+extern template class FaultSimulatorT<4>;
+extern template class FaultSimulatorT<8>;
+
+/// The classic 64-pattern fault simulator — unchanged semantics.
+using FaultSimulator = FaultSimulatorT<1>;
+
 /// Fraction bookkeeping helper used across the library: how many of
-/// `faults` are detected by `patterns` (with fault dropping).
+/// `faults` are detected by `patterns` (with fault dropping). `block_width`
+/// selects the wide datapath (W in {1, 2, 4, 8} — W*64 patterns per sweep);
+/// the count is identical for every width.
 std::size_t CountDetectedFaults(const netlist::Netlist& netlist,
                                 std::span<const BitPattern> patterns,
-                                std::span<const StuckAtFault> faults);
+                                std::span<const StuckAtFault> faults,
+                                std::size_t block_width = 1);
 
 }  // namespace bistdse::sim

@@ -37,33 +37,45 @@ PatternWord EvalGate(GateType type, std::span<const PatternWord> fanins) {
   return 0;
 }
 
-LogicSimulator::LogicSimulator(const netlist::Netlist& netlist)
-    : netlist_(netlist), values_(netlist.NodeCount(), 0) {
+template <std::size_t W>
+LogicSimulatorT<W>::LogicSimulatorT(const netlist::Netlist& netlist)
+    : netlist_(netlist), values_(netlist.NodeCount(), Word::Zero()) {
   if (!netlist.IsFinalized())
     throw std::invalid_argument("netlist must be finalized");
 }
 
-void LogicSimulator::Simulate(std::span<const PatternWord> words) {
+template <std::size_t W>
+void LogicSimulatorT<W>::Simulate(std::span<const PatternWord> words) {
   const auto inputs = netlist_.CoreInputs();
-  if (words.size() != inputs.size())
+  if (words.size() != inputs.size() * W)
     throw std::invalid_argument("input word count mismatch");
-  for (std::size_t i = 0; i < inputs.size(); ++i) values_[inputs[i]] = words[i];
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values_[inputs[i]] = Word::Load(words.data() + i * W);
+  }
 
-  std::vector<PatternWord> fanin_vals;
+  std::vector<const Word*> fanin_ptrs;
   for (netlist::NodeId id : netlist_.TopologicalOrder()) {
     const auto fanins = netlist_.FaninsOf(id);
-    fanin_vals.clear();
-    for (netlist::NodeId f : fanins) fanin_vals.push_back(values_[f]);
-    values_[id] = EvalGate(netlist_.TypeOf(id), fanin_vals);
+    fanin_ptrs.clear();
+    for (netlist::NodeId f : fanins) fanin_ptrs.push_back(&values_[f]);
+    values_[id] = EvalGateWide<W>(netlist_.TypeOf(id), fanin_ptrs);
   }
 }
 
-std::vector<PatternWord> LogicSimulator::CoreOutputValues() const {
+template <std::size_t W>
+std::vector<PatternWord> LogicSimulatorT<W>::CoreOutputValues() const {
   const auto outs = netlist_.CoreOutputs();
   std::vector<PatternWord> result;
-  result.reserve(outs.size());
-  for (netlist::NodeId id : outs) result.push_back(values_[id]);
+  result.reserve(outs.size() * W);
+  for (netlist::NodeId id : outs) {
+    for (std::size_t l = 0; l < W; ++l) result.push_back(values_[id].lane[l]);
+  }
   return result;
 }
+
+template class LogicSimulatorT<1>;
+template class LogicSimulatorT<2>;
+template class LogicSimulatorT<4>;
+template class LogicSimulatorT<8>;
 
 }  // namespace bistdse::sim

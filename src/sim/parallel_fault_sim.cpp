@@ -13,32 +13,38 @@ constexpr std::size_t kMinFaultsPerSlot = 64;
 
 }  // namespace
 
-ParallelFaultSimulator::ParallelFaultSimulator(const netlist::Netlist& netlist,
-                                               std::size_t threads,
-                                               util::ThreadPool* pool)
+template <std::size_t W>
+ParallelFaultSimulatorT<W>::ParallelFaultSimulatorT(
+    const netlist::Netlist& netlist, std::size_t threads,
+    util::ThreadPool* pool)
     : pool_(pool ? *pool : util::ThreadPool::Global()),
       threads_(threads ? threads : pool_.WorkerCount() + 1),
       primary_(netlist) {}
 
-void ParallelFaultSimulator::SetPatternBlock(
+template <std::size_t W>
+void ParallelFaultSimulatorT<W>::SetPatternBlock(
     std::span<const PatternWord> core_input_words) {
   primary_.SetPatternBlock(core_input_words);
 }
 
-std::size_t ParallelFaultSimulator::ChunkCount(std::size_t n) const {
+template <std::size_t W>
+std::size_t ParallelFaultSimulatorT<W>::ChunkCount(std::size_t n) const {
   const std::size_t by_grain = std::max<std::size_t>(1, n / kMinFaultsPerSlot);
   return std::min(threads_, by_grain);
 }
 
-void ParallelFaultSimulator::EnsureSlots(std::size_t count) {
+template <std::size_t W>
+void ParallelFaultSimulatorT<W>::EnsureSlots(std::size_t count) {
   while (clones_.size() + 1 < count) {
-    clones_.push_back(std::make_unique<FaultSimulator>(
-        FaultSimulator::WorkerClone(primary_)));
+    clones_.push_back(std::make_unique<FaultSimulatorT<W>>(
+        FaultSimulatorT<W>::WorkerClone(primary_)));
   }
 }
 
-void ParallelFaultSimulator::ForEachFault(
-    std::size_t n, const std::function<void(std::size_t, FaultSimulator&)>& fn) {
+template <std::size_t W>
+void ParallelFaultSimulatorT<W>::ForEachFault(
+    std::size_t n,
+    const std::function<void(std::size_t, FaultSimulatorT<W>&)>& fn) {
   if (n == 0) return;
   const std::size_t chunks = ChunkCount(n);
   if (chunks == 1) {
@@ -48,44 +54,64 @@ void ParallelFaultSimulator::ForEachFault(
   EnsureSlots(chunks);
   pool_.ParallelFor(0, n, chunks,
                     [&](std::size_t begin, std::size_t end, std::size_t slot) {
-                      FaultSimulator& sim =
+                      FaultSimulatorT<W>& sim =
                           slot == 0 ? primary_ : *clones_[slot - 1];
                       for (std::size_t i = begin; i < end; ++i) fn(i, sim);
                     });
 }
 
-void ParallelFaultSimulator::DetectWords(std::span<const StuckAtFault> faults,
-                                         std::span<PatternWord> detect) {
-  ForEachFault(faults.size(), [&](std::size_t i, FaultSimulator& sim) {
-    detect[i] = sim.DetectWord(faults[i]);
+template <std::size_t W>
+void ParallelFaultSimulatorT<W>::DetectBlocks(
+    std::span<const StuckAtFault> faults, std::span<Word> detect) {
+  ForEachFault(faults.size(), [&](std::size_t i, FaultSimulatorT<W>& sim) {
+    detect[i] = sim.DetectBlock(faults[i]);
   });
 }
+
+template <std::size_t W>
+void ParallelFaultSimulatorT<W>::DetectWords(
+    std::span<const StuckAtFault> faults, std::span<PatternWord> detect) {
+  ForEachFault(faults.size(), [&](std::size_t i, FaultSimulatorT<W>& sim) {
+    detect[i] = sim.DetectBlock(faults[i]).lane[0];
+  });
+}
+
+template class ParallelFaultSimulatorT<1>;
+template class ParallelFaultSimulatorT<2>;
+template class ParallelFaultSimulatorT<4>;
+template class ParallelFaultSimulatorT<8>;
 
 std::size_t ParallelCountDetectedFaults(const netlist::Netlist& netlist,
                                         std::span<const BitPattern> patterns,
                                         std::span<const StuckAtFault> faults,
-                                        std::size_t threads) {
-  ParallelFaultSimulator fsim(netlist, threads);
-  const std::size_t width = netlist.CoreInputs().size();
-  std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
-  std::vector<PatternWord> detect;
-  for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
-       base += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - base);
-    fsim.SetPatternBlock(PackPatternBlock(patterns, base, count, width));
-    const PatternWord mask = BlockMask(count);
-    detect.assign(remaining.size(), 0);
-    fsim.DetectWords(remaining, detect);
-    // Serial merge in fault order — the drop list stays identical to the
-    // serial sweep's.
-    std::vector<StuckAtFault> still;
-    still.reserve(remaining.size());
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      if ((detect[i] & mask) == 0) still.push_back(remaining[i]);
+                                        std::size_t threads,
+                                        std::size_t block_width) {
+  return DispatchBlockWidth(block_width, [&](auto width) {
+    constexpr std::size_t W = width();
+    ParallelFaultSimulatorT<W> fsim(netlist, threads);
+    const std::size_t input_width = netlist.CoreInputs().size();
+    std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
+    std::vector<WideWord<W>> detect;
+    for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
+         base += W * 64) {
+      const std::size_t count =
+          std::min<std::size_t>(W * 64, patterns.size() - base);
+      fsim.SetPatternBlock(
+          PackPatternBlockWide(patterns, base, count, input_width, W));
+      const WideWord<W> mask = BlockMaskWide<W>(count);
+      detect.assign(remaining.size(), WideWord<W>::Zero());
+      fsim.DetectBlocks(remaining, detect);
+      // Serial merge in fault order — the drop list stays identical to the
+      // serial sweep's.
+      std::vector<StuckAtFault> still;
+      still.reserve(remaining.size());
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (!(detect[i] & mask).Any()) still.push_back(remaining[i]);
+      }
+      remaining = std::move(still);
     }
-    remaining = std::move(still);
-  }
-  return faults.size() - remaining.size();
+    return faults.size() - remaining.size();
+  });
 }
 
 }  // namespace bistdse::sim

@@ -1,12 +1,14 @@
 // Fault-partitioned parallel simulation over a shared good-machine block.
 //
-// Per-fault detection under one 64-pattern block only reads the fault-free
-// node values, so the sweep over the fault list is embarrassingly parallel:
-// one FaultSimulator owns the good machine, per-slot worker clones share its
-// values read-only, and the fault index range is chunked across the shared
-// thread pool. Every sweep writes its results per fault index and merges
-// them in index order, which makes the outcome bit-identical to the serial
-// path for any thread count and any scheduling.
+// Per-fault detection under one W*64-pattern block only reads the
+// fault-free node values, so the sweep over the fault list is
+// embarrassingly parallel: one FaultSimulatorT<W> owns the good machine,
+// per-slot worker clones share its values read-only, and the fault index
+// range is chunked across the shared thread pool. Every sweep writes its
+// results per fault index and merges them in index order, which makes the
+// outcome bit-identical to the serial path for any thread count and any
+// scheduling. The thread fan-out composes multiplicatively with the wide
+// datapath: each worker sweeps W*64 patterns per fault visit.
 #pragma once
 
 #include <cstddef>
@@ -20,35 +22,44 @@
 
 namespace bistdse::sim {
 
-class ParallelFaultSimulator {
+template <std::size_t W>
+class ParallelFaultSimulatorT {
  public:
+  using Word = WideWord<W>;
+  static constexpr std::size_t kLanes = W;
+
   /// `threads` caps the sweep parallelism: 1 runs inline on the caller
   /// (bit-for-bit the serial path), 0 uses the executor's full width.
   /// `pool` defaults to util::ThreadPool::Global(); tests inject their own.
-  explicit ParallelFaultSimulator(const netlist::Netlist& netlist,
-                                  std::size_t threads = 0,
-                                  util::ThreadPool* pool = nullptr);
+  explicit ParallelFaultSimulatorT(const netlist::Netlist& netlist,
+                                   std::size_t threads = 0,
+                                   util::ThreadPool* pool = nullptr);
 
   /// Loads the fault-free block once; all slots observe it.
   void SetPatternBlock(std::span<const PatternWord> core_input_words);
 
-  const LogicSimulator& Good() const { return primary_.Good(); }
+  const LogicSimulatorT<W>& Good() const { return primary_.Good(); }
   const netlist::Netlist& Circuit() const { return primary_.Circuit(); }
 
   /// The owning serial simulator (slot 0) for callers that mix in serial
   /// queries between parallel sweeps.
-  FaultSimulator& Primary() { return primary_; }
+  FaultSimulatorT<W>& Primary() { return primary_; }
 
-  /// detect[i] = DetectWord(faults[i]) under the current block, computed in
-  /// parallel. `detect.size()` must equal `faults.size()`.
+  /// detect[i] = DetectBlock(faults[i]) under the current block, computed
+  /// in parallel. `detect.size()` must equal `faults.size()`.
+  void DetectBlocks(std::span<const StuckAtFault> faults,
+                    std::span<Word> detect);
+
+  /// Lane-0 detect words (the full result at W = 1); see DetectBlocks.
   void DetectWords(std::span<const StuckAtFault> faults,
                    std::span<PatternWord> detect);
 
   /// Generic fault-partitioned sweep: runs fn(i, sim) for every i in [0, n)
   /// where `sim` is the executing chunk's simulator sharing the current
   /// block. fn must only write state owned by index i.
-  void ForEachFault(std::size_t n,
-                    const std::function<void(std::size_t, FaultSimulator&)>& fn);
+  void ForEachFault(
+      std::size_t n,
+      const std::function<void(std::size_t, FaultSimulatorT<W>&)>& fn);
 
  private:
   std::size_t ChunkCount(std::size_t n) const;
@@ -56,16 +67,25 @@ class ParallelFaultSimulator {
 
   util::ThreadPool& pool_;
   std::size_t threads_;
-  FaultSimulator primary_;
-  std::vector<std::unique_ptr<FaultSimulator>> clones_;  ///< Slots 1, 2, ...
+  FaultSimulatorT<W> primary_;
+  std::vector<std::unique_ptr<FaultSimulatorT<W>>> clones_;  ///< Slots 1, 2, ...
 };
 
-/// Parallel CountDetectedFaults: same result as the serial helper (identical
-/// drop order, block by block), with each block's sweep fault-partitioned
-/// across `threads` workers.
+extern template class ParallelFaultSimulatorT<1>;
+extern template class ParallelFaultSimulatorT<2>;
+extern template class ParallelFaultSimulatorT<4>;
+extern template class ParallelFaultSimulatorT<8>;
+
+using ParallelFaultSimulator = ParallelFaultSimulatorT<1>;
+
+/// Parallel CountDetectedFaults: same result as the serial helper
+/// (identical drop order, superblock by superblock), with each block's
+/// sweep fault-partitioned across `threads` workers and each worker
+/// simulating `block_width`*64 patterns per fault visit.
 std::size_t ParallelCountDetectedFaults(const netlist::Netlist& netlist,
                                         std::span<const BitPattern> patterns,
                                         std::span<const StuckAtFault> faults,
-                                        std::size_t threads = 0);
+                                        std::size_t threads = 0,
+                                        std::size_t block_width = 1);
 
 }  // namespace bistdse::sim

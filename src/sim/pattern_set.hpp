@@ -1,6 +1,8 @@
-// Helpers for packing scan patterns into 64-way simulation words.
+// Helpers for packing scan patterns into parallel simulation words — the
+// classic 64-way blocks and the wide W*64-pattern blocks of WideWord<W>.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -12,25 +14,56 @@ namespace bistdse::sim {
 /// A fully specified test pattern: one bit (0/1) per core input.
 using BitPattern = std::vector<std::uint8_t>;
 
-/// Packs up to 64 patterns (patterns[begin] .. patterns[begin+count-1]) into
-/// per-input words: word[i] bit k = patterns[begin+k][i]. `count` <= 64.
-inline std::vector<PatternWord> PackPatternBlock(
+/// Packs up to `lanes`*64 patterns (patterns[begin] ..
+/// patterns[begin+count-1]) into per-input lane words: for pattern index k,
+/// bit k%64 of word [i*lanes + k/64] = patterns[begin+k][i]. The layout is
+/// exactly what LogicSimulatorT<lanes>::Simulate expects; `lanes` = 1 is the
+/// classic 64-way packing.
+inline std::vector<PatternWord> PackPatternBlockWide(
     std::span<const BitPattern> patterns, std::size_t begin, std::size_t count,
-    std::size_t width) {
-  std::vector<PatternWord> words(width, 0);
+    std::size_t width, std::size_t lanes) {
+  std::vector<PatternWord> words(width * lanes, 0);
   for (std::size_t k = 0; k < count; ++k) {
     const BitPattern& p = patterns[begin + k];
+    const std::size_t lane = k / 64;
+    const std::size_t bit = k % 64;
     for (std::size_t i = 0; i < width; ++i) {
-      words[i] |= static_cast<PatternWord>(p[i] & 1) << k;
+      words[i * lanes + lane] |= static_cast<PatternWord>(p[i] & 1) << bit;
     }
   }
   return words;
+}
+
+/// Packs up to 64 patterns into one word per input (lanes = 1).
+inline std::vector<PatternWord> PackPatternBlock(
+    std::span<const BitPattern> patterns, std::size_t begin, std::size_t count,
+    std::size_t width) {
+  return PackPatternBlockWide(patterns, begin, count, width, 1);
 }
 
 /// Mask with the low `count` bits set; used to ignore unused slots in a
 /// partially filled block.
 inline constexpr PatternWord BlockMask(std::size_t count) {
   return count >= 64 ? ~PatternWord{0} : ((PatternWord{1} << count) - 1);
+}
+
+/// How many of the `count` patterns of a wide block land in `lane`
+/// (0 for lanes past the fill, up to 64 for fully covered lanes).
+inline constexpr std::size_t LanePatternCount(std::size_t count,
+                                              std::size_t lane) {
+  return count <= lane * 64 ? 0 : std::min<std::size_t>(64, count - lane * 64);
+}
+
+/// Per-lane BlockMask of a wide block holding `count` <= W*64 patterns; the
+/// mask of a partially filled last block has all-ones lanes up to the fill
+/// boundary, one partial lane, and zero lanes after it.
+template <std::size_t W>
+constexpr WideWord<W> BlockMaskWide(std::size_t count) {
+  WideWord<W> mask{};
+  for (std::size_t l = 0; l < W; ++l) {
+    mask.lane[l] = BlockMask(LanePatternCount(count, l));
+  }
+  return mask;
 }
 
 }  // namespace bistdse::sim

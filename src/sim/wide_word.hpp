@@ -1,0 +1,126 @@
+// Multi-word parallel-pattern blocks: W consecutive 64-bit lanes simulated
+// together, so one sweep through the circuit evaluates W*64 patterns.
+//
+// Lane l, bit k of a WideWord holds pattern l*64+k of the current block —
+// i.e. the wide block is W narrow 64-pattern blocks laid out contiguously
+// per node. All bitwise operators loop over the lanes in index order, which
+// the compiler auto-vectorizes (SSE/AVX) because the lanes are contiguous
+// and the trip count is a compile-time constant.
+//
+// Determinism contract: every wide computation must equal the W sequential
+// narrow blocks it replaces, with reductions in block-then-lane-then-index
+// order. FirstSetBit() encodes that order for first-detection accounting.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+
+namespace bistdse::sim {
+
+using PatternWord = std::uint64_t;
+
+/// Widths the runtime dispatch accepts (see DispatchBlockWidth).
+inline constexpr std::array<std::size_t, 4> kSupportedBlockWidths = {1, 2, 4, 8};
+
+template <std::size_t W>
+struct alignas(W * sizeof(PatternWord)) WideWord {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8,
+                "block width must be 1, 2, 4, or 8 lanes");
+  static constexpr std::size_t kLanes = W;
+  static constexpr std::size_t kPatterns = W * 64;
+
+  // Natural alignment of the whole block (16/32/64 bytes for W = 2/4/8)
+  // keeps the vectorized lane ops on aligned full-width loads.
+  PatternWord lane[W];
+
+  static constexpr WideWord Zero() {
+    WideWord w{};
+    return w;
+  }
+  static constexpr WideWord Fill(PatternWord v) {
+    WideWord w{};
+    for (std::size_t l = 0; l < W; ++l) w.lane[l] = v;
+    return w;
+  }
+  static constexpr WideWord Ones() { return Fill(~PatternWord{0}); }
+
+  /// Loads W contiguous words (lane 0 first).
+  static WideWord Load(const PatternWord* src) {
+    WideWord w;
+    for (std::size_t l = 0; l < W; ++l) w.lane[l] = src[l];
+    return w;
+  }
+  void Store(PatternWord* dst) const {
+    for (std::size_t l = 0; l < W; ++l) dst[l] = lane[l];
+  }
+
+  constexpr bool Any() const {
+    PatternWord acc = 0;
+    for (std::size_t l = 0; l < W; ++l) acc |= lane[l];
+    return acc != 0;
+  }
+
+  /// Index (lane*64 + bit) of the lowest set bit in lane-then-bit order, or
+  /// -1 when no bit is set. This is the pattern index a sequential sweep of
+  /// W narrow blocks would have reported first.
+  constexpr int FirstSetBit() const {
+    for (std::size_t l = 0; l < W; ++l) {
+      if (lane[l] != 0) {
+        return static_cast<int>(l * 64) + std::countr_zero(lane[l]);
+      }
+    }
+    return -1;
+  }
+
+  constexpr WideWord& operator&=(const WideWord& o) {
+    for (std::size_t l = 0; l < W; ++l) lane[l] &= o.lane[l];
+    return *this;
+  }
+  constexpr WideWord& operator|=(const WideWord& o) {
+    for (std::size_t l = 0; l < W; ++l) lane[l] |= o.lane[l];
+    return *this;
+  }
+  constexpr WideWord& operator^=(const WideWord& o) {
+    for (std::size_t l = 0; l < W; ++l) lane[l] ^= o.lane[l];
+    return *this;
+  }
+  friend constexpr WideWord operator&(WideWord a, const WideWord& b) {
+    return a &= b;
+  }
+  friend constexpr WideWord operator|(WideWord a, const WideWord& b) {
+    return a |= b;
+  }
+  friend constexpr WideWord operator^(WideWord a, const WideWord& b) {
+    return a ^= b;
+  }
+  friend constexpr WideWord operator~(WideWord a) {
+    for (std::size_t l = 0; l < W; ++l) a.lane[l] = ~a.lane[l];
+    return a;
+  }
+  friend constexpr bool operator==(const WideWord&, const WideWord&) = default;
+};
+
+/// Calls `fn(std::integral_constant<std::size_t, W>{})` for the requested
+/// runtime width. All per-width code is stamped out at compile time; this is
+/// the single point where a config/CLI `block_width` enters the templates.
+template <typename Fn>
+decltype(auto) DispatchBlockWidth(std::size_t block_width, Fn&& fn) {
+  switch (block_width) {
+    case 1:
+      return fn(std::integral_constant<std::size_t, 1>{});
+    case 2:
+      return fn(std::integral_constant<std::size_t, 2>{});
+    case 4:
+      return fn(std::integral_constant<std::size_t, 4>{});
+    case 8:
+      return fn(std::integral_constant<std::size_t, 8>{});
+    default:
+      throw std::invalid_argument("block width must be 1, 2, 4, or 8");
+  }
+}
+
+}  // namespace bistdse::sim

@@ -1,0 +1,320 @@
+// Wide-datapath equivalence: every W > 1 simulation must be bit-identical
+// to the W = 1 baseline — detect words, coverage counts, profile tables,
+// dictionary windows/signatures and diagnosis rankings — at any thread
+// count. These tests pin the contract that a wide block equals W sequential
+// narrow 64-pattern blocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "bist/diagnosis.hpp"
+#include "bist/diagnosis_eval.hpp"
+#include "bist/fault_dictionary.hpp"
+#include "bist/profile_generator.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/parallel_fault_sim.hpp"
+#include "sim/pattern_set.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse {
+namespace {
+
+using sim::BitPattern;
+using sim::PatternWord;
+using sim::StuckAtFault;
+using sim::WideWord;
+
+std::vector<BitPattern> RandomPatterns(std::size_t count, std::size_t width,
+                                       std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<BitPattern> patterns(count);
+  for (auto& p : patterns) {
+    p.resize(width);
+    for (auto& b : p) b = rng.Chance(0.5);
+  }
+  return patterns;
+}
+
+// ---------------------------------------------------------------------------
+// WideWord primitives.
+
+TEST(WideWord, FirstSetBitWalksLanesInOrder) {
+  WideWord<4> w = WideWord<4>::Zero();
+  EXPECT_EQ(w.FirstSetBit(), -1);
+  w.lane[2] = PatternWord{1} << 17;
+  EXPECT_EQ(w.FirstSetBit(), 2 * 64 + 17);
+  w.lane[3] = PatternWord{1};  // later lane: must not win
+  EXPECT_EQ(w.FirstSetBit(), 2 * 64 + 17);
+  w.lane[0] = PatternWord{1} << 63;  // earliest lane wins even at bit 63
+  EXPECT_EQ(w.FirstSetBit(), 63);
+}
+
+TEST(WideWord, AnyAndOperators) {
+  EXPECT_FALSE(WideWord<2>::Zero().Any());
+  EXPECT_TRUE(WideWord<2>::Ones().Any());
+  WideWord<2> a = WideWord<2>::Zero();
+  a.lane[1] = 0x10;
+  EXPECT_TRUE(a.Any());
+  EXPECT_EQ((a & WideWord<2>::Zero()), WideWord<2>::Zero());
+  EXPECT_EQ((a | WideWord<2>::Zero()), a);
+  EXPECT_EQ((a ^ a), WideWord<2>::Zero());
+  EXPECT_EQ(~WideWord<2>::Zero(), WideWord<2>::Ones());
+}
+
+TEST(WideWord, BlockMaskWideCoversPartiallyFilledLastBlock) {
+  // 130 patterns in a W=4 block: lanes 0-1 full, lane 2 holds 2 patterns,
+  // lane 3 empty.
+  const WideWord<4> mask = sim::BlockMaskWide<4>(130);
+  EXPECT_EQ(mask.lane[0], ~PatternWord{0});
+  EXPECT_EQ(mask.lane[1], ~PatternWord{0});
+  EXPECT_EQ(mask.lane[2], PatternWord{0b11});
+  EXPECT_EQ(mask.lane[3], PatternWord{0});
+
+  EXPECT_EQ(sim::LanePatternCount(130, 0), 64u);
+  EXPECT_EQ(sim::LanePatternCount(130, 1), 64u);
+  EXPECT_EQ(sim::LanePatternCount(130, 2), 2u);
+  EXPECT_EQ(sim::LanePatternCount(130, 3), 0u);
+  EXPECT_EQ(sim::BlockMaskWide<4>(256), WideWord<4>::Ones());
+}
+
+TEST(WideWord, DispatchBlockWidthRejectsUnsupportedWidths) {
+  for (const std::size_t w : sim::kSupportedBlockWidths) {
+    EXPECT_EQ(sim::DispatchBlockWidth(w, [](auto width) {
+      return static_cast<std::size_t>(width());
+    }), w);
+  }
+  EXPECT_THROW(sim::DispatchBlockWidth(3, [](auto) {}), std::invalid_argument);
+  EXPECT_THROW(sim::DispatchBlockWidth(0, [](auto) {}), std::invalid_argument);
+  EXPECT_THROW(sim::DispatchBlockWidth(16, [](auto) {}), std::invalid_argument);
+}
+
+TEST(WideWord, PackPatternBlockWideMatchesNarrowPackingPerLane) {
+  const std::size_t width = 9;
+  const auto patterns = RandomPatterns(150, width, 3);
+  const auto wide = sim::PackPatternBlockWide(patterns, 0, 150, width, 4);
+  ASSERT_EQ(wide.size(), width * 4);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    const std::size_t count = sim::LanePatternCount(150, lane);
+    const auto narrow =
+        sim::PackPatternBlock(patterns, lane * 64, count, width);
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_EQ(wide[i * 4 + lane], narrow[i]) << "input " << i << " lane "
+                                               << lane;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Logic and fault simulation: every lane equals the narrow block it stands
+// for.
+
+template <std::size_t W>
+void ExpectWideSimMatchesNarrow(std::uint64_t seed) {
+  auto nl = bistdse::testing::MakeSmallRandom(seed, 200);
+  const std::size_t width = nl.CoreInputs().size();
+  const std::size_t count = W * 64 - 13;  // partial last lane
+  const auto patterns = RandomPatterns(count, width, seed + 1);
+  const auto faults = sim::CollapsedFaults(nl);
+
+  sim::FaultSimulatorT<W> wide(nl);
+  wide.SetPatternBlock(sim::PackPatternBlockWide(patterns, 0, count, width, W));
+  const WideWord<W> mask = sim::BlockMaskWide<W>(count);
+
+  sim::FaultSimulator narrow(nl);
+  for (std::size_t lane = 0; lane < W; ++lane) {
+    const std::size_t lane_count = sim::LanePatternCount(count, lane);
+    narrow.SetPatternBlock(
+        sim::PackPatternBlock(patterns, lane * 64, lane_count, width));
+    const PatternWord lane_mask = sim::BlockMask(lane_count);
+
+    // Good-machine values per output.
+    for (netlist::NodeId id : nl.CoreOutputs()) {
+      EXPECT_EQ(wide.Good().BlockOf(id).lane[lane] & lane_mask,
+                narrow.Good().ValueOf(id) & lane_mask)
+          << "lane " << lane;
+    }
+    // Detect words and faulty responses per fault.
+    for (std::size_t f = 0; f < faults.size(); f += 7) {
+      ASSERT_EQ(wide.DetectBlock(faults[f]).lane[lane] & lane_mask,
+                narrow.DetectWord(faults[f]) & lane_mask)
+          << "fault " << f << " lane " << lane;
+      const auto wide_resp = wide.FaultyResponse(faults[f]);
+      const auto narrow_resp = narrow.FaultyResponse(faults[f]);
+      ASSERT_EQ(wide_resp.size(), narrow_resp.size() * W);
+      for (std::size_t j = 0; j < narrow_resp.size(); ++j) {
+        ASSERT_EQ(wide_resp[j * W + lane] & lane_mask,
+                  narrow_resp[j] & lane_mask)
+            << "fault " << f << " output " << j << " lane " << lane;
+      }
+    }
+  }
+  // The unfilled tail of the last lane is don't-care (unfilled slots
+  // simulate with all-zero inputs, exactly like the narrow path); masking
+  // with BlockMaskWide must zero it.
+  for (std::size_t f = 0; f < faults.size(); f += 11) {
+    const WideWord<W> det = wide.DetectBlock(faults[f]) & mask;
+    for (std::size_t l = 0; l < W; ++l) {
+      EXPECT_EQ(det.lane[l] & ~sim::BlockMask(sim::LanePatternCount(count, l)),
+                PatternWord{0});
+    }
+  }
+}
+
+TEST(WideFaultSim, LanesMatchNarrowBlocksW2) { ExpectWideSimMatchesNarrow<2>(21); }
+TEST(WideFaultSim, LanesMatchNarrowBlocksW4) { ExpectWideSimMatchesNarrow<4>(22); }
+TEST(WideFaultSim, LanesMatchNarrowBlocksW8) { ExpectWideSimMatchesNarrow<8>(23); }
+
+TEST(WideFaultSim, CountDetectedFaultsIdenticalAcrossWidths) {
+  auto nl = bistdse::testing::MakeSmallRandom(24, 250);
+  const auto faults = sim::CollapsedFaults(nl);
+  const auto patterns = RandomPatterns(330, nl.CoreInputs().size(), 25);
+
+  const std::size_t expected =
+      sim::CountDetectedFaults(nl, patterns, faults, 1);
+  EXPECT_GT(expected, 0u);
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    EXPECT_EQ(sim::CountDetectedFaults(nl, patterns, faults, w), expected)
+        << "width " << w;
+  }
+}
+
+TEST(WideFaultSim, ParallelCountIdenticalAcrossWidthsAndThreads) {
+  auto nl = bistdse::testing::MakeSmallRandom(26, 250);
+  const auto faults = sim::CollapsedFaults(nl);
+  const auto patterns = RandomPatterns(200, nl.CoreInputs().size(), 27);
+
+  const std::size_t expected =
+      sim::CountDetectedFaults(nl, patterns, faults, 1);
+  for (const std::size_t w : sim::kSupportedBlockWidths) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(
+          sim::ParallelCountDetectedFaults(nl, patterns, faults, threads, w),
+          expected)
+          << "width " << w << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers: profiles, dictionary, diagnosis.
+
+bist::ProfileGeneratorConfig SmallProfileConfig(std::size_t block_width) {
+  bist::ProfileGeneratorConfig config;
+  config.prp_counts = {64, 256};
+  config.coverage_targets_percent = {100.0, 95.0};
+  config.fill_seeds = {11, 11};
+  config.stumps.num_scan_chains = 8;
+  config.stumps.max_chain_length = 16;
+  config.threads = 1;
+  config.block_width = block_width;
+  return config;
+}
+
+TEST(WideProfileGeneration, TablesIdenticalAcrossBlockWidths) {
+  auto nl = bistdse::testing::MakeSmallRandom(28, 300);
+  bist::ProfileGenerator narrow(nl, SmallProfileConfig(1));
+  const auto expected = narrow.GenerateAll();
+
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    // Exercise both the warm-up split and the pure wide phase.
+    for (const std::uint64_t warmup : {std::uint64_t{0}, std::uint64_t{96}}) {
+      auto config = SmallProfileConfig(w);
+      config.narrow_warmup_patterns = warmup;
+      bist::ProfileGenerator generator(nl, config);
+      const auto profiles = generator.GenerateAll();
+      EXPECT_EQ(bist::FormatProfileTable(expected),
+                bist::FormatProfileTable(profiles))
+          << "width " << w << " warmup " << warmup;
+      EXPECT_EQ(narrow.Stats().random_detected_at_max_prps,
+                generator.Stats().random_detected_at_max_prps);
+    }
+  }
+}
+
+TEST(WideFaultDictionary, WindowsAndSignaturesIdenticalAcrossWidths) {
+  auto nl = bistdse::testing::MakeSmallRandom(29, 200);
+  bist::StumpsConfig config;
+  config.num_scan_chains = 8;
+  config.max_chain_length = 16;
+  config.signature_window = 16;
+  auto faults = sim::CollapsedFaults(nl);
+  faults.resize(std::min<std::size_t>(faults.size(), 120));
+
+  const bist::FaultDictionary narrow(nl, config, 96, {}, faults, 1, 1);
+  std::vector<bist::FailDatum> fail_data = {{1, 0xDEAD, 0}, {3, 0xBEEF, 0}};
+  const auto expected_rank = narrow.Diagnose(fail_data, 10);
+
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    const bist::FaultDictionary wide(nl, config, 96, {}, faults, 1, w);
+    ASSERT_EQ(wide.WindowCount(), narrow.WindowCount());
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      const auto a = narrow.WindowsOf(f);
+      const auto b = wide.WindowsOf(f);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "fault " << f << " width " << w;
+    }
+    // Signature evidence must rank identically, score for score.
+    const auto ranked = wide.Diagnose(fail_data, 10);
+    ASSERT_EQ(ranked.size(), expected_rank.size());
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      EXPECT_EQ(ranked[i].fault, expected_rank[i].fault) << "width " << w;
+      EXPECT_EQ(ranked[i].score, expected_rank[i].score) << "width " << w;
+    }
+  }
+}
+
+TEST(WideDiagnosis, RankingIdenticalAcrossWidths) {
+  auto nl = bistdse::testing::MakeSmallRandom(30, 200);
+  bist::StumpsConfig config;
+  config.num_scan_chains = 8;
+  config.max_chain_length = 16;
+  config.signature_window = 16;
+  auto faults = sim::CollapsedFaults(nl);
+  faults.resize(std::min<std::size_t>(faults.size(), 80));
+  std::vector<bist::FailDatum> fail_data = {{0, 0x1234, 0}, {2, 0x5678, 0}};
+
+  const bist::SignatureDiagnosis narrow(nl, config, 96, {}, 1);
+  const auto expected = narrow.Diagnose(fail_data, faults, 15);
+
+  for (const std::size_t w : {2u, 4u, 8u}) {
+    const bist::SignatureDiagnosis wide(nl, config, 96, {}, w);
+    const auto ranked = wide.Diagnose(fail_data, faults, 15);
+    ASSERT_EQ(ranked.size(), expected.size()) << "width " << w;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      EXPECT_EQ(ranked[i].fault, expected[i].fault) << "width " << w;
+      EXPECT_EQ(ranked[i].score, expected[i].score) << "width " << w;
+    }
+  }
+}
+
+TEST(WideDiagnosisEval, AccuracyIdenticalAcrossWidths) {
+  auto nl = bistdse::testing::MakeSmallRandom(31, 200);
+  bist::StumpsConfig config;
+  config.num_scan_chains = 8;
+  config.max_chain_length = 16;
+  config.signature_window = 16;
+
+  bist::DiagnosisEvalOptions options;
+  options.num_random_patterns = 64;
+  options.max_samples = 10;
+  options.threads = 1;
+  options.block_width = 1;
+  const auto expected = bist::EvaluateDiagnosisAccuracy(nl, config, options);
+
+  for (const std::size_t w : {4u, 8u}) {
+    options.block_width = w;
+    const auto accuracy = bist::EvaluateDiagnosisAccuracy(nl, config, options);
+    EXPECT_EQ(accuracy.injected, expected.injected) << "width " << w;
+    EXPECT_EQ(accuracy.escaped, expected.escaped) << "width " << w;
+    EXPECT_EQ(accuracy.top1, expected.top1) << "width " << w;
+    EXPECT_EQ(accuracy.topk, expected.topk) << "width " << w;
+    EXPECT_EQ(accuracy.mean_rank, expected.mean_rank) << "width " << w;
+  }
+}
+
+}  // namespace
+}  // namespace bistdse

@@ -77,8 +77,9 @@ int Usage() {
       "           [--csv FILE] [--islands K] [--plan]\n"
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
       "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
+      "           [--block-width W]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
-      "           [--threads K]\n"
+      "           [--threads K] [--block-width W]\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n");
   return 2;
 }
@@ -110,9 +111,10 @@ int RunExplore(const Flags& flags) {
     dse::Explorer explorer(cs.spec, cs.augmentation, config);
     result = explorer.Run();
   }
-  std::printf("%zu evaluations in %.1f s -> %zu Pareto-optimal "
+  std::printf("%zu evaluations (%zu memoized) in %.1f s -> %zu Pareto-optimal "
               "implementations\n",
-              result.evaluations, result.wall_seconds, result.pareto.size());
+              result.evaluations, result.eval_cache_hits, result.wall_seconds,
+              result.pareto.size());
   std::printf("%s", dse::SummarizeFront(result,
                                         flags.Real("min-quality", 80.0))
                         .c_str());
@@ -178,6 +180,8 @@ int RunProfiles(const Flags& flags) {
   config.byte_scale = flags.Real("scale", 1.0);
   // 0 = all cores; results are bit-identical for every thread count.
   config.threads = flags.U64("threads", 0);
+  // W*64 patterns per fault-simulation sweep; bit-identical for every W.
+  config.block_width = flags.U64("block-width", 4);
   if (flags.Has("prps")) {
     config.prp_counts.clear();
     const std::string list = flags.Str("prps", "");
@@ -210,6 +214,7 @@ int RunDiagnose(const Flags& flags) {
   options.num_random_patterns = flags.U64("patterns", 512);
   options.max_samples = flags.U64("samples", 60);
   options.threads = flags.U64("threads", 0);
+  options.block_width = flags.U64("block-width", 4);
   const auto faults_total = sim::CollapsedFaults(cut).size();
   options.sample_stride =
       std::max<std::size_t>(1, faults_total / options.max_samples);
