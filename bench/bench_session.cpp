@@ -1,0 +1,138 @@
+// Session-executor benchmark: frame-accurate replay of all 15 case-study
+// BIST sessions, at zero loss and at 1 % injected frame loss. Reports the
+// executor's wall-clock throughput (simulated milliseconds per wall second,
+// sessions per second), the simulated-vs-analytical download deviation, and
+// the retry counts, and writes them to BENCH_session.json.
+//
+// Env: BISTDSE_SESS_ITERS (default 3) repetitions per loss rate.
+// Arg: output path (default BENCH_session.json).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dse/decoder.hpp"
+#include "net/session_executor.hpp"
+
+using namespace bistdse;
+
+namespace {
+
+/// Every ECU selects Table-I profile 4 with gateway pattern storage, so all
+/// sessions exercise the mirrored download + upload path.
+model::Implementation RemoteStorageImpl(const casestudy::CaseStudy& cs,
+                                        dse::SatDecoder& decoder) {
+  moea::Genotype g;
+  g.priorities.assign(decoder.GenotypeSize(), 0.5);
+  g.phases.assign(decoder.GenotypeSize(), 0);
+  const auto& mappings = cs.spec.Mappings();
+  for (const auto& [ecu, programs] : cs.augmentation.programs_by_ecu) {
+    const auto& prog = programs[3];
+    for (std::size_t m : cs.spec.MappingsOfTask(prog.test_task)) {
+      g.phases[m] = 1;
+      g.priorities[m] = 0.9;
+    }
+    for (std::size_t m : cs.spec.MappingsOfTask(prog.data_task)) {
+      const bool remote = mappings[m].resource != ecu;
+      g.phases[m] = remote ? 1 : 0;
+      g.priorities[m] = remote ? 0.8 : 0.1;
+    }
+  }
+  return *decoder.Decode(g);
+}
+
+struct Row {
+  double loss_rate;
+  std::size_t sessions;
+  bool all_completed;
+  double max_rel_error;
+  std::uint64_t retransmissions, dropped;
+  double simulated_ms;
+  double wall_seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_session.json";
+  bench::PrintHeader(
+      "Session executor — simulated vs analytical session timing",
+      "All 15 case-study ECUs download + run + upload their BIST session on\n"
+      "the discrete-event bus network (Table-I profile 4, data x 1/256,\n"
+      "gateway pattern storage). Zero loss cross-checks Eq. 1 within 5 %;\n"
+      "1 % frame loss must complete via transport retries.");
+
+  const auto iters = bench::EnvU64("BISTDSE_SESS_ITERS", 3);
+  auto cs = casestudy::BuildCaseStudy(casestudy::ScaledTableI(1.0 / 256, 4));
+  dse::SatDecoder decoder(cs.spec, cs.augmentation);
+  const auto impl = RemoteStorageImpl(cs, decoder);
+
+  std::vector<Row> rows;
+  for (const double loss : {0.0, 0.01}) {
+    net::SessionExecutorOptions options;
+    options.faults.drop_rate = loss;
+    options.faults.seed = 7;
+    net::SessionExecutor executor(cs.spec, cs.augmentation, options);
+
+    net::SessionExecutionReport report;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) report = executor.Execute(impl);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(iters);
+
+    Row row{loss, report.sessions.size(), report.all_completed,
+            report.max_download_rel_error, report.total_retransmissions,
+            report.total_frames_dropped, 0.0, wall};
+    for (const auto& s : report.sessions) row.simulated_ms += s.simulated_total_ms;
+    rows.push_back(row);
+
+    std::printf(
+        "loss %.2f %%: %zu sessions (%s) in %.3f s wall — %.0f simulated "
+        "ms/wall s, max download error %.2f %%, %llu retransmissions\n",
+        100.0 * loss, row.sessions,
+        row.all_completed ? "all completed" : "INCOMPLETE", wall,
+        row.simulated_ms / wall, 100.0 * row.max_rel_error,
+        static_cast<unsigned long long>(row.retransmissions));
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"session_executor\",\n"
+               "  \"iterations\": %llu,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(iters));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"frame_loss\": %.4f, \"sessions\": %zu, \"all_completed\": "
+        "%s, \"max_download_rel_error\": %.6f, \"retransmissions\": %llu, "
+        "\"frames_dropped\": %llu, \"sessions_per_second\": %.2f, "
+        "\"simulated_ms_per_wall_second\": %.1f}%s\n",
+        r.loss_rate, r.sessions, r.all_completed ? "true" : "false",
+        r.max_rel_error, static_cast<unsigned long long>(r.retransmissions),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<double>(r.sessions) / r.wall_seconds,
+        r.simulated_ms / r.wall_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("session benchmark written to %s\n", path);
+
+  // The benchmark doubles as an acceptance gate for CI: every session must
+  // complete, and at zero loss the simulation must land within 5 % of Eq. 1
+  // (under injected loss the retries legitimately stretch the downloads).
+  for (const Row& r : rows) {
+    if (!r.all_completed) return 1;
+    if (r.loss_rate == 0.0 && r.max_rel_error > 0.05) return 1;
+  }
+  return 0;
+}

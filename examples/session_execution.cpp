@@ -1,0 +1,95 @@
+// Frame-accurate session execution (paper §III): the analytical layer
+// (dse::PlanSessions, Eq. 1) promises a diagnostic-session timeline; the
+// net::SessionExecutor replays those sessions on a discrete-event model of
+// the routed bus network — mirrored slots, gateway store-and-forward,
+// segmented transport with flow control — and cross-checks every number.
+//
+// The example runs the case-study subnet twice: once on lossless buses,
+// where the simulated download must land within 5 % of the analytical
+// q(b^T), and once with 1 % injected frame loss, where every session must
+// still complete via the transport's bounded retries.
+//
+// Build & run:  ./build/examples/session_execution [trace.jsonl]
+#include <cstdio>
+#include <fstream>
+
+#include "casestudy/casestudy.hpp"
+#include "dse/decoder.hpp"
+#include "net/session_executor.hpp"
+
+using namespace bistdse;
+
+namespace {
+
+/// Every ECU selects Table-I profile 4 with gateway (remote) pattern
+/// storage, so all 15 sessions exercise the mirrored download path.
+model::Implementation RemoteStorageImpl(const casestudy::CaseStudy& cs,
+                                        dse::SatDecoder& decoder) {
+  moea::Genotype g;
+  g.priorities.assign(decoder.GenotypeSize(), 0.5);
+  g.phases.assign(decoder.GenotypeSize(), 0);
+  const auto& mappings = cs.spec.Mappings();
+  for (const auto& [ecu, programs] : cs.augmentation.programs_by_ecu) {
+    const auto& prog = programs[3];
+    for (std::size_t m : cs.spec.MappingsOfTask(prog.test_task)) {
+      g.phases[m] = 1;
+      g.priorities[m] = 0.9;
+    }
+    for (std::size_t m : cs.spec.MappingsOfTask(prog.data_task)) {
+      const bool remote = mappings[m].resource != ecu;
+      g.phases[m] = remote ? 1 : 0;
+      g.priorities[m] = remote ? 0.8 : 0.1;
+    }
+  }
+  return *decoder.Decode(g);
+}
+
+void PrintReport(const char* label, const net::SessionExecutionReport& r) {
+  std::printf("%s: %zu sessions, %s, max download error %.2f %%, "
+              "%llu retransmissions, %llu frames dropped\n",
+              label, r.sessions.size(),
+              r.all_completed ? "all completed" : "INCOMPLETE",
+              100.0 * r.max_download_rel_error,
+              static_cast<unsigned long long>(r.total_retransmissions),
+              static_cast<unsigned long long>(r.total_frames_dropped));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Table-I profiles with pattern data scaled 1/256 keep the 15-ECU sweep
+  // fast; the simulated-vs-analytical comparison is scale-free.
+  auto cs = casestudy::BuildCaseStudy(casestudy::ScaledTableI(1.0 / 256, 4));
+  dse::SatDecoder decoder(cs.spec, cs.augmentation);
+  const auto impl = RemoteStorageImpl(cs, decoder);
+
+  // Pass 1: lossless buses — the operational cross-check of Eq. 1.
+  net::SessionExecutor exact(cs.spec, cs.augmentation);
+  const auto clean = exact.Execute(impl);
+  PrintReport("zero loss", clean);
+  for (const auto& s : clean.sessions) {
+    std::printf("%s", net::FormatSessionExecution(cs.spec, s).c_str());
+  }
+
+  // Pass 2: 1 % frame loss — sessions complete via transport retries.
+  net::SessionExecutorOptions options;
+  options.faults.drop_rate = 0.01;
+  options.faults.seed = 7;
+  net::SessionExecutor lossy(cs.spec, cs.augmentation, options);
+  net::EventTrace trace;
+  const auto noisy = lossy.Execute(impl, &trace);
+  PrintReport("1 % loss ", noisy);
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    trace.WriteJsonl(out);
+    std::printf("event trace (%zu events) written to %s\n",
+                trace.Events().size(), argv[1]);
+  }
+
+  const bool ok = clean.all_completed && clean.all_wcrt_dominated &&
+                  clean.max_download_rel_error <= 0.05 && noisy.all_completed;
+  std::printf("%s\n", ok ? "operational validation PASSED"
+                         : "operational validation FAILED");
+  return ok ? 0 : 1;
+}

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <queue>
+#include <stdexcept>
 
 namespace bistdse::can {
+
+const MessageSimStats& SimulationResult::Of(CanId id) const {
+  const MessageSimStats* found = nullptr;
+  for (const auto& [key, stats] : per_message) {
+    if (key.id != id) continue;
+    if (found != nullptr) {
+      throw std::logic_error("CAN id " + std::to_string(id) +
+                             " exists on several buses; qualify the bus");
+    }
+    found = &stats;
+  }
+  if (found == nullptr) {
+    throw std::out_of_range("CAN id " + std::to_string(id) +
+                            " not present in simulation result");
+  }
+  return *found;
+}
+
+void SimulationResult::Merge(const SimulationResult& other) {
+  for (const auto& [key, stats] : other.per_message) {
+    if (!per_message.emplace(key, stats).second) {
+      throw std::logic_error("duplicate (bus, id) in merged results: " +
+                             key.bus + "/" + std::to_string(key.id));
+    }
+  }
+  bus_busy_ms += other.bus_busy_ms;
+  duration_ms = std::max(duration_ms, other.duration_ms);
+}
 
 namespace {
 
@@ -33,7 +62,7 @@ SimulationResult CanSimulator::Run(
       offset = it->second;
     }
     releases.push({offset, i});
-    result.per_message[messages[i].id] = {};
+    result.per_message[{bus_.Name(), messages[i].id}] = {};
   }
 
   // Ready frames ordered by priority (CAN id). Stores release time.
@@ -65,7 +94,7 @@ SimulationResult CanSimulator::Run(
     const double frame_time = m.FrameTimeMs(bus_.BitrateBps());
     const double finish = now + frame_time;
 
-    auto& stats = result.per_message[m.id];
+    auto& stats = result.per_message[{bus_.Name(), m.id}];
     ++stats.frames_sent;
     const double response = finish - release_time;
     stats.max_response_ms = std::max(stats.max_response_ms, response);

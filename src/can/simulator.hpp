@@ -24,14 +24,34 @@ struct MessageSimStats {
   }
 };
 
+/// Stats key: CAN ids are only unique per segment, so results that are
+/// merged across buses must carry the bus name to avoid aliasing two
+/// different messages that share an id.
+struct BusMessageKey {
+  std::string bus;
+  CanId id = 0;
+
+  auto operator<=>(const BusMessageKey&) const = default;
+};
+
 struct SimulationResult {
-  std::map<CanId, MessageSimStats> per_message;
+  std::map<BusMessageKey, MessageSimStats> per_message;
   double bus_busy_ms = 0.0;
   double duration_ms = 0.0;
 
   double Utilization() const {
     return duration_ms == 0.0 ? 0.0 : bus_busy_ms / duration_ms;
   }
+
+  /// Stats of `id`, asserting it exists on exactly one bus. Throws
+  /// std::out_of_range when absent, std::logic_error when the id appears on
+  /// several buses (use per_message with an explicit bus name instead).
+  const MessageSimStats& Of(CanId id) const;
+
+  /// Folds another segment's result into this one (busy time accumulates,
+  /// duration takes the max). Throws std::logic_error when a (bus, id) pair
+  /// appears in both results.
+  void Merge(const SimulationResult& other);
 };
 
 class CanSimulator {

@@ -1,5 +1,6 @@
 #include "casestudy/casestudy.hpp"
 
+#include <algorithm>
 #include <array>
 #include <limits>
 #include <stdexcept>
@@ -61,6 +62,18 @@ std::vector<bist::BistProfile> PaperTableI() {
     p.runtime_ms = r.l;
     p.data_bytes = r.s;
     profiles.push_back(p);
+  }
+  return profiles;
+}
+
+std::vector<bist::BistProfile> ScaledTableI(double data_scale,
+                                            std::size_t count) {
+  auto profiles = PaperTableI();
+  if (count < profiles.size()) profiles.resize(count);
+  for (bist::BistProfile& p : profiles) {
+    p.data_bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(p.data_bytes) * data_scale));
   }
   return profiles;
 }

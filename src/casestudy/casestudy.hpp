@@ -20,6 +20,14 @@ namespace bistdse::casestudy {
 /// 100 scan chains, max length 77, 40 MHz).
 std::vector<bist::BistProfile> PaperTableI();
 
+/// Table I with every pattern-data size scaled by `data_scale` (runtime and
+/// coverage untouched), truncated to the first `count` profiles. The
+/// frame-accurate session executor uses this to keep full-subnet simulations
+/// fast while preserving the profiles' relative shape; data_scale = 1 is
+/// Table I itself.
+std::vector<bist::BistProfile> ScaledTableI(double data_scale,
+                                            std::size_t count = 36);
+
 /// Number of collapsed faults of the paper's CUT.
 inline constexpr std::uint64_t kPaperCollapsedFaults = 371900;
 

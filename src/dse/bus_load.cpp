@@ -11,36 +11,28 @@ using model::ResourceId;
 using model::ResourceKind;
 using model::TaskId;
 
-BusLoadReport BusLoadValidator::Validate(
-    const model::BistAugmentation& augmentation,
-    const model::Implementation& impl) const {
-  const auto& app = spec_.Application();
-  const auto& arch = spec_.Architecture();
-  BusLoadReport report;
-
-  std::map<TaskId, ResourceId> bound_at;
-  for (std::size_t m : impl.binding) {
-    bound_at[spec_.Mappings()[m].task] = spec_.Mappings()[m].resource;
-  }
+RoutedBusNetwork BuildRoutedBusNetwork(const model::Specification& spec,
+                                       const model::Implementation& impl,
+                                       std::uint32_t id_stride) {
+  const auto& app = spec.Application();
+  const auto& arch = spec.Architecture();
+  RoutedBusNetwork net;
 
   // Functional messages per bus, ordered by (period, id) for priority
   // assignment: rate-monotonic-style, shorter period = higher priority.
-  std::map<ResourceId, std::vector<MessageId>> per_bus;
   for (const auto& [c, path] : impl.routing) {
     const Message& msg = app.GetMessage(c);
     if (msg.diagnostic) continue;
     for (ResourceId r : path) {
       if (arch.GetResource(r).kind == ResourceKind::Bus) {
-        per_bus[r].push_back(c);
+        net.per_bus[r].push_back(c);
       }
     }
   }
 
-  std::map<ResourceId, can::CanBus> buses;
   // Gateways re-map identifiers per segment: a message crossing two buses
   // has one id per bus.
-  std::map<std::pair<ResourceId, MessageId>, can::CanId> id_of;
-  for (auto& [bus_id, messages] : per_bus) {
+  for (auto& [bus_id, messages] : net.per_bus) {
     std::sort(messages.begin(), messages.end(),
               [&](MessageId a, MessageId b) {
                 const auto& ma = app.GetMessage(a);
@@ -60,10 +52,32 @@ BusLoadReport BusLoadValidator::Validate(
       cm.payload_bytes = msg.payload_bytes;
       cm.period_ms = msg.period_ms;
       bus.AddMessage(cm);
-      id_of[{bus_id, c}] = next_id;
-      next_id += id_stride_;
+      net.id_of[{bus_id, c}] = next_id;
+      next_id += id_stride;
     }
+    net.buses.emplace(bus_id, std::move(bus));
+  }
+  return net;
+}
 
+BusLoadReport BusLoadValidator::Validate(
+    const model::BistAugmentation& augmentation,
+    const model::Implementation& impl) const {
+  const auto& app = spec_.Application();
+  const auto& arch = spec_.Architecture();
+  BusLoadReport report;
+
+  std::map<TaskId, ResourceId> bound_at;
+  for (std::size_t m : impl.binding) {
+    bound_at[spec_.Mappings()[m].task] = spec_.Mappings()[m].resource;
+  }
+
+  RoutedBusNetwork routed = BuildRoutedBusNetwork(spec_, impl, id_stride_);
+  auto& per_bus = routed.per_bus;
+  auto& buses = routed.buses;
+  auto& id_of = routed.id_of;
+  for (const auto& [bus_id, messages] : per_bus) {
+    const can::CanBus& bus = buses.at(bus_id);
     BusLoadEntry entry;
     entry.bus = bus_id;
     entry.utilization = bus.Utilization();
@@ -71,7 +85,6 @@ BusLoadReport BusLoadValidator::Validate(
     entry.message_count = messages.size();
     report.all_schedulable &= entry.schedulable;
     report.buses.push_back(entry);
-    buses.emplace(bus_id, std::move(bus));
   }
 
   // End-to-end latency per routed functional message: the sum of the WCRT

@@ -36,6 +36,21 @@ struct EndToEndLatency {
   bool within_period = false;
 };
 
+/// Verdict of the frame-accurate execution layer (src/net) when it is run
+/// as an optional validation pass on top of the analytical report: the
+/// simulated transfer times and observed response times must respect the
+/// analytical bounds.
+struct OperationalValidation {
+  bool ran = false;
+  bool all_sessions_completed = false;
+  /// Observed worst response <= analytical WCRT for every (bus, id).
+  bool wcrt_dominated = false;
+  /// max |simulated - analytical q| / q over all mirrored downloads.
+  double max_download_rel_error = 0.0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t frames_dropped = 0;
+};
+
 struct BusLoadReport {
   std::vector<BusLoadEntry> buses;
   bool all_schedulable = true;
@@ -47,7 +62,25 @@ struct BusLoadReport {
   /// transfer's non-intrusiveness verdict.
   std::size_t mirrored_transfers_checked = 0;
   std::size_t mirrored_transfers_intrusive = 0;
+  /// Filled by net::AttachOperationalValidation after a simulated pass.
+  OperationalValidation operational;
 };
+
+/// The per-bus CAN view of an implementation's routed functional traffic —
+/// the shared substrate of the analytical validator below and the
+/// frame-accurate executor (src/net). Identifiers are assigned per segment
+/// in routing order with `id_stride` spacing, rate-monotonic-style (shorter
+/// period = higher priority); gateways re-map identifiers per crossing.
+struct RoutedBusNetwork {
+  std::map<model::ResourceId, can::CanBus> buses;
+  std::map<std::pair<model::ResourceId, model::MessageId>, can::CanId> id_of;
+  /// Functional messages per bus in priority order.
+  std::map<model::ResourceId, std::vector<model::MessageId>> per_bus;
+};
+
+RoutedBusNetwork BuildRoutedBusNetwork(const model::Specification& spec,
+                                       const model::Implementation& impl,
+                                       std::uint32_t id_stride = 16);
 
 class BusLoadValidator {
  public:

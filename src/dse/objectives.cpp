@@ -1,6 +1,7 @@
 #include "dse/objectives.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "can/canfd.hpp"
@@ -72,6 +73,7 @@ Objectives EvaluateImplementation(const model::Specification& spec,
             tx_it == tx_messages.end()
                 ? std::span<const can::CanMessage>{}
                 : std::span<const can::CanMessage>(tx_it->second);
+        double transfer_ms = 0.0;
         if (options.use_can_fd && !tx.empty()) {
           double bytes_per_ms = 0.0;
           for (const can::CanMessage& m : tx) {
@@ -80,10 +82,12 @@ Objectives EvaluateImplementation(const model::Specification& spec,
                     options.fd_payload_bytes)) /
                 m.period_ms;
           }
-          session_ms += static_cast<double>(data.data_bytes) / bytes_per_ms;
+          transfer_ms = static_cast<double>(data.data_bytes) / bytes_per_ms;
         } else {
-          session_ms += can::MirroredTransferTimeMs(data.data_bytes, tx);
+          transfer_ms = can::MirroredTransferTimeMs(data.data_bytes, tx);
         }
+        if (!std::isfinite(transfer_ms)) ++result.sessions_without_bandwidth;
+        session_ms += transfer_ms;
         if (data_it->second == gateway) {
           gateway_profiles.insert(
               (static_cast<std::uint64_t>(prog.cut_type) << 32) |

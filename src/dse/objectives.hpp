@@ -34,6 +34,11 @@ struct Objectives {
   double pattern_memory_cost = 0.0;
   std::uint32_t ecus_with_bist = 0;
   std::uint32_t ecus_allocated = 0;
+  /// Selected remote-storage programs whose ECU sends no functional payload:
+  /// Eq. (1) has no mirrored bandwidth to ride, so the session never
+  /// completes. Such implementations carry an infinite shut-off time (they
+  /// are dominated away) and this counter makes the rejection explicit.
+  std::uint32_t sessions_without_bandwidth = 0;
 
   /// MOEA view: all minimized (quality negated). With
   /// `include_transition_quality` the vector has four dimensions (the

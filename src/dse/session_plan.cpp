@@ -62,6 +62,16 @@ std::vector<SessionPlan> PlanSessions(
       if (!plan.patterns_local) {
         const double transfer =
             can::MirroredTransferTimeMs(data.data_bytes, tx);
+        if (!std::isfinite(transfer)) {
+          // No mirrored bandwidth (ECU sends nothing): casting the +inf
+          // frame count below would be UB, so reject the plan explicitly.
+          plan.feasible = false;
+          plan.phases.push_back({"pattern download (mirrored slots)", t,
+                                 transfer});
+          plan.total_ms = transfer;
+          plans.push_back(std::move(plan));
+          continue;
+        }
         phase("pattern download (mirrored slots)", transfer);
         // One frame per mirrored slot firing during the transfer.
         for (const can::CanMessage& m : tx) {
@@ -75,6 +85,14 @@ std::vector<SessionPlan> PlanSessions(
       double upload = 0.0;
       if (!tx.empty()) {
         upload = can::MirroredTransferTimeMs(bist::kFailDataBytes, tx);
+        if (!std::isfinite(upload)) {
+          // Zero-payload functional set: same divergence as the download.
+          plan.feasible = false;
+          plan.phases.push_back({"fail-data upload to b^R", t, upload});
+          plan.total_ms = upload;
+          plans.push_back(std::move(plan));
+          continue;
+        }
         for (const can::CanMessage& m : tx) {
           plan.fail_data_frames += static_cast<std::uint64_t>(
               std::ceil(upload / m.period_ms));
@@ -97,6 +115,10 @@ std::string FormatSessionPlan(const model::Specification& spec,
      << plan.profile_index + 1 << ", patterns "
      << (plan.patterns_local ? "local" : "remote") << ", total "
      << plan.total_ms << " ms\n";
+  if (!plan.feasible) {
+    ss << "  INFEASIBLE: no mirrored bandwidth"
+          " (ECU sends no functional payload)\n";
+  }
   for (const SessionPhase& phase : plan.phases) {
     ss << "  [" << phase.start_ms << " .. "
        << phase.start_ms + phase.duration_ms << " ms] " << phase.name << "\n";

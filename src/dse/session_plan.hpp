@@ -25,6 +25,10 @@ struct SessionPlan {
   model::ResourceId ecu = model::kInvalidId;
   std::uint32_t profile_index = 0;
   bool patterns_local = false;
+  /// False when the session needs a mirrored transfer but the ECU sends no
+  /// functional messages: Eq. (1) diverges (+inf), so the program is
+  /// explicitly rejected rather than planned with infinite phases.
+  bool feasible = true;
 
   std::vector<SessionPhase> phases;  ///< Contiguous, in execution order.
   double total_ms = 0.0;

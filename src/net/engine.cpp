@@ -1,0 +1,176 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bistdse::net {
+
+BusIndex NetworkEngine::AddBus(std::string name, double bitrate_bps) {
+  Bus bus;
+  bus.name = std::move(name);
+  bus.bitrate_bps = bitrate_bps;
+  buses_.push_back(std::move(bus));
+  return buses_.size() - 1;
+}
+
+std::size_t NetworkEngine::AddSlot(PeriodicSlot slot) {
+  if (slot.path.empty() || slot.path.size() != slot.hop_ids.size()) {
+    throw std::invalid_argument("slot path/hop_ids malformed");
+  }
+  for (BusIndex b : slot.path) {
+    if (b >= buses_.size()) throw std::invalid_argument("unknown bus in path");
+  }
+  if (slot.message.period_ms <= 0.0) {
+    throw std::invalid_argument("slot period must be positive");
+  }
+  if (slot.client != nullptr && slot.path.size() > 1) {
+    // Forwarded frames re-enter with empty metadata; a segmented transfer
+    // therefore spans exactly one segment (gateway <-> ECU), which is all
+    // the mirrored download/upload paths of the paper need.
+    throw std::invalid_argument("transport slots must be single-segment");
+  }
+  const auto index = static_cast<std::uint32_t>(slots_.size());
+  stats_.emplace_back(slot.path.size());
+  const double first = slot.first_release_ms;
+  slots_.push_back(std::move(slot));
+  Push(first, EventKind::Release, index, 0);
+  return index;
+}
+
+void NetworkEngine::Push(double time_ms, EventKind kind, std::uint32_t slot,
+                         std::uint32_t hop) {
+  events_.push(Event{time_ms, order_counter_++, kind, slot, hop});
+}
+
+double NetworkEngine::Run(double until_ms, const std::function<bool()>& stop) {
+  while (!events_.empty() && events_.top().time_ms <= until_ms) {
+    const Event e = events_.top();
+    events_.pop();
+    now_ms_ = e.time_ms;
+    switch (e.kind) {
+      case EventKind::Release:
+        HandleRelease(e.slot);
+        break;
+      case EventKind::HopArrival:
+        Enqueue(e.slot, e.hop, FrameMeta{}, now_ms_);
+        break;
+      case EventKind::BusFree:
+        HandleCompletion(e.hop);
+        if (stop && stop()) return now_ms_;
+        break;
+    }
+  }
+  now_ms_ = std::max(now_ms_, until_ms);
+  return now_ms_;
+}
+
+void NetworkEngine::HandleRelease(std::uint32_t slot_index) {
+  const PeriodicSlot& slot = slots_[slot_index];
+  Push(now_ms_ + slot.message.period_ms, EventKind::Release, slot_index, 0);
+
+  FrameMeta meta;
+  if (slot.client != nullptr) {
+    // A still-queued previous instance means the slot's last frame has not
+    // even started — do not offer the client a second in-flight frame on the
+    // same id (the controller buffer holds one frame per object).
+    Bus& bus = buses_[slot.path.front()];
+    if (bus.ready.count(slot.hop_ids.front()) > 0) return;
+    if (!slot.client->FillFrame(now_ms_, slot.message.payload_bytes, meta)) {
+      return;  // transport has nothing to send: the mirrored slot idles
+    }
+  }
+  Enqueue(slot_index, 0, meta, now_ms_);
+}
+
+void NetworkEngine::Enqueue(std::uint32_t slot_index, std::uint32_t hop,
+                            const FrameMeta& meta, double release_ms) {
+  const PeriodicSlot& slot = slots_[slot_index];
+  const BusIndex bus_index = slot.path[hop];
+  Bus& bus = buses_[bus_index];
+  // Overload semantics as in can::CanSimulator: a new functional instance
+  // replaces a previous one still queued on the same id.
+  bus.ready[slot.hop_ids[hop]] =
+      PendingFrame{slot_index, hop, release_ms, meta};
+  TraceFrame(TraceEventKind::FrameReleased, bus_index, slot.hop_ids[hop],
+             meta);
+  TryStart(bus_index);
+}
+
+void NetworkEngine::TryStart(BusIndex bus_index) {
+  Bus& bus = buses_[bus_index];
+  if (bus.busy || bus.ready.empty()) return;
+  const auto top = bus.ready.begin();
+  bus.in_flight = top->second;
+  bus.ready.erase(top);
+  bus.busy = true;
+  const PeriodicSlot& slot = slots_[bus.in_flight->slot];
+  const double frame_time = slot.message.FrameTimeMs(bus.bitrate_bps);
+  bus.busy_ms += frame_time;
+  Push(now_ms_ + frame_time, EventKind::BusFree, 0,
+       static_cast<std::uint32_t>(bus_index));
+}
+
+void NetworkEngine::HandleCompletion(BusIndex bus_index) {
+  Bus& bus = buses_[bus_index];
+  const PendingFrame frame = *bus.in_flight;
+  bus.in_flight.reset();
+  bus.busy = false;
+
+  const PeriodicSlot& slot = slots_[frame.slot];
+  const can::CanId id = slot.hop_ids[frame.hop];
+  SlotHopStats& stats = stats_[frame.slot][frame.hop];
+  ++stats.frames_sent;
+  const double response = now_ms_ - frame.release_ms;
+  stats.max_response_ms = std::max(stats.max_response_ms, response);
+  stats.total_response_ms += response;
+
+  const bool is_transport = frame.meta.transfer != 0;
+  const FrameFate fate =
+      injector_ != nullptr ? injector_->Judge(is_transport)
+                           : FrameFate::Delivered;
+  switch (fate) {
+    case FrameFate::Delivered:
+      TraceFrame(TraceEventKind::FrameCompleted, bus_index, id, frame.meta);
+      if (frame.hop + 1 < slot.path.size()) {
+        // Store-and-forward: the gateway re-releases the frame on the next
+        // segment after its processing delay.
+        Push(now_ms_ + gateway_delay_ms_, EventKind::HopArrival, frame.slot,
+             frame.hop + 1);
+        TraceFrame(TraceEventKind::GatewayForward, slot.path[frame.hop + 1],
+                   slot.hop_ids[frame.hop + 1], frame.meta);
+      } else if (slot.client != nullptr) {
+        slot.client->OnOutcome(now_ms_, frame.meta, fate);
+      }
+      break;
+    case FrameFate::Dropped:
+      ++stats.frames_dropped;
+      if (trace_ != nullptr && (trace_frames_ || is_transport)) {
+        trace_->Record({now_ms_, TraceEventKind::FrameDropped, bus.name, id,
+                        frame.meta.transfer, frame.meta.seq, ""});
+      }
+      if (slot.client != nullptr) {
+        slot.client->OnOutcome(now_ms_, frame.meta, fate);
+      }
+      break;
+    case FrameFate::Corrupted:
+      ++stats.frames_corrupted;
+      if (trace_ != nullptr && (trace_frames_ || is_transport)) {
+        trace_->Record({now_ms_, TraceEventKind::FrameCorrupted, bus.name, id,
+                        frame.meta.transfer, frame.meta.seq, ""});
+      }
+      if (slot.client != nullptr) {
+        slot.client->OnOutcome(now_ms_, frame.meta, fate);
+      }
+      break;
+  }
+  TryStart(bus_index);
+}
+
+void NetworkEngine::TraceFrame(TraceEventKind kind, BusIndex bus,
+                               can::CanId id, const FrameMeta& meta) {
+  if (trace_ == nullptr || !trace_frames_) return;
+  trace_->Record({now_ms_, kind, buses_[bus].name, id, meta.transfer,
+                  meta.seq, ""});
+}
+
+}  // namespace bistdse::net

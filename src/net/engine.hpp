@@ -1,0 +1,158 @@
+// Discrete-event vehicle-network engine: multiple CAN segments with
+// non-preemptive priority arbitration, worst-case stuff-bit frame times
+// (can::CanMessage::FrameTimeMs), and gateway store-and-forward between
+// segments.
+//
+// The engine executes *slots*: periodic transmission opportunities. A slot
+// without a client models functional background traffic (it always
+// transmits). A slot with a SlotClient asks the client for payload at every
+// firing — this is how the segmented transport rides the mirrored copies of
+// a shut-off ECU's functional messages without ever changing their timing.
+//
+// Unlike can::CanSimulator (single bus, closed-form critical instant), the
+// engine runs open-ended in phases, spans bus segments, and reports the
+// outcome of every frame to its producer, which is what the retry path of
+// the transport layer needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "can/message.hpp"
+#include "net/fault_injector.hpp"
+#include "net/trace.hpp"
+
+namespace bistdse::net {
+
+using BusIndex = std::size_t;
+
+/// Transport metadata piggy-backed on a frame. Functional frames keep
+/// transfer == 0.
+struct FrameMeta {
+  std::uint64_t transfer = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t data_bytes = 0;  ///< Goodput carried by this frame.
+  bool first_frame = false;      ///< ISO-TP-style first frame (length header).
+};
+
+/// Payload source/sink attached to a slot. FillFrame is called at each slot
+/// firing; OnOutcome reports the fate of every frame the client filled.
+class SlotClient {
+ public:
+  virtual ~SlotClient() = default;
+  /// Return false to leave the slot idle this period.
+  virtual bool FillFrame(double now_ms, std::uint32_t payload_capacity,
+                         FrameMeta& meta) = 0;
+  virtual void OnOutcome(double now_ms, const FrameMeta& meta,
+                         FrameFate fate) = 0;
+};
+
+/// One periodic transmission slot, possibly routed over several bus
+/// segments (the gateway forwards between consecutive path entries).
+struct PeriodicSlot {
+  can::CanMessage message;           ///< Payload size / period / jitter.
+  std::vector<BusIndex> path;        ///< Bus segments in traversal order.
+  std::vector<can::CanId> hop_ids;   ///< CAN id per segment (same size).
+  double first_release_ms = 0.0;
+  SlotClient* client = nullptr;      ///< nullptr: functional filler traffic.
+};
+
+struct SlotHopStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  double max_response_ms = 0.0;
+  double total_response_ms = 0.0;
+};
+
+class NetworkEngine {
+ public:
+  explicit NetworkEngine(FaultInjector* injector = nullptr,
+                         EventTrace* trace = nullptr,
+                         bool trace_frames = false)
+      : injector_(injector), trace_(trace), trace_frames_(trace_frames) {}
+
+  BusIndex AddBus(std::string name, double bitrate_bps);
+
+  /// Registers a slot and schedules its first release. `path` and `hop_ids`
+  /// must be non-empty and of equal size. Returns the slot index.
+  std::size_t AddSlot(PeriodicSlot slot);
+
+  void SetGatewayDelayMs(double delay_ms) { gateway_delay_ms_ = delay_ms; }
+
+  /// Advances simulated time to `until_ms` (events at exactly `until_ms`
+  /// are processed). When `stop` is given it is checked after every frame
+  /// outcome; the engine then returns early at the stopping event's time.
+  /// Run may be called repeatedly with increasing horizons — slot schedules
+  /// and queued frames persist across calls (phased execution).
+  double Run(double until_ms, const std::function<bool()>& stop = {});
+
+  double NowMs() const { return now_ms_; }
+  std::size_t SlotCount() const { return slots_.size(); }
+  const PeriodicSlot& Slot(std::size_t i) const { return slots_[i]; }
+  const SlotHopStats& StatsOf(std::size_t slot, std::size_t hop) const {
+    return stats_[slot][hop];
+  }
+  const std::string& BusName(BusIndex bus) const { return buses_[bus].name; }
+  double BusBusyMs(BusIndex bus) const { return buses_[bus].busy_ms; }
+
+ private:
+  enum class EventKind : std::uint8_t { Release, HopArrival, BusFree };
+
+  struct Event {
+    double time_ms;
+    std::uint64_t order;  ///< FIFO tie-break for determinism.
+    EventKind kind;
+    std::uint32_t slot;
+    std::uint32_t hop;  ///< For BusFree: the bus index.
+
+    bool operator>(const Event& other) const {
+      if (time_ms != other.time_ms) return time_ms > other.time_ms;
+      return order > other.order;
+    }
+  };
+
+  struct PendingFrame {
+    std::uint32_t slot;
+    std::uint32_t hop;
+    double release_ms;
+    FrameMeta meta;
+  };
+
+  struct Bus {
+    std::string name;
+    double bitrate_bps;
+    std::map<can::CanId, PendingFrame> ready;  ///< Priority order by id.
+    std::optional<PendingFrame> in_flight;
+    bool busy = false;
+    double busy_ms = 0.0;
+  };
+
+  void Push(double time_ms, EventKind kind, std::uint32_t slot,
+            std::uint32_t hop);
+  void HandleRelease(std::uint32_t slot_index);
+  void Enqueue(std::uint32_t slot_index, std::uint32_t hop,
+               const FrameMeta& meta, double release_ms);
+  void TryStart(BusIndex bus_index);
+  void HandleCompletion(BusIndex bus_index);
+  void TraceFrame(TraceEventKind kind, BusIndex bus, can::CanId id,
+                  const FrameMeta& meta);
+
+  FaultInjector* injector_;
+  EventTrace* trace_;
+  bool trace_frames_;
+  double gateway_delay_ms_ = 1.0;
+  double now_ms_ = 0.0;
+  std::uint64_t order_counter_ = 0;
+  std::vector<Bus> buses_;
+  std::vector<PeriodicSlot> slots_;
+  std::vector<std::vector<SlotHopStats>> stats_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+}  // namespace bistdse::net

@@ -1,0 +1,65 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace bistdse::net {
+
+const char* ToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::PhaseStart: return "phase_start";
+    case TraceEventKind::PhaseEnd: return "phase_end";
+    case TraceEventKind::FrameReleased: return "frame_released";
+    case TraceEventKind::FrameCompleted: return "frame_completed";
+    case TraceEventKind::FrameDropped: return "frame_dropped";
+    case TraceEventKind::FrameCorrupted: return "frame_corrupted";
+    case TraceEventKind::GatewayForward: return "gateway_forward";
+    case TraceEventKind::TransferStarted: return "transfer_started";
+    case TraceEventKind::TransferCompleted: return "transfer_completed";
+    case TraceEventKind::TransferFailed: return "transfer_failed";
+    case TraceEventKind::Retransmission: return "retransmission";
+    case TraceEventKind::FlowControl: return "flow_control";
+  }
+  return "unknown";
+}
+
+std::size_t EventTrace::CountKind(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void EventTrace::WriteJsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << "{\"t_ms\":" << e.time_ms << ",\"kind\":\"" << ToString(e.kind)
+        << '"';
+    if (!e.bus.empty()) {
+      out << ",\"bus\":";
+      WriteJsonString(out, e.bus);
+      out << ",\"id\":" << e.id;
+    }
+    if (e.transfer != 0) {
+      out << ",\"transfer\":" << e.transfer << ",\"seq\":" << e.seq;
+    }
+    if (!e.note.empty()) {
+      out << ",\"note\":";
+      WriteJsonString(out, e.note);
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace bistdse::net

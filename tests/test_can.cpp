@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "can/bus.hpp"
 #include "can/mirroring.hpp"
@@ -135,12 +136,12 @@ TEST(CanSimulator, AnalysisBoundsSimulation) {
 
   CanSimulator simulator(bus);
   const auto sim = simulator.Run(5000.0);
-  for (const auto& [id, stats] : sim.per_message) {
+  for (const auto& [key, stats] : sim.per_message) {
     ASSERT_GT(stats.frames_sent, 0u);
-    const auto bound = bus.ResponseTime(id);
+    const auto bound = bus.ResponseTime(key.id);
     ASSERT_TRUE(bound.has_value());
     EXPECT_LE(stats.max_response_ms, bound->worst_case_ms + 1e-9)
-        << "id " << id;
+        << "id " << key.id;
   }
   EXPECT_GT(sim.Utilization(), 0.0);
   EXPECT_LE(sim.Utilization(), 1.0 + 1e-9);
@@ -155,8 +156,33 @@ TEST(CanSimulator, StaggeredOffsetsReduceResponses) {
   const auto sync = simulator.Run(1000.0);
   const auto staggered =
       simulator.Run(1000.0, {{1, 0.0}, {2, 0.6}, {3, 1.2}});
-  EXPECT_LE(staggered.per_message.at(3).max_response_ms,
-            sync.per_message.at(3).max_response_ms);
+  EXPECT_LE(staggered.Of(3).max_response_ms, sync.Of(3).max_response_ms);
+}
+
+// Regression: stats used to be keyed by CAN id alone, so merging the results
+// of two segments silently fused messages that reuse an id (gateways re-map
+// ids per bus, making reuse the common case, not the exception).
+TEST(CanSimulator, StatsKeyedByBusAndId) {
+  CanBus body("body", 500e3);
+  body.AddMessage(Msg(1, 8, 10, "speed"));
+  CanBus chassis("chassis", 500e3);
+  chassis.AddMessage(Msg(1, 2, 5, "brake"));  // same id, different message
+
+  auto merged = CanSimulator(body).Run(1000.0);
+  merged.Merge(CanSimulator(chassis).Run(1000.0));
+
+  ASSERT_EQ(merged.per_message.size(), 2u);
+  const auto& body_stats = merged.per_message.at({"body", 1});
+  const auto& chassis_stats = merged.per_message.at({"chassis", 1});
+  EXPECT_EQ(body_stats.frames_sent, 100u);
+  EXPECT_EQ(chassis_stats.frames_sent, 200u);
+  EXPECT_NE(body_stats.max_response_ms, chassis_stats.max_response_ms);
+
+  // The id-only accessor refuses to guess between the two buses...
+  EXPECT_THROW(merged.Of(1), std::logic_error);
+  // ...and merging the same segment twice is a hard error, not a clobber.
+  EXPECT_THROW(merged.Merge(CanSimulator(body).Run(1.0)), std::logic_error);
+  EXPECT_THROW(merged.Of(999), std::out_of_range);
 }
 
 TEST(Mirroring, Eq1TransferTime) {
@@ -244,11 +270,10 @@ TEST(Mirroring, PlannedOffsetsReduceObservedResponses) {
   const auto offsets = PlanReleaseOffsets(bus);
   const auto planned = simulator.Run(2000.0, offsets);
   // The lowest-priority message benefits most from de-phasing.
-  EXPECT_LT(planned.per_message.at(4).max_response_ms,
-            sync.per_message.at(4).max_response_ms);
+  EXPECT_LT(planned.Of(4).max_response_ms, sync.Of(4).max_response_ms);
   // Offsets never violate the analytical bounds.
-  for (const auto& [id, stats] : planned.per_message) {
-    const auto bound = bus.ResponseTime(id);
+  for (const auto& [key, stats] : planned.per_message) {
+    const auto bound = bus.ResponseTime(key.id);
     ASSERT_TRUE(bound.has_value());
     EXPECT_LE(stats.max_response_ms, bound->worst_case_ms + 1e-9);
   }
@@ -278,17 +303,13 @@ TEST(Mirroring, SimulationConfirmsTimingTransparency) {
   const auto rb = sim_base.Run(2000.0);
   const auto rs = sim_swapped.Run(2000.0);
   for (CanId id : {0u, 32u, 64u}) {
-    EXPECT_DOUBLE_EQ(rs.per_message.at(id).max_response_ms,
-                     rb.per_message.at(id).max_response_ms)
+    EXPECT_DOUBLE_EQ(rs.Of(id).max_response_ms, rb.Of(id).max_response_ms)
         << "id " << id;
-    EXPECT_EQ(rs.per_message.at(id).frames_sent,
-              rb.per_message.at(id).frames_sent);
+    EXPECT_EQ(rs.Of(id).frames_sent, rb.Of(id).frames_sent);
   }
   // The mirrors themselves observe the same timing as the originals.
-  EXPECT_DOUBLE_EQ(rs.per_message.at(17).max_response_ms,
-                   rb.per_message.at(16).max_response_ms);
-  EXPECT_DOUBLE_EQ(rs.per_message.at(49).max_response_ms,
-                   rb.per_message.at(48).max_response_ms);
+  EXPECT_DOUBLE_EQ(rs.Of(17).max_response_ms, rb.Of(16).max_response_ms);
+  EXPECT_DOUBLE_EQ(rs.Of(49).max_response_ms, rb.Of(48).max_response_ms);
 }
 
 }  // namespace

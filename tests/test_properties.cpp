@@ -3,7 +3,10 @@
 
 #include "atpg/podem.hpp"
 #include "atpg/tpg.hpp"
+#include <set>
+
 #include "bist/reseeding.hpp"
+#include "can/mirroring.hpp"
 #include "can/simulator.hpp"
 #include "casestudy/casestudy.hpp"
 #include "dse/decoder.hpp"
@@ -120,16 +123,84 @@ TEST_P(CanBoundProperty, AnalysisDominatesSimulation) {
 
   can::CanSimulator simulator(bus);
   const auto sim_result = simulator.Run(2000.0);
-  for (const auto& [id, stats] : sim_result.per_message) {
-    const auto bound = bus.ResponseTime(id);
+  for (const auto& [key, stats] : sim_result.per_message) {
+    const auto bound = bus.ResponseTime(key.id);
     ASSERT_TRUE(bound.has_value());
     EXPECT_LE(stats.max_response_ms, bound->worst_case_ms + 1e-9)
-        << "id " << id << " seed " << GetParam();
+        << "id " << key.id << " seed " << GetParam();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CanBoundProperty,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Property (paper §III-B): on random schedulable buses, swapping one ECU's
+// message set for its mirrored copies (1) never lets any simulated response
+// exceed the analytical WCRT and (2) leaves the observed worst response of
+// every non-swapped message bit-identical — mirrored traffic is invisible to
+// the rest of the bus.
+class MirroredSwapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MirroredSwapProperty, MirroringIsInvisibleAndBounded) {
+  util::SplitMix64 rng(GetParam() ^ 0x5eed);
+  can::CanBus base("b", 500e3);
+  const int n = 4 + static_cast<int>(rng.Below(8));
+  for (int i = 0; i < n; ++i) {
+    can::CanMessage m;
+    m.id = static_cast<can::CanId>(i * 8);  // sparse: room for the +1 mirror
+    m.payload_bytes = static_cast<std::uint32_t>(1 + rng.Below(8));
+    const double periods[] = {5, 10, 20, 50, 100};
+    m.period_ms = periods[rng.Below(5)];
+    m.name = "m" + std::to_string(i);
+    base.AddMessage(m);
+  }
+  if (!base.Schedulable()) GTEST_SKIP() << "random set unschedulable";
+
+  // A random non-empty strict subset plays the shut-off ECU's TX set.
+  std::vector<can::CanMessage> ecu;
+  can::CanBus swapped("b'", 500e3);
+  for (const can::CanMessage& m : base.Messages()) {
+    if (ecu.size() + 1 < base.Messages().size() && rng.Chance(0.4)) {
+      ecu.push_back(m);
+    } else {
+      swapped.AddMessage(m);
+    }
+  }
+  if (ecu.empty()) GTEST_SKIP() << "empty swap set";
+  const auto mirrored = can::MakeMirroredMessages(ecu, 1);
+  for (const can::CanMessage& m : mirrored) swapped.AddMessage(m);
+
+  const auto rb = can::CanSimulator(base).Run(2000.0);
+  const auto rs = can::CanSimulator(swapped).Run(2000.0);
+
+  // (1) Analysis still dominates simulation on the swapped bus.
+  for (const auto& [key, stats] : rs.per_message) {
+    const auto bound = swapped.ResponseTime(key.id);
+    ASSERT_TRUE(bound.has_value()) << "id " << key.id;
+    EXPECT_LE(stats.max_response_ms, bound->worst_case_ms + 1e-9)
+        << "id " << key.id << " seed " << GetParam();
+  }
+
+  // (2) Non-swapped messages observe exactly the same worst response.
+  std::set<can::CanId> swapped_ids;
+  for (const can::CanMessage& m : ecu) swapped_ids.insert(m.id);
+  for (const auto& [key, stats] : rb.per_message) {
+    if (swapped_ids.count(key.id) > 0) continue;
+    EXPECT_DOUBLE_EQ(rs.Of(key.id).max_response_ms, stats.max_response_ms)
+        << "id " << key.id << " seed " << GetParam();
+    EXPECT_EQ(rs.Of(key.id).frames_sent, stats.frames_sent);
+  }
+  // And each mirror inherits its original's observed worst response.
+  for (const can::CanMessage& m : ecu) {
+    EXPECT_DOUBLE_EQ(rs.Of(m.id + 1).max_response_ms,
+                     rb.Of(m.id).max_response_ms)
+        << "mirror of id " << m.id << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MirroredSwapProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 // ---------------------------------------------------------------------------
 // Property: every genotype decodes to an implementation satisfying the full

@@ -27,6 +27,7 @@
 #include "dse/session_plan.hpp"
 #include "dse/report.hpp"  // WriteFrontCsv, DescribeImplementation, SummarizeFront
 #include "model/spec_io.hpp"
+#include "net/session_executor.hpp"
 
 using namespace bistdse;
 
@@ -76,12 +77,56 @@ int Usage() {
       "  explore  --evals N --pop N --seed N [--future] [--spec FILE]\n"
       "           [--csv FILE] [--islands K] [--plan]\n"
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
+      "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n"
       "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
       "           [--block-width W]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
       "           [--threads K] [--block-width W]\n"
-      "  plan     --spec FILE --impl FILE [--deadline MS]\n");
+      "  plan     --spec FILE --impl FILE [--deadline MS]\n"
+      "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n");
   return 2;
+}
+
+// --simulate-sessions: frame-accurate replay of every planned BIST session
+// on the implementation's routed bus network, cross-checked against the
+// analytical Eq.-1 / WCRT numbers. Returns 0 when every session completed
+// and no frame exceeded its analytical worst-case response time.
+int SimulateSessions(const model::Specification& spec,
+                     const model::BistAugmentation& augmentation,
+                     const model::Implementation& impl, const Flags& flags) {
+  net::SessionExecutorOptions options;
+  options.faults.drop_rate = flags.Real("frame-loss", 0.0);
+  options.faults.seed = flags.U64("seed", 1);
+  net::SessionExecutor executor(spec, augmentation, options);
+  net::EventTrace trace;
+  const bool want_trace = flags.Has("trace-out");
+  const auto report = executor.Execute(impl, want_trace ? &trace : nullptr);
+  for (const auto& session : report.sessions) {
+    std::printf("%s", net::FormatSessionExecution(spec, session).c_str());
+  }
+  std::printf(
+      "simulated %zu sessions (frame loss %.2f %%): %s, wcrt %s, "
+      "max download error %.2f %%, %llu retransmissions "
+      "(%llu dropped, %llu corrupted)\n",
+      report.sessions.size(), 100.0 * options.faults.drop_rate,
+      report.all_completed ? "all completed" : "INCOMPLETE",
+      report.all_wcrt_dominated ? "dominated" : "EXCEEDED",
+      100.0 * report.max_download_rel_error,
+      static_cast<unsigned long long>(report.total_retransmissions),
+      static_cast<unsigned long long>(report.total_frames_dropped),
+      static_cast<unsigned long long>(report.total_frames_corrupted));
+  if (want_trace) {
+    const std::string path = flags.Str("trace-out", "trace.jsonl");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    trace.WriteJsonl(out);
+    std::printf("event trace (%zu events) written to %s\n",
+                trace.Events().size(), path.c_str());
+  }
+  return report.all_completed && report.all_wcrt_dominated ? 0 : 1;
 }
 
 int RunExplore(const Flags& flags) {
@@ -165,6 +210,10 @@ int RunExplore(const Flags& flags) {
         for (const auto& plan : plans) {
           std::printf("%s", dse::FormatSessionPlan(cs.spec, plan).c_str());
         }
+      }
+      if (flags.Has("simulate-sessions")) {
+        SimulateSessions(cs.spec, cs.augmentation, picks[i]->implementation,
+                         flags);
       }
     }
   }
@@ -263,6 +312,9 @@ int RunPlan(const Flags& flags) {
                 deadline,
                 report.AllDeadlinesMet() ? "MET" : "VIOLATED",
                 report.deadline_violations.size());
+  }
+  if (flags.Has("simulate-sessions")) {
+    return SimulateSessions(parsed.spec, augmentation, impl, flags);
   }
   return 0;
 }
