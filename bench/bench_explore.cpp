@@ -1,0 +1,100 @@
+// Exploration-throughput benchmark over the shared EvaluationEngine: runs
+// the case-study DSE at 1 island and at N islands (one shared engine, one
+// shared objective memo) and reports evaluations per second, the memo
+// hit rate, and the island speedup to BENCH_explore.json.
+//
+// Env: BISTDSE_EXPLORE_EVALS (default 4000) per-island evaluation budget,
+//      BISTDSE_EXPLORE_ISLANDS (default 8) island count of the second row.
+// Arg: output path (default BENCH_explore.json).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "casestudy/casestudy.hpp"
+#include "dse/parallel.hpp"
+
+using namespace bistdse;
+
+namespace {
+
+struct Row {
+  std::size_t islands;
+  std::size_t evaluations;
+  std::size_t cache_hits;
+  std::size_t front;
+  double wall_seconds;
+  double throughput;
+
+  double HitRate() const {
+    return evaluations > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(evaluations)
+               : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_explore.json";
+  bench::PrintHeader(
+      "Exploration throughput — shared EvaluationEngine at 1 and N islands",
+      "Case-study NSGA-II exploration through the shared evaluation engine.\n"
+      "Islands share one implementation-signature memo, so the hit rate at\n"
+      "N islands includes cross-island hits the per-island caches missed.");
+
+  const auto evals = bench::EnvU64("BISTDSE_EXPLORE_EVALS", 4000);
+  const auto islands = bench::EnvU64("BISTDSE_EXPLORE_ISLANDS", 8);
+  auto cs = casestudy::BuildCaseStudy();
+
+  dse::ExplorationConfig config;
+  config.evaluations = evals;
+  config.population_size = 100;
+  config.seed = 1;
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {std::size_t{1}, static_cast<std::size_t>(islands)}) {
+    const auto result = dse::ExploreParallel(cs.spec, cs.augmentation, config, n);
+    rows.push_back({n, result.evaluations, result.eval_cache_hits,
+                    result.pareto.size(), result.wall_seconds,
+                    result.Throughput()});
+    std::printf(
+        "%zu island(s): %zu evaluations (%.1f %% memoized) in %.2f s -> "
+        "%.0f evals/s, front %zu\n",
+        n, result.evaluations, 100.0 * rows.back().HitRate(),
+        result.wall_seconds, result.Throughput(), result.pareto.size());
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"explore_throughput\",\n"
+               "  \"evaluations_per_island\": %llu,\n"
+               "  \"results\": [\n",
+               static_cast<unsigned long long>(evals));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"islands\": %zu, \"evaluations\": %zu, "
+                 "\"evals_per_second\": %.1f, \"cache_hit_rate\": %.4f, "
+                 "\"front_size\": %zu, \"wall_seconds\": %.3f}%s\n",
+                 r.islands, r.evaluations, r.throughput, r.HitRate(), r.front,
+                 r.wall_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("exploration benchmark written to %s\n", path);
+
+  // CI acceptance gate: every run must spend its full budget and produce a
+  // non-trivial front, and memoization must be doing real work.
+  for (const Row& r : rows) {
+    if (r.evaluations != r.islands * evals) return 1;
+    if (r.front < 4) return 1;
+    if (r.cache_hits == 0) return 1;
+  }
+  return 0;
+}

@@ -2,36 +2,13 @@
 
 #include <chrono>
 #include <limits>
-#include <unordered_map>
+#include <utility>
 
 #include "moea/archive.hpp"
-#include "moea/spea2.hpp"
 
 namespace bistdse::dse {
 
 namespace {
-
-/// FNV-1a content hash of a decoded implementation (allocation + binding +
-/// routing). Objective evaluation is a pure function of the implementation,
-/// so equal signatures let Run() reuse the memoized objectives.
-std::uint64_t ImplementationSignature(const model::Implementation& impl) {
-  std::uint64_t h = 14695981039346656037ull;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
-  mix(impl.allocation.size());
-  for (const bool a : impl.allocation) mix(a);
-  mix(impl.binding.size());
-  for (const std::size_t b : impl.binding) mix(b);
-  mix(impl.routing.size());
-  for (const auto& [msg, path] : impl.routing) {
-    mix(msg);
-    mix(path.size());
-    for (const model::ResourceId r : path) mix(r);
-  }
-  return h;
-}
 
 /// Corner genotypes: no BIST; per-ECU extreme profiles local/at-gateway.
 /// Selector picks the program per ECU; `local` the b^D placement.
@@ -68,60 +45,76 @@ moea::Genotype CornerGenotype(
   return g;
 }
 
+EvaluationEngineConfig EngineConfigFrom(const ExplorationConfig& config) {
+  EvaluationEngineConfig engine_config;
+  engine_config.validate_each_decode = config.validate_each_decode;
+  engine_config.threads = config.threads;
+  engine_config.evaluation = config.evaluation;
+  engine_config.stages =
+      config.stages.empty() ? DefaultStages(config.include_transition_objective)
+                            : config.stages;
+  return engine_config;
+}
+
 }  // namespace
 
 Explorer::Explorer(const model::Specification& spec,
                    const model::BistAugmentation& augmentation,
                    ExplorationConfig config)
-    : spec_(spec),
-      augmentation_(augmentation),
-      config_(config),
-      decoder_(spec, augmentation, config.validate_each_decode) {}
+    : owned_engine_(std::make_unique<EvaluationEngine>(
+          spec, augmentation, EngineConfigFrom(config))),
+      engine_(owned_engine_.get()),
+      config_(std::move(config)) {}
+
+Explorer::Explorer(EvaluationEngine& engine, ExplorationConfig config)
+    : engine_(&engine), config_(std::move(config)) {}
 
 ExplorationResult Explorer::Run(const moea::GenerationCallback& on_generation) {
   ExplorationResult result;
   const auto start = std::chrono::steady_clock::now();
 
+  EvaluationEngine::Session session = engine_->NewSession();
+  const model::Specification& spec = engine_->Spec();
+  const model::BistAugmentation& augmentation = engine_->Augmentation();
+
   moea::ParetoArchive archive;
   std::vector<ExplorationEntry> store;
 
-  // Objective memo: the SAT decoder maps many genotypes to few distinct
-  // implementations, so whole-implementation memoization skips a large share
-  // of the (dominant) objective-evaluation cost. The archive/store path below
-  // is unchanged — hits produce the very vector a fresh evaluation would.
-  std::unordered_map<std::uint64_t, Objectives> memo;
-
-  const moea::Evaluator evaluator =
-      [&](const moea::Genotype& genotype)
-      -> std::optional<moea::ObjectiveVector> {
-    auto impl = decoder_.Decode(genotype);
-    if (!impl) return std::nullopt;
-    const std::uint64_t signature = ImplementationSignature(*impl);
-    const auto hit = memo.find(signature);
-    if (hit != memo.end()) ++result.eval_cache_hits;
-    const Objectives objectives =
-        hit != memo.end()
-            ? hit->second
-            : memo
-                  .emplace(signature,
-                           EvaluateImplementation(spec_, augmentation_, *impl,
-                                                  config_.evaluation))
-                  .first->second;
-    auto vec =
-        objectives.ToMinimizationVector(config_.include_transition_objective);
-    if (archive.Offer(vec, store.size())) {
-      store.push_back({objectives, std::move(*impl)});
+  // Both paths offer to the archive in genotype order — batched evaluation
+  // produces the exact Offer sequence of the one-by-one path, which is what
+  // makes the front bit-identical across thread counts.
+  const auto offer = [&archive, &store](EvaluationEngine::Evaluated&& evaluated)
+      -> moea::ObjectiveVector {
+    if (archive.Offer(evaluated.vector, store.size())) {
+      store.push_back(
+          {evaluated.objectives, std::move(evaluated.implementation)});
     }
-    return vec;
+    return std::move(evaluated.vector);
+  };
+  moea::PopulationEvaluator evaluator;
+  evaluator.single = [&](const moea::Genotype& genotype)
+      -> std::optional<moea::ObjectiveVector> {
+    auto evaluated = session.Evaluate(genotype);
+    if (!evaluated) return std::nullopt;
+    return offer(std::move(*evaluated));
+  };
+  evaluator.batch = [&](std::span<const moea::Genotype> genotypes) {
+    auto evaluated = session.EvaluateBatch(genotypes);
+    std::vector<std::optional<moea::ObjectiveVector>> vectors(evaluated.size());
+    for (std::size_t i = 0; i < evaluated.size(); ++i) {
+      if (!evaluated[i]) continue;
+      vectors[i] = offer(std::move(*evaluated[i]));
+    }
+    return vectors;
   };
 
-  moea::Nsga2Config moea_config;
+  moea::AlgorithmConfig moea_config;
   moea_config.population_size = config_.population_size;
-  moea_config.genotype_size = decoder_.GenotypeSize();
+  moea_config.genotype_size = session.GenotypeSize();
   moea_config.mutation_rate = config_.mutation_rate;
   moea_config.seed = config_.seed;
   if (config_.seed_corners) {
-    const std::size_t genes = decoder_.GenotypeSize();
+    const std::size_t genes = session.GenotypeSize();
     auto fastest = [](const model::ApplicationGraph& app,
                       const model::BistProgram& a,
                       const model::BistProgram& b) {
@@ -141,13 +134,13 @@ ExplorationResult Explorer::Run(const moea::GenerationCallback& on_generation) {
              app.GetTask(b.test_task).fault_coverage_percent;
     };
     moea_config.initial_genotypes.push_back(CornerGenotype(
-        spec_, augmentation_, genes, false, false, fastest));  // no BIST
+        spec, augmentation, genes, false, false, fastest));  // no BIST
     moea_config.initial_genotypes.push_back(CornerGenotype(
-        spec_, augmentation_, genes, true, true, fastest));  // local, fast
+        spec, augmentation, genes, true, true, fastest));  // local, fast
     moea_config.initial_genotypes.push_back(CornerGenotype(
-        spec_, augmentation_, genes, true, false, smallest));  // gw, cheap
+        spec, augmentation, genes, true, false, smallest));  // gw, cheap
     moea_config.initial_genotypes.push_back(CornerGenotype(
-        spec_, augmentation_, genes, true, false, best_coverage));  // gw, best
+        spec, augmentation, genes, true, false, best_coverage));  // gw, best
   }
   if (config_.stagnation_generations > 0) {
     moea_config.should_stop = [&store, last = std::size_t{0},
@@ -164,28 +157,18 @@ ExplorationResult Explorer::Run(const moea::GenerationCallback& on_generation) {
       return stagnant >= limit;
     };
   }
-  moea::Nsga2Result moea_result;
-  if (config_.algorithm == MoeaAlgorithm::Spea2) {
-    moea::Spea2Config spea_config;
-    spea_config.population_size = moea_config.population_size;
-    spea_config.archive_size = moea_config.population_size;
-    spea_config.genotype_size = moea_config.genotype_size;
-    spea_config.mutation_rate = moea_config.mutation_rate;
-    spea_config.seed = moea_config.seed;
-    spea_config.initial_genotypes = moea_config.initial_genotypes;
-    spea_config.should_stop = moea_config.should_stop;
-    moea::Spea2 spea2(spea_config);
-    moea_result = spea2.Run(evaluator, config_.evaluations, on_generation);
-  } else {
-    moea::Nsga2 nsga2(moea_config);
-    moea_result = nsga2.Run(evaluator, config_.evaluations, on_generation);
-  }
+
+  const std::unique_ptr<moea::Algorithm> algorithm =
+      moea::MakeAlgorithm(config_.algorithm, std::move(moea_config));
+  const moea::MoeaResult moea_result =
+      algorithm->Run(evaluator, config_.evaluations, on_generation);
 
   result.evaluations = moea_result.evaluations;
   for (const auto& entry : archive.Entries()) {
     result.pareto.push_back(store[entry.payload]);
   }
-  result.decoder_stats = decoder_.Stats();
+  result.eval_cache_hits = static_cast<std::size_t>(session.CacheHits());
+  result.decoder_stats = session.Decoder();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -1,25 +1,29 @@
-// The exploration driver: NSGA-II over SAT-decoding genotypes, evaluating
-// test quality / shut-off time / monetary costs — the full design flow of
-// paper Fig. 2.
+// The exploration driver: an MOEA (NSGA-II or SPEA2 behind the shared
+// moea::Algorithm interface) over SAT-decoding genotypes, evaluated through
+// the shared dse::EvaluationEngine — the full design flow of paper Fig. 2.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "dse/decoder.hpp"
+#include "dse/evaluation_engine.hpp"
 #include "dse/objectives.hpp"
-#include "moea/nsga2.hpp"
+#include "moea/algorithm.hpp"
 
 namespace bistdse::dse {
 
-enum class MoeaAlgorithm : std::uint8_t { Nsga2, Spea2 };
+/// The exploration's MOEA (see moea/algorithm.hpp for the name parsers).
+using MoeaAlgorithm = moea::AlgorithmKind;
 
 struct ExplorationConfig {
   MoeaAlgorithm algorithm = MoeaAlgorithm::Nsga2;
   std::size_t evaluations = 20000;
   std::size_t population_size = 100;
   /// Per-gene mutation probability; <= 0 selects the MOEA's 1/n default.
+  /// Plumbed through moea::AlgorithmConfig, so every algorithm honors it.
   double mutation_rate = -1.0;
   std::uint64_t seed = 1;
   /// Validate every decoded implementation against the full constraint
@@ -35,10 +39,18 @@ struct ExplorationConfig {
   /// consecutive generations (0 = run the full evaluation budget).
   std::size_t stagnation_generations = 0;
   /// Optimize transition-test quality as a fourth objective (requires
-  /// profiles carrying transition_coverage_percent).
+  /// profiles carrying transition_coverage_percent). Shorthand for
+  /// `stages = DefaultStages(true)`.
   bool include_transition_objective = false;
   /// Objective-evaluation options (e.g. CAN FD mirrored downloads).
   EvaluationOptions evaluation;
+  /// Parallelism of batched objective evaluation (EvaluationEngineConfig::
+  /// threads): 1 = strictly serial, 0 = one chunk per pool worker. The
+  /// Pareto front is bit-identical for every value.
+  std::size_t threads = 1;
+  /// Explicit objective pipeline; empty derives it from
+  /// `include_transition_objective` via DefaultStages().
+  StageList stages;
 };
 
 struct ExplorationEntry {
@@ -47,12 +59,12 @@ struct ExplorationEntry {
 };
 
 struct ExplorationResult {
-  /// Pareto-optimal implementations (non-dominated in all three objectives).
+  /// Pareto-optimal implementations (non-dominated in all objectives).
   std::vector<ExplorationEntry> pareto;
   std::size_t evaluations = 0;
-  /// Evaluations answered from the implementation-signature memo instead of
-  /// a full objective evaluation (SAT decoding regularly reproduces the same
-  /// implementation from different genotypes).
+  /// Evaluations answered from the engine's implementation-signature memo
+  /// instead of a full objective evaluation (SAT decoding regularly
+  /// reproduces the same implementation from different genotypes).
   std::size_t eval_cache_hits = 0;
   double wall_seconds = 0.0;
   DecoderStats decoder_stats;
@@ -66,18 +78,26 @@ struct ExplorationResult {
 
 class Explorer {
  public:
+  /// Owns a private EvaluationEngine configured from `config`.
   /// `spec`/`augmentation` must outlive the explorer.
   Explorer(const model::Specification& spec,
            const model::BistAugmentation& augmentation,
            ExplorationConfig config);
 
+  /// Shares `engine` (and its memo/stages/options) with other explorations —
+  /// the island-parallel path. The engine's evaluation settings win over the
+  /// corresponding ExplorationConfig fields; `engine` must outlive the
+  /// explorer.
+  Explorer(EvaluationEngine& engine, ExplorationConfig config);
+
   ExplorationResult Run(const moea::GenerationCallback& on_generation = {});
 
+  EvaluationEngine& Engine() { return *engine_; }
+
  private:
-  const model::Specification& spec_;
-  const model::BistAugmentation& augmentation_;
+  std::unique_ptr<EvaluationEngine> owned_engine_;
+  EvaluationEngine* engine_;
   ExplorationConfig config_;
-  SatDecoder decoder_;
 };
 
 }  // namespace bistdse::dse

@@ -1,158 +1,22 @@
 #include "dse/objectives.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <set>
-
-#include "can/canfd.hpp"
-#include "can/mirroring.hpp"
+#include "dse/evaluation_engine.hpp"
 
 namespace bistdse::dse {
 
-using model::ApplicationGraph;
-using model::Message;
-using model::ResourceId;
-using model::Task;
-using model::TaskId;
-using model::TaskKind;
+moea::ObjectiveVector Objectives::ToMinimizationVector(
+    const StageList& stages) const {
+  moea::ObjectiveVector out;
+  for (const auto& stage : stages) stage->AppendMinimization(*this, out);
+  return out;
+}
 
 Objectives EvaluateImplementation(const model::Specification& spec,
                                   const model::BistAugmentation& augmentation,
                                   const model::Implementation& impl,
                                   const EvaluationOptions& options) {
-  const ApplicationGraph& app = spec.Application();
-  const auto& arch = spec.Architecture();
-  Objectives result;
-
-  // Resource of every bound task (one pass over the binding).
-  std::map<TaskId, ResourceId> bound_at;
-  for (std::size_t m : impl.binding) {
-    bound_at[spec.Mappings()[m].task] = spec.Mappings()[m].resource;
-  }
-
-  // Functional TX messages per ECU — the set I of Eq. (1).
-  std::map<ResourceId, std::vector<can::CanMessage>> tx_messages;
-  for (model::MessageId c = 0; c < app.MessageCount(); ++c) {
-    const Message& msg = app.GetMessage(c);
-    if (msg.diagnostic) continue;
-    const auto it = bound_at.find(msg.sender);
-    if (it == bound_at.end()) continue;
-    can::CanMessage cm;
-    cm.name = msg.name;
-    cm.payload_bytes = msg.payload_bytes;
-    cm.period_ms = msg.period_ms;
-    tx_messages[it->second].push_back(cm);
-  }
-
-  // --- test quality (Eq. 4) and shut-off time (Eq. 5) --------------------
-  double coverage_sum = 0.0;
-  double transition_sum = 0.0;
-  double shutoff_ms = 0.0;
-  const ResourceId gateway = arch.Gateway();
-
-  // Gateway memory dedup key: (cut type, profile index) — identical silicon
-  // shares one encoded copy.
-  std::set<std::uint64_t> gateway_profiles;
-  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
-    for (const auto& prog : programs) {
-      const auto test_it = bound_at.find(prog.test_task);
-      if (test_it == bound_at.end()) continue;
-      const Task& test = app.GetTask(prog.test_task);
-      const Task& data = app.GetTask(prog.data_task);
-      coverage_sum += test.fault_coverage_percent;
-      transition_sum += test.transition_coverage_percent;
-      ++result.ecus_with_bist;
-
-      const auto data_it = bound_at.find(prog.data_task);
-      double session_ms = test.runtime_ms;
-      if (data_it != bound_at.end() && data_it->second != ecu) {
-        // Patterns transmitted first: Eq. (1) over the ECU's functional
-        // messages (or their CAN FD upgrades).
-        const auto tx_it = tx_messages.find(ecu);
-        const std::span<const can::CanMessage> tx =
-            tx_it == tx_messages.end()
-                ? std::span<const can::CanMessage>{}
-                : std::span<const can::CanMessage>(tx_it->second);
-        double transfer_ms = 0.0;
-        if (options.use_can_fd && !tx.empty()) {
-          double bytes_per_ms = 0.0;
-          for (const can::CanMessage& m : tx) {
-            bytes_per_ms +=
-                static_cast<double>(can::RoundUpFdPayload(
-                    options.fd_payload_bytes)) /
-                m.period_ms;
-          }
-          transfer_ms = static_cast<double>(data.data_bytes) / bytes_per_ms;
-        } else {
-          transfer_ms = can::MirroredTransferTimeMs(data.data_bytes, tx);
-        }
-        if (!std::isfinite(transfer_ms)) ++result.sessions_without_bandwidth;
-        session_ms += transfer_ms;
-        if (data_it->second == gateway) {
-          gateway_profiles.insert(
-              (static_cast<std::uint64_t>(prog.cut_type) << 32) |
-              prog.profile_index);
-        }
-      } else if (data_it != bound_at.end()) {
-        result.distributed_memory_bytes += data.data_bytes;
-      }
-      shutoff_ms = std::max(shutoff_ms, session_ms);
-    }
-  }
-
-  for (ResourceId r = 0; r < arch.ResourceCount(); ++r) {
-    if (r >= impl.allocation.size() || !impl.allocation[r]) continue;
-    if (arch.GetResource(r).kind == model::ResourceKind::Ecu) {
-      ++result.ecus_allocated;
-    }
-  }
-
-  result.test_quality_percent =
-      result.ecus_allocated == 0
-          ? 0.0
-          : coverage_sum / static_cast<double>(result.ecus_allocated);
-  result.transition_quality_percent =
-      result.ecus_allocated == 0
-          ? 0.0
-          : transition_sum / static_cast<double>(result.ecus_allocated);
-  result.shutoff_time_ms = shutoff_ms;
-
-  // --- monetary costs -----------------------------------------------------
-  double cost = 0.0;
-  for (ResourceId r = 0; r < arch.ResourceCount(); ++r) {
-    if (r < impl.allocation.size() && impl.allocation[r]) {
-      cost += arch.GetResource(r).base_cost;
-    }
-  }
-  // Distributed pattern memory: per-ECU copies at the ECU's byte cost.
-  double memory_cost = 0.0;
-  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
-    for (const auto& prog : programs) {
-      const auto data_it = bound_at.find(prog.data_task);
-      if (data_it == bound_at.end() || data_it->second != ecu) continue;
-      memory_cost += arch.GetResource(ecu).cost_per_byte *
-                     static_cast<double>(app.GetTask(prog.data_task).data_bytes);
-    }
-  }
-  // Gateway pattern memory: one copy per distinct profile. Resolve the
-  // distinct profile sizes via any program carrying that index.
-  std::uint64_t gw_bytes = 0;
-  std::map<std::uint64_t, std::uint64_t> profile_bytes;
-  for (const auto& [ecu, programs] : augmentation.programs_by_ecu) {
-    for (const auto& prog : programs) {
-      profile_bytes[(static_cast<std::uint64_t>(prog.cut_type) << 32) |
-                    prog.profile_index] =
-          app.GetTask(prog.data_task).data_bytes;
-    }
-  }
-  for (std::uint64_t p : gateway_profiles) gw_bytes += profile_bytes[p];
-  result.gateway_memory_bytes = gw_bytes;
-  memory_cost +=
-      arch.GetResource(gateway).cost_per_byte * static_cast<double>(gw_bytes);
-
-  result.pattern_memory_cost = memory_cost;
-  result.monetary_cost = cost + memory_cost;
-  return result;
+  return EvaluateWithStages(spec, augmentation, impl, options,
+                            DefaultStages(false));
 }
 
 }  // namespace bistdse::dse

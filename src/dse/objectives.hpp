@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "model/implementation.hpp"
@@ -12,6 +13,13 @@
 #include "moea/dominance.hpp"
 
 namespace bistdse::dse {
+
+class ObjectiveStage;
+
+/// Ordered objective-stage pipeline (see dse/evaluation_engine.hpp). The
+/// stage list is the single source of truth for the minimization vector's
+/// dimensionality and layout.
+using StageList = std::vector<std::shared_ptr<const ObjectiveStage>>;
 
 struct Objectives {
   /// Eq. 4 [%]: average stuck-at coverage over allocated ECUs (maximize).
@@ -39,10 +47,14 @@ struct Objectives {
   /// completes. Such implementations carry an infinite shut-off time (they
   /// are dominated away) and this counter makes the rejection explicit.
   std::uint32_t sessions_without_bandwidth = 0;
+  /// Sessions failing the frame-accurate operational cross-check. Only
+  /// filled when the optional net::MakeSessionVerdictStage() is registered.
+  std::uint32_t failed_sessions = 0;
 
   /// MOEA view: all minimized (quality negated). With
   /// `include_transition_quality` the vector has four dimensions (the
-  /// dual-fault-model exploration).
+  /// dual-fault-model exploration). Shorthand for the DefaultStages()
+  /// layouts of the stage-list overload below.
   moea::ObjectiveVector ToMinimizationVector(
       bool include_transition_quality = false) const {
     if (include_transition_quality) {
@@ -51,6 +63,11 @@ struct Objectives {
     }
     return {-test_quality_percent, shutoff_time_ms, monetary_cost};
   }
+
+  /// MOEA view derived from an explicit stage list: each stage appends its
+  /// dimensions in registration order, so the vector layout always matches
+  /// what the evaluation engine computed.
+  moea::ObjectiveVector ToMinimizationVector(const StageList& stages) const;
 };
 
 struct EvaluationOptions {
@@ -62,9 +79,11 @@ struct EvaluationOptions {
   std::uint32_t fd_payload_bytes = 64;
 };
 
-/// Evaluates a feasible implementation. Gateway-stored encoded pattern sets
-/// are deduplicated per (CUT type, profile index) — identical silicon shares
-/// one gateway copy (paper §III-D).
+/// Evaluates a feasible implementation through the default objective-stage
+/// pipeline (see dse/evaluation_engine.hpp — this is the convenience wrapper
+/// over DefaultStages()). Gateway-stored encoded pattern sets are
+/// deduplicated per (CUT type, profile index) — identical silicon shares one
+/// gateway copy (paper §III-D).
 Objectives EvaluateImplementation(const model::Specification& spec,
                                   const model::BistAugmentation& augmentation,
                                   const model::Implementation& impl,

@@ -14,17 +14,30 @@ ParallelResult ExploreParallel(const model::Specification& spec,
   if (islands == 0) islands = 1;
   const auto start = std::chrono::steady_clock::now();
 
+  // One engine for all islands: shared objective memo (cross-island cache
+  // hits), one stage list, one set of evaluation options.
+  ExplorationConfig base_config = config;
+  if (base_config.stages.empty()) {
+    base_config.stages = DefaultStages(config.include_transition_objective);
+  }
+  EvaluationEngineConfig engine_config;
+  engine_config.validate_each_decode = base_config.validate_each_decode;
+  engine_config.threads = base_config.threads;
+  engine_config.evaluation = base_config.evaluation;
+  engine_config.stages = base_config.stages;
+  EvaluationEngine engine(spec, augmentation, engine_config);
+
   // Islands run on the shared executor — the same pool the fault-simulation
-  // layer uses — so stacking island parallelism on top of parallel coverage
+  // layer uses — so stacking island parallelism on top of parallel objective
   // evaluation cannot oversubscribe the machine.
   std::vector<ExplorationResult> results(islands);
   util::ThreadPool::Global().ParallelFor(
       0, islands, islands,
       [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
         for (std::size_t i = begin; i < end; ++i) {
-          ExplorationConfig island_config = config;
-          island_config.seed = config.seed + i;
-          Explorer explorer(spec, augmentation, island_config);
+          ExplorationConfig island_config = base_config;
+          island_config.seed = base_config.seed + i;
+          Explorer explorer(engine, island_config);
           results[i] = explorer.Run();
         }
       });
@@ -35,10 +48,14 @@ ParallelResult ExploreParallel(const model::Specification& spec,
   std::vector<const ExplorationEntry*> store;
   for (const auto& result : results) {
     merged.evaluations += result.evaluations;
+    merged.eval_cache_hits += result.eval_cache_hits;
     merged.island_front_sizes.push_back(result.pareto.size());
+    merged.decoder_stats.decodes += result.decoder_stats.decodes;
+    merged.decoder_stats.infeasible += result.decoder_stats.infeasible;
+    merged.decoder_stats.validation_failures +=
+        result.decoder_stats.validation_failures;
     for (const auto& entry : result.pareto) {
-      const auto vec = entry.objectives.ToMinimizationVector(
-          config.include_transition_objective);
+      const auto vec = engine.Minimize(entry.objectives);
       if (archive.Offer(vec, store.size())) store.push_back(&entry);
     }
   }

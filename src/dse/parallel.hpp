@@ -2,7 +2,9 @@
 // distinct seeds run on worker threads; their archives merge into one
 // non-dominated front. This is how the reproduction uses the paper's
 // "8-core Intel Core i7" — SAT-decoding itself stays single-threaded per
-// island, so every island remains bit-deterministic.
+// island, so every island remains bit-deterministic. All islands share one
+// EvaluationEngine, so an implementation evaluated by any island is a memo
+// hit for every other.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +16,27 @@ namespace bistdse::dse {
 struct ParallelResult {
   std::vector<ExplorationEntry> pareto;  ///< Merged non-dominated set.
   std::size_t evaluations = 0;           ///< Sum over islands.
+  /// Memo hits summed over islands (the shared engine makes cross-island
+  /// hits possible; also available live via Explorer::Engine()).
+  std::size_t eval_cache_hits = 0;
   double wall_seconds = 0.0;
   std::vector<std::size_t> island_front_sizes;
+  /// Decoder statistics summed over islands.
+  DecoderStats decoder_stats;
+
+  /// Evaluated implementations per second (all islands).
+  double Throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(evaluations) / wall_seconds
+                            : 0.0;
+  }
 };
 
 /// Runs `islands` explorations with seeds config.seed, config.seed+1, ...
-/// on up to `islands` threads; merges the fronts. `config.evaluations` is
-/// the per-island budget. Deterministic regardless of scheduling: islands
-/// are independent and the merge is order-independent up to archive
-/// tie-breaking by (island, insertion) order, which is fixed.
+/// on up to `islands` threads, all sharing one EvaluationEngine; merges the
+/// fronts. `config.evaluations` is the per-island budget. Deterministic
+/// regardless of scheduling: islands are independent and the merge is
+/// order-independent up to archive tie-breaking by (island, insertion)
+/// order, which is fixed.
 ParallelResult ExploreParallel(const model::Specification& spec,
                                const model::BistAugmentation& augmentation,
                                const ExplorationConfig& config,

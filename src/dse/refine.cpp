@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "dse/evaluation_engine.hpp"
 #include "moea/archive.hpp"
 #include "util/rng.hpp"
 
@@ -46,12 +47,17 @@ RefineResult RefineFront(const model::Specification& spec,
   util::SplitMix64 rng(options.seed);
   const ResourceId gateway = spec.Architecture().Gateway();
 
+  // Refinement moves produce implementations directly (no genotypes), so
+  // only the engine's stage pipeline and memo are used — same objective
+  // arithmetic as the exploration that produced `front`.
+  EvaluationEngine engine(spec, augmentation);
+
   moea::ParetoArchive archive;
   std::vector<ExplorationEntry> store;
   std::deque<std::size_t> worklist;  // indices into store
 
   auto offer = [&](ExplorationEntry entry) -> bool {
-    const auto vec = entry.objectives.ToMinimizationVector();
+    const auto vec = engine.Minimize(entry.objectives);
     if (!archive.Offer(vec, store.size())) return false;
     worklist.push_back(store.size());
     store.push_back(std::move(entry));
@@ -65,8 +71,7 @@ RefineResult RefineFront(const model::Specification& spec,
     if (!model::CompleteRoutingAndAllocation(spec, neighbor)) return;
     if (!model::ValidateImplementation(spec, neighbor).empty()) return;
     ++result.evaluations;
-    const auto objectives =
-        EvaluateImplementation(spec, augmentation, neighbor);
+    const auto objectives = engine.EvaluateCached(neighbor);
     ExplorationEntry entry{objectives, std::move(neighbor)};
     if (offer(std::move(entry))) ++result.improvements;
   };

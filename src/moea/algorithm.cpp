@@ -1,0 +1,93 @@
+#include "moea/algorithm.hpp"
+
+#include <stdexcept>
+
+#include "moea/nsga2.hpp"
+#include "moea/spea2.hpp"
+
+namespace bistdse::moea {
+
+std::vector<std::optional<ObjectiveVector>> PopulationEvaluator::Evaluate(
+    std::span<const Genotype> genotypes) const {
+  if (batch) return batch(genotypes);
+  std::vector<std::optional<ObjectiveVector>> results;
+  results.reserve(genotypes.size());
+  for (const Genotype& genotype : genotypes) results.push_back(single(genotype));
+  return results;
+}
+
+const char* AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::Nsga2:
+      return "nsga2";
+    case AlgorithmKind::Spea2:
+      return "spea2";
+  }
+  return "?";
+}
+
+std::optional<AlgorithmKind> ParseAlgorithmName(const std::string& name) {
+  if (name == "nsga2" || name == "nsga-ii" || name == "nsga-2") {
+    return AlgorithmKind::Nsga2;
+  }
+  if (name == "spea2" || name == "spea-2") return AlgorithmKind::Spea2;
+  return std::nullopt;
+}
+
+MoeaResult Algorithm::Run(const Evaluator& evaluator,
+                          std::size_t max_evaluations,
+                          const GenerationCallback& on_generation) {
+  PopulationEvaluator population_evaluator;
+  population_evaluator.single = evaluator;
+  return Run(population_evaluator, max_evaluations, on_generation);
+}
+
+void Algorithm::EvaluateBatch(
+    const PopulationEvaluator& evaluator, std::vector<Genotype> batch,
+    MoeaResult& result,
+    const std::function<void(Genotype&&, const ObjectiveVector&)>& accept) {
+  const auto objectives = evaluator.Evaluate(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ++result.evaluations;
+    if (!objectives[i]) continue;
+    if (result.archive.Offer(*objectives[i], result.genotypes.size())) {
+      result.genotypes.push_back(batch[i]);
+    }
+    accept(std::move(batch[i]), *objectives[i]);
+  }
+}
+
+std::unique_ptr<Algorithm> MakeAlgorithm(AlgorithmKind kind,
+                                         AlgorithmConfig config) {
+  switch (kind) {
+    case AlgorithmKind::Nsga2: {
+      Nsga2Config nsga2;
+      nsga2.population_size = config.population_size;
+      nsga2.genotype_size = config.genotype_size;
+      nsga2.crossover_rate = config.crossover_rate;
+      nsga2.mutation_rate = config.mutation_rate;
+      nsga2.biased_phase_init = config.biased_phase_init;
+      nsga2.seed = config.seed;
+      nsga2.initial_genotypes = std::move(config.initial_genotypes);
+      nsga2.should_stop = std::move(config.should_stop);
+      return std::make_unique<Nsga2>(std::move(nsga2));
+    }
+    case AlgorithmKind::Spea2: {
+      Spea2Config spea2;
+      spea2.population_size = config.population_size;
+      spea2.archive_size =
+          config.archive_size > 0 ? config.archive_size : config.population_size;
+      spea2.genotype_size = config.genotype_size;
+      spea2.crossover_rate = config.crossover_rate;
+      spea2.mutation_rate = config.mutation_rate;
+      spea2.biased_phase_init = config.biased_phase_init;
+      spea2.seed = config.seed;
+      spea2.initial_genotypes = std::move(config.initial_genotypes);
+      spea2.should_stop = std::move(config.should_stop);
+      return std::make_unique<Spea2>(std::move(spea2));
+    }
+  }
+  throw std::invalid_argument("unknown MOEA algorithm kind");
+}
+
+}  // namespace bistdse::moea

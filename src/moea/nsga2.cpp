@@ -25,43 +25,52 @@ Nsga2::Individual& Nsga2::Tournament(std::vector<Individual>& pop,
   return pop[crowding[a] >= crowding[b] ? a : b];
 }
 
-Nsga2Result Nsga2::Run(const Evaluator& evaluator,
-                       std::size_t max_evaluations,
-                       const GenerationCallback& on_generation) {
+MoeaResult Nsga2::Run(const PopulationEvaluator& evaluator,
+                      std::size_t max_evaluations,
+                      const GenerationCallback& on_generation) {
   util::SplitMix64 rng(config_.seed);
-  Nsga2Result result;
-
-  auto evaluate = [&](Genotype genotype,
-                      std::vector<Individual>& out) -> bool {
-    const auto objectives = evaluator(genotype);
-    ++result.evaluations;
-    if (!objectives) return false;
-    if (result.archive.Offer(*objectives, result.genotypes.size())) {
-      result.genotypes.push_back(genotype);
-    }
-    out.push_back({std::move(genotype), *objectives});
-    return true;
-  };
+  MoeaResult result;
 
   // Initial population: seeded genotypes first, then random ones (failed
-  // evaluations are redrawn up to a sanity bound).
+  // evaluations are redrawn up to a sanity bound). Genotype generation never
+  // depends on evaluation results, so whole batches can be drawn up front
+  // and evaluated together without changing the RNG stream.
   std::vector<Individual> population;
-  for (const Genotype& seeded : config_.initial_genotypes) {
-    if (population.size() >= config_.population_size ||
-        result.evaluations >= max_evaluations) {
-      break;
+  const auto accept = [&population](Genotype&& genotype,
+                                    const ObjectiveVector& objectives) {
+    population.push_back({std::move(genotype), objectives});
+  };
+  std::size_t next_seeded = 0;
+  while (next_seeded < config_.initial_genotypes.size() &&
+         population.size() < config_.population_size &&
+         result.evaluations < max_evaluations) {
+    std::vector<Genotype> batch;
+    const std::size_t want =
+        std::min({config_.initial_genotypes.size() - next_seeded,
+                  config_.population_size - population.size(),
+                  max_evaluations - result.evaluations});
+    for (std::size_t i = 0; i < want; ++i) {
+      const Genotype& seeded = config_.initial_genotypes[next_seeded++];
+      if (seeded.Size() != config_.genotype_size)
+        throw std::invalid_argument("seeded genotype size mismatch");
+      batch.push_back(seeded);
     }
-    if (seeded.Size() != config_.genotype_size)
-      throw std::invalid_argument("seeded genotype size mismatch");
-    evaluate(seeded, population);
+    EvaluateBatch(evaluator, std::move(batch), result, accept);
   }
   std::size_t attempts = 0;
   while (population.size() < config_.population_size &&
          result.evaluations < max_evaluations) {
-    const double bias = config_.biased_phase_init ? rng.UnitReal() : 0.5;
-    evaluate(RandomGenotypeBiased(config_.genotype_size, bias, rng),
-             population);
-    if (++attempts > 50 * config_.population_size) {
+    std::vector<Genotype> batch;
+    const std::size_t want =
+        std::min(config_.population_size - population.size(),
+                 max_evaluations - result.evaluations);
+    for (std::size_t i = 0; i < want; ++i) {
+      const double bias = config_.biased_phase_init ? rng.UnitReal() : 0.5;
+      batch.push_back(RandomGenotypeBiased(config_.genotype_size, bias, rng));
+    }
+    EvaluateBatch(evaluator, std::move(batch), result, accept);
+    attempts += want;
+    if (attempts > 50 * config_.population_size) {
       throw std::runtime_error(
           "NSGA-II: evaluator rejects nearly every random genotype");
     }
@@ -84,17 +93,30 @@ Nsga2Result Nsga2::Run(const Evaluator& evaluator,
       }
     }
 
-    // Variation: binary tournaments, uniform crossover, mutation.
+    // Variation: binary tournaments, uniform crossover, mutation. Selection
+    // reads only the parent population, so one generation's offspring form
+    // one evaluation batch.
     std::vector<Individual> offspring;
+    const auto accept_offspring = [&offspring](Genotype&& genotype,
+                                               const ObjectiveVector& objectives) {
+      offspring.push_back({std::move(genotype), objectives});
+    };
     while (offspring.size() < config_.population_size &&
            result.evaluations < max_evaluations) {
-      const Individual& p1 = Tournament(population, rng, ranks, crowding);
-      const Individual& p2 = Tournament(population, rng, ranks, crowding);
-      Genotype child = rng.Chance(config_.crossover_rate)
-                           ? UniformCrossover(p1.genotype, p2.genotype, rng)
-                           : p1.genotype;
-      Mutate(child, config_.mutation_rate, rng);
-      evaluate(std::move(child), offspring);
+      std::vector<Genotype> batch;
+      const std::size_t want =
+          std::min(config_.population_size - offspring.size(),
+                   max_evaluations - result.evaluations);
+      for (std::size_t i = 0; i < want; ++i) {
+        const Individual& p1 = Tournament(population, rng, ranks, crowding);
+        const Individual& p2 = Tournament(population, rng, ranks, crowding);
+        Genotype child = rng.Chance(config_.crossover_rate)
+                             ? UniformCrossover(p1.genotype, p2.genotype, rng)
+                             : p1.genotype;
+        Mutate(child, config_.mutation_rate, rng);
+        batch.push_back(std::move(child));
+      }
+      EvaluateBatch(evaluator, std::move(batch), result, accept_offspring);
     }
 
     // Environmental selection over parents + offspring.

@@ -1,5 +1,7 @@
 // NSGA-II multi-objective evolutionary algorithm (Deb et al., 2002) over
-// SAT-decoding genotypes. All objectives are minimized.
+// SAT-decoding genotypes. All objectives are minimized. Offspring are
+// evaluated one generation at a time through the PopulationEvaluator batch
+// path (see moea/algorithm.hpp) — bit-identical to per-genotype evaluation.
 #pragma once
 
 #include <cstdint>
@@ -7,24 +9,15 @@
 #include <optional>
 #include <vector>
 
+#include "moea/algorithm.hpp"
 #include "moea/archive.hpp"
 #include "moea/dominance.hpp"
 #include "moea/genotype.hpp"
 
 namespace bistdse::moea {
 
-/// Evaluator: decodes + evaluates one genotype. nullopt = evaluation failed
-/// (e.g. the SAT decoder proved the instance infeasible) — such individuals
-/// are discarded from selection.
-using Evaluator = std::function<std::optional<ObjectiveVector>(const Genotype&)>;
-
-/// Per-generation observer (generation index, evaluations so far, archive).
-using GenerationCallback =
-    std::function<void(std::size_t, std::size_t, const ParetoArchive&)>;
-
-/// Early-stop predicate, polled after every generation.
-using StopPredicate =
-    std::function<bool(std::size_t evaluations, const ParetoArchive&)>;
+/// Historical name of the common result type.
+using Nsga2Result = MoeaResult;
 
 struct Nsga2Config {
   std::size_t population_size = 100;
@@ -44,19 +37,14 @@ struct Nsga2Config {
   StopPredicate should_stop;
 };
 
-struct Nsga2Result {
-  ParetoArchive archive;             ///< All non-dominated points seen.
-  std::vector<Genotype> genotypes;   ///< Genotype per archive payload index.
-  std::size_t evaluations = 0;
-};
-
-class Nsga2 {
+class Nsga2 : public Algorithm {
  public:
   explicit Nsga2(Nsga2Config config);
 
-  /// Runs until `max_evaluations` evaluator calls have been spent.
-  Nsga2Result Run(const Evaluator& evaluator, std::size_t max_evaluations,
-                  const GenerationCallback& on_generation = {});
+  using Algorithm::Run;
+  MoeaResult Run(const PopulationEvaluator& evaluator,
+                 std::size_t max_evaluations,
+                 const GenerationCallback& on_generation = {}) override;
 
  private:
   struct Individual {

@@ -109,41 +109,51 @@ std::vector<Spea2::Individual> Spea2::SelectArchive(
   return archive;
 }
 
-Nsga2Result Spea2::Run(const Evaluator& evaluator,
-                       std::size_t max_evaluations,
-                       const GenerationCallback& on_generation) {
+MoeaResult Spea2::Run(const PopulationEvaluator& evaluator,
+                      std::size_t max_evaluations,
+                      const GenerationCallback& on_generation) {
   util::SplitMix64 rng(config_.seed);
-  Nsga2Result result;
+  MoeaResult result;
 
-  auto evaluate = [&](Genotype genotype,
-                      std::vector<Individual>& out) -> bool {
-    const auto objectives = evaluator(genotype);
-    ++result.evaluations;
-    if (!objectives) return false;
-    if (result.archive.Offer(*objectives, result.genotypes.size())) {
-      result.genotypes.push_back(genotype);
-    }
-    out.push_back({std::move(genotype), *objectives, 0.0});
-    return true;
-  };
-
+  // As in Nsga2::Run, genotype generation is independent of evaluation
+  // results, so seeds/offspring are drawn in batches and evaluated together
+  // without changing the RNG stream.
   std::vector<Individual> population;
-  for (const Genotype& seeded : config_.initial_genotypes) {
-    if (population.size() >= config_.population_size ||
-        result.evaluations >= max_evaluations) {
-      break;
+  const auto accept = [&population](Genotype&& genotype,
+                                    const ObjectiveVector& objectives) {
+    population.push_back({std::move(genotype), objectives, 0.0});
+  };
+  std::size_t next_seeded = 0;
+  while (next_seeded < config_.initial_genotypes.size() &&
+         population.size() < config_.population_size &&
+         result.evaluations < max_evaluations) {
+    std::vector<Genotype> batch;
+    const std::size_t want =
+        std::min({config_.initial_genotypes.size() - next_seeded,
+                  config_.population_size - population.size(),
+                  max_evaluations - result.evaluations});
+    for (std::size_t i = 0; i < want; ++i) {
+      const Genotype& seeded = config_.initial_genotypes[next_seeded++];
+      if (seeded.Size() != config_.genotype_size)
+        throw std::invalid_argument("seeded genotype size mismatch");
+      batch.push_back(seeded);
     }
-    if (seeded.Size() != config_.genotype_size)
-      throw std::invalid_argument("seeded genotype size mismatch");
-    evaluate(seeded, population);
+    EvaluateBatch(evaluator, std::move(batch), result, accept);
   }
   std::size_t attempts = 0;
   while (population.size() < config_.population_size &&
          result.evaluations < max_evaluations) {
-    const double bias = config_.biased_phase_init ? rng.UnitReal() : 0.5;
-    evaluate(RandomGenotypeBiased(config_.genotype_size, bias, rng),
-             population);
-    if (++attempts > 50 * config_.population_size) {
+    std::vector<Genotype> batch;
+    const std::size_t want =
+        std::min(config_.population_size - population.size(),
+                 max_evaluations - result.evaluations);
+    for (std::size_t i = 0; i < want; ++i) {
+      const double bias = config_.biased_phase_init ? rng.UnitReal() : 0.5;
+      batch.push_back(RandomGenotypeBiased(config_.genotype_size, bias, rng));
+    }
+    EvaluateBatch(evaluator, std::move(batch), result, accept);
+    attempts += want;
+    if (attempts > 50 * config_.population_size) {
       throw std::runtime_error(
           "SPEA2: evaluator rejects nearly every random genotype");
     }
@@ -167,12 +177,19 @@ Nsga2Result Spea2::Run(const Evaluator& evaluator,
     population.clear();
     while (population.size() < config_.population_size &&
            result.evaluations < max_evaluations) {
-      Genotype child = rng.Chance(config_.crossover_rate)
-                           ? UniformCrossover(tournament().genotype,
-                                              tournament().genotype, rng)
-                           : tournament().genotype;
-      Mutate(child, config_.mutation_rate, rng);
-      evaluate(std::move(child), population);
+      std::vector<Genotype> batch;
+      const std::size_t want =
+          std::min(config_.population_size - population.size(),
+                   max_evaluations - result.evaluations);
+      for (std::size_t i = 0; i < want; ++i) {
+        Genotype child = rng.Chance(config_.crossover_rate)
+                             ? UniformCrossover(tournament().genotype,
+                                                tournament().genotype, rng)
+                             : tournament().genotype;
+        Mutate(child, config_.mutation_rate, rng);
+        batch.push_back(std::move(child));
+      }
+      EvaluateBatch(evaluator, std::move(batch), result, accept);
     }
     ++generation;
     if (on_generation) {

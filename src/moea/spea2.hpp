@@ -1,9 +1,10 @@
 // SPEA2 (Zitzler/Laumanns/Thiele, 2001): strength-Pareto evolutionary
 // algorithm with k-th-nearest-neighbor density and archive truncation — a
-// second MOEA besides NSGA-II, sharing the same genotype/evaluator
+// second MOEA besides NSGA-II, implementing the same moea::Algorithm
 // interface so explorations can swap algorithms.
 #pragma once
 
+#include "moea/algorithm.hpp"
 #include "moea/nsga2.hpp"
 
 namespace bistdse::moea {
@@ -22,14 +23,16 @@ struct Spea2Config {
   StopPredicate should_stop;
 };
 
-class Spea2 {
+class Spea2 : public Algorithm {
  public:
   explicit Spea2(Spea2Config config);
 
   /// Runs until `max_evaluations` evaluator calls. Returns the global
   /// non-dominated archive (same semantics as Nsga2::Run).
-  Nsga2Result Run(const Evaluator& evaluator, std::size_t max_evaluations,
-                  const GenerationCallback& on_generation = {});
+  using Algorithm::Run;
+  MoeaResult Run(const PopulationEvaluator& evaluator,
+                 std::size_t max_evaluations,
+                 const GenerationCallback& on_generation = {}) override;
 
  private:
   struct Individual {

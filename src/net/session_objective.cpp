@@ -1,0 +1,46 @@
+#include "net/session_objective.hpp"
+
+#include <utility>
+
+namespace bistdse::net {
+
+namespace {
+
+class SessionVerdictStage final : public dse::ObjectiveStage {
+ public:
+  explicit SessionVerdictStage(SessionExecutorOptions options)
+      : options_(std::move(options)) {}
+
+  std::string_view Name() const override { return "session_verdict"; }
+  std::size_t Dimensions() const override { return 1; }
+
+  void Evaluate(const dse::EvaluationContext& context,
+                dse::Objectives& out) const override {
+    const SessionExecutor executor(context.spec, context.augmentation,
+                                   options_);
+    const SessionExecutionReport report = executor.Execute(context.impl);
+    std::uint32_t failed = 0;
+    for (const SessionExecution& session : report.sessions) {
+      if (!session.completed) ++failed;
+      else if (!session.wcrt_dominated) ++failed;
+    }
+    out.failed_sessions = failed;
+  }
+
+  void AppendMinimization(const dse::Objectives& objectives,
+                          moea::ObjectiveVector& out) const override {
+    out.push_back(static_cast<double>(objectives.failed_sessions));
+  }
+
+ private:
+  SessionExecutorOptions options_;
+};
+
+}  // namespace
+
+std::shared_ptr<const dse::ObjectiveStage> MakeSessionVerdictStage(
+    SessionExecutorOptions options) {
+  return std::make_shared<const SessionVerdictStage>(std::move(options));
+}
+
+}  // namespace bistdse::net

@@ -1,0 +1,35 @@
+// An optional plug-in ObjectiveStage backed by the frame-accurate
+// SessionExecutor: the number of BIST sessions that fail operationally
+// (rejected plans, incomplete transfers, WCRT violations) becomes an extra
+// minimization dimension. This is the "session verdict" stage of the
+// engine's pluggable pipeline — it lives in src/net (not src/dse) because
+// bistdse_net layers *on top of* the DSE library; the engine only sees the
+// ObjectiveStage interface.
+//
+// Frame-accurate execution is orders of magnitude slower than the
+// analytical objectives, so this stage is intended for small evaluation
+// budgets (final-front re-scoring, focused explorations), not the main
+// 20k-evaluation sweeps.
+#pragma once
+
+#include <memory>
+
+#include "dse/evaluation_engine.hpp"
+#include "net/session_executor.hpp"
+
+namespace bistdse::net {
+
+/// Creates the session-verdict stage. Registered like any built-in stage:
+///
+///   cfg.stages = dse::DefaultStages();
+///   cfg.stages.push_back(net::MakeSessionVerdictStage(options));
+///
+/// Contributes one dimension: the count of sessions that fail the
+/// operational cross-check (incomplete, rejected, or WCRT-violating),
+/// stored in Objectives::failed_sessions. Deterministic — the executor is a
+/// discrete-event simulation with a seeded fault injector — so memoized
+/// evaluations remain valid.
+std::shared_ptr<const dse::ObjectiveStage> MakeSessionVerdictStage(
+    SessionExecutorOptions options = {});
+
+}  // namespace bistdse::net

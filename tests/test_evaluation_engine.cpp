@@ -1,0 +1,295 @@
+// The EvaluationEngine refactor's determinism contract:
+//   (a) the engine-based Explorer reproduces the front of the legacy
+//       composition (per-genotype decode + EvaluateImplementation + local
+//       memo) bit-exactly for a fixed seed,
+//   (b) the front is invariant across the engine's `threads` setting,
+//   (c) explorations sharing one engine score strictly more memo hits than
+//       the same explorations on fresh engines — without changing a front.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "casestudy/casestudy.hpp"
+#include "dse/evaluation_engine.hpp"
+#include "dse/exploration.hpp"
+#include "dse/parallel.hpp"
+#include "moea/nsga2.hpp"
+#include "moea/spea2.hpp"
+#include "net/session_objective.hpp"
+
+namespace bistdse::dse {
+namespace {
+
+casestudy::CaseStudy SmallCaseStudy() {
+  auto profiles = casestudy::PaperTableI();
+  profiles.resize(6);
+  return casestudy::BuildCaseStudy(profiles, 42);
+}
+
+/// The pre-refactor Explorer::Run composition: a per-genotype evaluator over
+/// a local unordered_map memo and the free EvaluateImplementation, driven
+/// through the MOEA's single-evaluator (non-batched) path.
+std::vector<ExplorationEntry> LegacyFront(const casestudy::CaseStudy& cs,
+                                          MoeaAlgorithm algorithm,
+                                          const ExplorationConfig& config) {
+  SatDecoder decoder(cs.spec, cs.augmentation, config.validate_each_decode);
+  moea::ParetoArchive archive;
+  std::vector<ExplorationEntry> store;
+  std::unordered_map<std::uint64_t, Objectives> memo;
+
+  const moea::Evaluator evaluator =
+      [&](const moea::Genotype& genotype)
+      -> std::optional<moea::ObjectiveVector> {
+    auto impl = decoder.Decode(genotype);
+    if (!impl) return std::nullopt;
+    const std::uint64_t signature = ImplementationSignature(*impl);
+    const auto hit = memo.find(signature);
+    const Objectives objectives =
+        hit != memo.end()
+            ? hit->second
+            : memo
+                  .emplace(signature,
+                           EvaluateImplementation(cs.spec, cs.augmentation,
+                                                  *impl, config.evaluation))
+                  .first->second;
+    auto vec = objectives.ToMinimizationVector(false);
+    if (archive.Offer(vec, store.size())) {
+      store.push_back({objectives, std::move(*impl)});
+    }
+    return vec;
+  };
+
+  if (algorithm == MoeaAlgorithm::Spea2) {
+    moea::Spea2Config moea_config;
+    moea_config.population_size = config.population_size;
+    moea_config.archive_size = config.population_size;
+    moea_config.genotype_size = decoder.GenotypeSize();
+    moea_config.mutation_rate = config.mutation_rate;
+    moea_config.seed = config.seed;
+    moea::Spea2 spea2(moea_config);
+    spea2.Run(evaluator, config.evaluations);
+  } else {
+    moea::Nsga2Config moea_config;
+    moea_config.population_size = config.population_size;
+    moea_config.genotype_size = decoder.GenotypeSize();
+    moea_config.mutation_rate = config.mutation_rate;
+    moea_config.seed = config.seed;
+    moea::Nsga2 nsga2(moea_config);
+    nsga2.Run(evaluator, config.evaluations);
+  }
+
+  std::vector<ExplorationEntry> front;
+  for (const auto& entry : archive.Entries()) {
+    front.push_back(store[entry.payload]);
+  }
+  return front;
+}
+
+void ExpectSameFront(const std::vector<ExplorationEntry>& a,
+                     const std::vector<ExplorationEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objectives.ToMinimizationVector(),
+              b[i].objectives.ToMinimizationVector())
+        << "entry " << i;
+    EXPECT_EQ(a[i].implementation.binding, b[i].implementation.binding)
+        << "entry " << i;
+  }
+}
+
+TEST(EvaluationEngine, ReproducesLegacyFrontNsga2) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 400;
+  cfg.population_size = 16;
+  cfg.seed = 1;
+  cfg.seed_corners = false;  // the legacy reference seeds no corners
+  cfg.threads = 1;
+
+  const auto legacy = LegacyFront(cs, MoeaAlgorithm::Nsga2, cfg);
+  Explorer explorer(cs.spec, cs.augmentation, cfg);
+  const auto result = explorer.Run();
+  ASSERT_GT(legacy.size(), 2u);
+  ExpectSameFront(legacy, result.pareto);
+}
+
+TEST(EvaluationEngine, ReproducesLegacyFrontSpea2) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.algorithm = MoeaAlgorithm::Spea2;
+  cfg.evaluations = 400;
+  cfg.population_size = 16;
+  cfg.seed = 1;
+  cfg.seed_corners = false;
+  cfg.threads = 1;
+
+  const auto legacy = LegacyFront(cs, MoeaAlgorithm::Spea2, cfg);
+  Explorer explorer(cs.spec, cs.augmentation, cfg);
+  const auto result = explorer.Run();
+  ASSERT_GT(legacy.size(), 2u);
+  ExpectSameFront(legacy, result.pareto);
+}
+
+TEST(EvaluationEngine, FrontInvariantAcrossThreadCounts) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 400;
+  cfg.population_size = 16;
+  cfg.seed = 3;
+
+  cfg.threads = 1;
+  Explorer reference(cs.spec, cs.augmentation, cfg);
+  const auto expected = reference.Run();
+  ASSERT_GT(expected.pareto.size(), 2u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8},
+                                    std::size_t{0}}) {
+    cfg.threads = threads;
+    Explorer explorer(cs.spec, cs.augmentation, cfg);
+    const auto result = explorer.Run();
+    EXPECT_EQ(result.evaluations, expected.evaluations) << threads;
+    EXPECT_EQ(result.eval_cache_hits, expected.eval_cache_hits) << threads;
+    ExpectSameFront(expected.pareto, result.pareto);
+  }
+}
+
+TEST(EvaluationEngine, MergedIslandFrontInvariantAcrossThreadCounts) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 300;
+  cfg.population_size = 16;
+  cfg.seed = 1;
+
+  cfg.threads = 1;
+  const auto expected = ExploreParallel(cs.spec, cs.augmentation, cfg, 2);
+  ASSERT_GT(expected.pareto.size(), 2u);
+  EXPECT_EQ(expected.island_front_sizes.size(), 2u);
+
+  cfg.threads = 8;
+  const auto result = ExploreParallel(cs.spec, cs.augmentation, cfg, 2);
+  EXPECT_EQ(result.evaluations, expected.evaluations);
+  ExpectSameFront(expected.pareto, result.pareto);
+}
+
+TEST(EvaluationEngine, SharedEngineScoresCrossExplorationCacheHits) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig first;
+  first.evaluations = 300;
+  first.population_size = 16;
+  first.seed = 1;
+  ExplorationConfig second = first;
+  second.seed = 2;
+
+  // Baseline: each exploration on its own engine.
+  Explorer fresh_a(cs.spec, cs.augmentation, first);
+  const auto result_a = fresh_a.Run();
+  Explorer fresh_b(cs.spec, cs.augmentation, second);
+  const auto result_b = fresh_b.Run();
+  const std::size_t fresh_hits =
+      result_a.eval_cache_hits + result_b.eval_cache_hits;
+
+  // Shared engine, sequentially (deterministic hit counts): the corner
+  // seeds alone guarantee overlapping implementations across seeds.
+  EvaluationEngine engine(cs.spec, cs.augmentation);
+  Explorer shared_a(engine, first);
+  const auto shared_result_a = shared_a.Run();
+  Explorer shared_b(engine, second);
+  const auto shared_result_b = shared_b.Run();
+  const std::size_t shared_hits =
+      shared_result_a.eval_cache_hits + shared_result_b.eval_cache_hits;
+
+  EXPECT_GT(shared_hits, fresh_hits);
+  EXPECT_EQ(engine.CacheHits(), shared_hits);
+  EXPECT_GT(engine.CacheSize(), 0u);
+  // Sharing the memo must not change any front.
+  ExpectSameFront(result_a.pareto, shared_result_a.pareto);
+  ExpectSameFront(result_b.pareto, shared_result_b.pareto);
+}
+
+TEST(EvaluationEngine, ParallelIslandsShareTheMemo) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 300;
+  cfg.population_size = 16;
+  cfg.seed = 1;
+
+  // Island-alone hit counts (fresh engine per run, seeds as the islands use
+  // them).
+  std::size_t fresh_hits = 0;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    ExplorationConfig island = cfg;
+    island.seed = cfg.seed + i;
+    Explorer explorer(cs.spec, cs.augmentation, island);
+    fresh_hits += explorer.Run().eval_cache_hits;
+  }
+
+  // The shared memo is a superset of every island-local one at all times,
+  // so the summed hits can only grow (strict growth is timing-dependent
+  // under concurrency; the sequential-sharing test above pins that).
+  const auto merged = ExploreParallel(cs.spec, cs.augmentation, cfg, 2);
+  EXPECT_GE(merged.eval_cache_hits, fresh_hits);
+  EXPECT_GT(merged.decoder_stats.decodes, 0u);
+}
+
+TEST(Stages, DefaultLayoutsMatchBoolApi) {
+  auto cs = SmallCaseStudy();
+  EvaluationEngine engine(cs.spec, cs.augmentation);
+  auto session = engine.NewSession();
+  moea::Genotype genotype;
+  genotype.priorities.assign(session.GenotypeSize(), 0.5);
+  genotype.phases.assign(session.GenotypeSize(), 1);
+  const auto evaluated = session.Evaluate(genotype);
+  ASSERT_TRUE(evaluated.has_value());
+
+  const Objectives& obj = evaluated->objectives;
+  EXPECT_EQ(obj.ToMinimizationVector(DefaultStages(false)),
+            obj.ToMinimizationVector(false));
+  EXPECT_EQ(obj.ToMinimizationVector(DefaultStages(true)),
+            obj.ToMinimizationVector(true));
+  EXPECT_EQ(DefaultStages(false).size(), 3u);
+  EXPECT_EQ(DefaultStages(true).size(), 4u);
+
+  // The free-function wrapper and the engine agree.
+  const auto direct = EvaluateImplementation(cs.spec, cs.augmentation,
+                                             evaluated->implementation);
+  EXPECT_EQ(direct.ToMinimizationVector(), evaluated->vector);
+}
+
+TEST(Stages, EngineDerivesDimensionalityFromStageList) {
+  auto cs = SmallCaseStudy();
+  EvaluationEngineConfig cfg;
+  cfg.stages = DefaultStages(true);
+  EvaluationEngine engine(cs.spec, cs.augmentation, cfg);
+  EXPECT_EQ(engine.ObjectiveDimensions(), 4u);
+
+  auto session = engine.NewSession();
+  moea::Genotype genotype;
+  genotype.priorities.assign(session.GenotypeSize(), 0.5);
+  genotype.phases.assign(session.GenotypeSize(), 0);
+  const auto evaluated = session.Evaluate(genotype);
+  ASSERT_TRUE(evaluated.has_value());
+  EXPECT_EQ(evaluated->vector.size(), 4u);
+}
+
+TEST(Stages, SessionVerdictStagePlugsIn) {
+  auto cs = SmallCaseStudy();
+  EvaluationEngineConfig cfg;
+  cfg.stages = DefaultStages(false);
+  cfg.stages.push_back(net::MakeSessionVerdictStage());
+  EvaluationEngine engine(cs.spec, cs.augmentation, cfg);
+  EXPECT_EQ(engine.ObjectiveDimensions(), 4u);
+
+  auto session = engine.NewSession();
+  // No BIST selected -> no sessions -> none can fail.
+  moea::Genotype genotype;
+  genotype.priorities.assign(session.GenotypeSize(), 0.5);
+  genotype.phases.assign(session.GenotypeSize(), 0);
+  const auto evaluated = session.Evaluate(genotype);
+  ASSERT_TRUE(evaluated.has_value());
+  EXPECT_EQ(evaluated->objectives.failed_sessions, 0u);
+  ASSERT_EQ(evaluated->vector.size(), 4u);
+  EXPECT_EQ(evaluated->vector.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace bistdse::dse

@@ -75,6 +75,7 @@ int Usage() {
       stderr,
       "usage: bistdse_cli <command> [flags]\n"
       "  explore  --evals N --pop N --seed N [--future] [--spec FILE]\n"
+      "           [--algorithm nsga2|spea2] [--mutation-rate X] [--threads K]\n"
       "           [--csv FILE] [--islands K] [--plan]\n"
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n"
@@ -143,6 +144,17 @@ int RunExplore(const Flags& flags) {
   config.evaluations = flags.U64("evals", 20000);
   config.population_size = flags.U64("pop", 100);
   config.seed = flags.U64("seed", 1);
+  config.mutation_rate = flags.Real("mutation-rate", -1.0);
+  config.threads = flags.U64("threads", 1);
+  if (flags.Has("algorithm")) {
+    const std::string name = flags.Str("algorithm", "nsga2");
+    const auto kind = moea::ParseAlgorithmName(name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown --algorithm: %s\n", name.c_str());
+      return 2;
+    }
+    config.algorithm = *kind;
+  }
 
   dse::ExplorationResult result;
   const std::size_t islands = flags.U64("islands", 1);
@@ -151,15 +163,21 @@ int RunExplore(const Flags& flags) {
         dse::ExploreParallel(cs.spec, cs.augmentation, config, islands);
     result.pareto = merged.pareto;
     result.evaluations = merged.evaluations;
+    result.eval_cache_hits = merged.eval_cache_hits;
     result.wall_seconds = merged.wall_seconds;
+    result.decoder_stats = merged.decoder_stats;
   } else {
     dse::Explorer explorer(cs.spec, cs.augmentation, config);
     result = explorer.Run();
   }
-  std::printf("%zu evaluations (%zu memoized) in %.1f s -> %zu Pareto-optimal "
+  std::printf("%s: %zu evaluations (%zu memoized, %llu decodes, "
+              "%llu infeasible) in %.1f s -> %zu Pareto-optimal "
               "implementations\n",
-              result.evaluations, result.eval_cache_hits, result.wall_seconds,
-              result.pareto.size());
+              moea::AlgorithmName(config.algorithm), result.evaluations,
+              result.eval_cache_hits,
+              static_cast<unsigned long long>(result.decoder_stats.decodes),
+              static_cast<unsigned long long>(result.decoder_stats.infeasible),
+              result.wall_seconds, result.pareto.size());
   std::printf("%s", dse::SummarizeFront(result,
                                         flags.Real("min-quality", 80.0))
                         .c_str());
