@@ -2,13 +2,12 @@
 
 #include <algorithm>
 
-#include "sim/fault_sim.hpp"
+#include "sim/campaign.hpp"
 #include "util/rng.hpp"
 
 namespace bistdse::atpg {
 
 using sim::BitPattern;
-using sim::FaultSimulator;
 using sim::PatternWord;
 using sim::StuckAtFault;
 
@@ -25,6 +24,35 @@ BitPattern FillCube(const TestCube& cube, util::SplitMix64& rng) {
   }
   return p;
 }
+
+/// Marks every tracked fault the block detects as dropped in a caller-owned
+/// status array (`indices` maps tracked positions to status slots).
+class DropScanSink final : public sim::CampaignSink {
+ public:
+  DropScanSink(std::vector<std::uint8_t>& status,
+               const std::vector<std::size_t>& indices,
+               std::uint8_t dropped_value, std::size_t& detected)
+      : status_(status),
+        indices_(indices),
+        dropped_value_(dropped_value),
+        detected_(detected) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    for (std::size_t i = 0; i < block.TrackedCount(); ++i) {
+      if (block.TrackedDetected(i)) {
+        status_[indices_[block.TrackedIndex(i)]] = dropped_value_;
+        ++detected_;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint8_t>& status_;
+  const std::vector<std::size_t>& indices_;
+  std::uint8_t dropped_value_;
+  std::size_t& detected_;
+};
 
 }  // namespace
 
@@ -62,12 +90,15 @@ DeterministicTpgResult GenerateDeterministicPatterns(
   DeterministicTpgResult result;
   util::SplitMix64 rng(options.seed);
   Podem podem(netlist, options.backtrack_limit);
-  FaultSimulator fsim(netlist);
-  const std::size_t width = netlist.CoreInputs().size();
+  // One single-pattern drop-scan campaign per generated pattern; the runner
+  // keeps its simulator state across all of them.
+  sim::CampaignRunner runner(netlist, {.block_width = 1, .threads = 1});
 
   std::vector<StuckAtFault> remaining(targets.begin(), targets.end());
   enum : std::uint8_t { kPending, kDropped, kUntestable };
   std::vector<std::uint8_t> status(remaining.size(), kPending);
+  std::vector<StuckAtFault> pending;
+  std::vector<std::size_t> pending_idx;
 
   for (std::size_t i = 0; i < remaining.size(); ++i) {
     if (status[i] != kPending) continue;
@@ -84,20 +115,18 @@ DeterministicTpgResult GenerateDeterministicPatterns(
     }
 
     const BitPattern pattern = FillCube(pr.cube, rng);
-    std::vector<PatternWord> words(width);
-    for (std::size_t k = 0; k < width; ++k)
-      words[k] = pattern[k] ? ~PatternWord{0} : PatternWord{0};
-    // A single pattern replicated across all 64 lanes: DetectWord != 0 means
-    // "this pattern detects the fault". Scan the whole list so previously
-    // aborted faults can still be dropped by serendipitous detection.
-    fsim.SetPatternBlock(words);
+    // Scan the whole pending list so previously aborted faults can still be
+    // dropped by serendipitous detection.
+    pending.clear();
+    pending_idx.clear();
     for (std::size_t j = 0; j < remaining.size(); ++j) {
       if (status[j] != kPending) continue;
-      if (fsim.DetectWord(remaining[j]) != 0) {
-        status[j] = kDropped;
-        ++result.detected;
-      }
+      pending.push_back(remaining[j]);
+      pending_idx.push_back(j);
     }
+    sim::StoredPatternSource source(std::span<const BitPattern>(&pattern, 1));
+    DropScanSink sink(status, pending_idx, kDropped, result.detected);
+    runner.Run(source, sink, {.track = pending});
     result.total_care_bits += pr.cube.CareBitCount();
     result.cubes.push_back(pr.cube);
     result.patterns.push_back(pattern);
@@ -137,36 +166,23 @@ DeterministicTpgResult GenerateDeterministicPatterns(
 std::vector<BitPattern> CompactPatterns(
     const netlist::Netlist& netlist, std::span<const BitPattern> patterns,
     std::span<const StuckAtFault> targets, std::vector<bool>* keep_mask_out) {
-  FaultSimulator fsim(netlist);
-  const std::size_t width = netlist.CoreInputs().size();
-
-  std::vector<StuckAtFault> remaining(targets.begin(), targets.end());
-  std::vector<bool> keep(patterns.size(), false);
-
   // Walk patterns in reverse order; keep a pattern iff it detects at least
   // one still-undetected fault. Later patterns (generated for the hardest
   // faults last) tend to detect many easy faults, making early patterns
-  // redundant.
-  std::vector<PatternWord> words(width);
-  for (std::size_t rev = patterns.size(); rev-- > 0;) {
-    if (remaining.empty()) break;
-    const BitPattern& p = patterns[rev];
-    for (std::size_t k = 0; k < width; ++k)
-      words[k] = p[k] ? ~PatternWord{0} : PatternWord{0};
-    fsim.SetPatternBlock(words);
-    bool useful = false;
-    std::vector<StuckAtFault> still;
-    still.reserve(remaining.size());
-    for (const StuckAtFault& f : remaining) {
-      if (fsim.DetectWord(f) != 0) {
-        useful = true;
-      } else {
-        still.push_back(f);
-      }
-    }
-    if (useful) {
-      keep[rev] = true;
-      remaining = std::move(still);
+  // redundant. A pattern detecting a still-undetected fault is by definition
+  // that fault's first detection in the reversed stream, so the keep set is
+  // exactly "some fault first-detects here" — a reversed drop campaign with
+  // a first-detect sink.
+  sim::CampaignRunner runner(netlist, {.block_width = 1, .threads = 1});
+  sim::StoredPatternSource source(patterns, /*reversed=*/true);
+  std::vector<std::uint64_t> first_detect(targets.size(), UINT64_MAX);
+  sim::FirstDetectSink sink(first_detect);
+  runner.Run(source, sink, {.track = targets, .drop_detected = true});
+
+  std::vector<bool> keep(patterns.size(), false);
+  for (std::uint64_t rev : first_detect) {
+    if (rev != UINT64_MAX) {
+      keep[patterns.size() - 1 - static_cast<std::size_t>(rev)] = true;
     }
   }
 

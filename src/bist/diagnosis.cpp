@@ -4,11 +4,8 @@
 #include <bit>
 #include <map>
 
+#include "bist/campaign_sources.hpp"
 #include "bist/misr.hpp"
-#include "bist/pattern_source.hpp"
-#include "bist/reseeding.hpp"
-#include "sim/fault_sim.hpp"
-#include "sim/pattern_set.hpp"
 
 namespace bistdse::bist {
 
@@ -19,97 +16,102 @@ using sim::StuckAtFault;
 SignatureDiagnosis::SignatureDiagnosis(
     const netlist::Netlist& netlist, StumpsConfig config,
     std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
-    std::size_t block_width)
+    std::size_t block_width, std::size_t threads)
     : netlist_(netlist),
       config_(config),
       num_random_(num_random),
       deterministic_(deterministic.begin(), deterministic.end()),
-      block_width_(block_width) {
+      // The runner constructor validates the width, so a bad width fails at
+      // construction, not per query.
+      runner_(netlist,
+              sim::CampaignConfig{.block_width = block_width,
+                                  .threads = threads}) {
   const std::uint64_t total = num_random_ + deterministic_.size();
   window_ = config_.EffectiveWindow(total);
   window_count_ = static_cast<std::uint32_t>((total + window_ - 1) / window_);
-  // Validate eagerly so a bad width fails at construction, not per query.
-  sim::DispatchBlockWidth(block_width_, [](auto) {});
 }
 
 namespace {
 
-/// Walks the session's pattern stream in blocks of <= `block_size` patterns,
-/// invoking `visit(block, base_index)` for each block.
-template <typename Visitor>
-void ForEachPatternBlock(const netlist::Netlist& netlist,
-                         const StumpsConfig& config, std::uint64_t num_random,
-                         std::span<const EncodedPattern> deterministic,
-                         std::size_t block_size, Visitor&& visit) {
-  const std::size_t width = netlist.CoreInputs().size();
-  ReseedingEncoder expander(static_cast<std::uint32_t>(width));
-  PatternSource prpg(config, width);
+/// Stage 1 sink: per tracked candidate, marks the windows containing at
+/// least one detecting pattern. Detection lanes arrive already reduced per
+/// candidate, so the window scatter is a cheap serial loop.
+class WindowPredictSink final : public sim::CampaignSink {
+ public:
+  WindowPredictSink(std::vector<std::vector<std::uint64_t>>& predicted,
+                    std::uint64_t window)
+      : predicted_(predicted), window_(window) {}
 
-  std::vector<BitPattern> block;
-  block.reserve(block_size);
-  std::uint64_t base = 0;
-  std::size_t det_next = 0;
-  auto flush = [&] {
-    if (block.empty()) return;
-    visit(std::span<const BitPattern>(block), base);
-    base += block.size();
-    block.clear();
-  };
-  for (std::uint64_t i = 0; i < num_random; ++i) {
-    block.push_back(prpg.Next());
-    if (block.size() == block_size) flush();
+  bool OnBlock(sim::CampaignBlock& block) override {
+    const std::uint64_t base = block.BaseIndex();
+    for (std::size_t c = 0; c < block.TrackedCount(); ++c) {
+      const std::span<const PatternWord> det = block.TrackedDetect(c);
+      std::vector<std::uint64_t>& rows = predicted_[block.TrackedIndex(c)];
+      for (std::size_t l = 0; l < det.size(); ++l) {
+        PatternWord dl = det[l];
+        while (dl != 0) {
+          const int k = std::countr_zero(dl);
+          dl &= dl - 1;
+          const std::uint64_t w =
+              (base + l * 64 + static_cast<std::uint64_t>(k)) / window_;
+          rows[w / 64] |= std::uint64_t{1} << (w % 64);
+        }
+      }
+    }
+    return true;
   }
-  while (det_next < deterministic.size()) {
-    block.push_back(expander.Expand(deterministic[det_next++]));
-    if (block.size() == block_size) flush();
+
+ private:
+  std::vector<std::vector<std::uint64_t>>& predicted_;
+  std::uint64_t window_;
+};
+
+/// Stage 2 sink: advances one MISR per shortlist candidate over the current
+/// window's patterns, candidate-partitioned across the pool. Each MISR is
+/// only ever touched by the worker owning its index and blocks arrive
+/// serially, so per-candidate absorb order equals the serial pattern order.
+class ShortlistMisrSink final : public sim::CampaignSink {
+ public:
+  ShortlistMisrSink(std::span<const DiagnosisCandidate> shortlist,
+                    std::vector<Misr>& misrs, std::size_t num_outputs)
+      : shortlist_(shortlist), misrs_(misrs), num_outputs_(num_outputs) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    block.ParallelFor(shortlist_.size(),
+                      [&](std::size_t r, sim::FaultView& view) {
+                        const std::vector<PatternWord> response =
+                            view.FaultyResponse(shortlist_[r].fault);
+                        AbsorbBlockResponse(misrs_[r], response, num_outputs_,
+                                            block);
+                      });
+    return true;
   }
-  flush();
-}
+
+ private:
+  std::span<const DiagnosisCandidate> shortlist_;
+  std::vector<Misr>& misrs_;
+  std::size_t num_outputs_;
+};
 
 }  // namespace
 
 std::vector<DiagnosisCandidate> SignatureDiagnosis::Diagnose(
     std::span<const FailDatum> fail_data,
     std::span<const StuckAtFault> candidates, std::size_t top_k) const {
-  return sim::DispatchBlockWidth(block_width_, [&](auto width) {
-    return DiagnoseT<width()>(fail_data, candidates, top_k);
-  });
-}
-
-template <std::size_t W>
-std::vector<DiagnosisCandidate> SignatureDiagnosis::DiagnoseT(
-    std::span<const FailDatum> fail_data,
-    std::span<const StuckAtFault> candidates, std::size_t top_k) const {
-  using Word = sim::WideWord<W>;
   const std::size_t width = netlist_.CoreInputs().size();
   const std::size_t num_outputs = netlist_.CoreOutputs().size();
-  sim::FaultSimulatorT<W> fsim(netlist_);
+  ReseedingEncoder expander(static_cast<std::uint32_t>(width));
 
   // ---- Stage 1: failing-window set match ---------------------------------
   const std::size_t wwords = (window_count_ + 63) / 64;
   std::vector<std::vector<std::uint64_t>> predicted(
       candidates.size(), std::vector<std::uint64_t>(wwords, 0));
-
-  ForEachPatternBlock(
-      netlist_, config_, num_random_, deterministic_, W * 64,
-      [&](std::span<const BitPattern> block, std::uint64_t base) {
-        fsim.SetPatternBlock(
-            sim::PackPatternBlockWide(block, 0, block.size(), width, W));
-        const Word mask = sim::BlockMaskWide<W>(block.size());
-        for (std::size_t c = 0; c < candidates.size(); ++c) {
-          const Word det = fsim.DetectBlock(candidates[c]) & mask;
-          for (std::size_t l = 0; l < W; ++l) {
-            PatternWord dl = det.lane[l];
-            while (dl != 0) {
-              const int k = std::countr_zero(dl);
-              dl &= dl - 1;
-              const std::uint64_t w =
-                  (base + l * 64 + static_cast<std::uint64_t>(k)) / window_;
-              predicted[c][w / 64] |= std::uint64_t{1} << (w % 64);
-            }
-          }
-        }
-      });
+  {
+    SessionStreamSource source(config_, width, expander, num_random_,
+                               deterministic_);
+    WindowPredictSink sink(predicted, window_);
+    runner_.Run(source, sink, {.track = candidates});
+  }
 
   std::vector<std::uint64_t> observed(wwords, 0);
   for (const FailDatum& f : fail_data) {
@@ -154,50 +156,45 @@ std::vector<DiagnosisCandidate> SignatureDiagnosis::DiagnoseT(
       if (selected.size() >= kMaxWindows) break;
     }
 
-    // Collect the patterns of the selected windows.
+    // Collect the patterns of the selected windows by replaying the session
+    // stream (no simulation needed).
     std::map<std::uint32_t, std::vector<BitPattern>> window_patterns;
     for (const FailDatum* f : selected) window_patterns[f->window_index] = {};
-    ForEachPatternBlock(
-        netlist_, config_, num_random_, deterministic_, W * 64,
-        [&](std::span<const BitPattern> block, std::uint64_t base) {
-          for (std::size_t k = 0; k < block.size(); ++k) {
-            const auto w = static_cast<std::uint32_t>((base + k) / window_);
-            auto it = window_patterns.find(w);
-            if (it != window_patterns.end()) it->second.push_back(block[k]);
-          }
-        });
+    {
+      SessionStreamSource stream(config_, width, expander, num_random_,
+                                 deterministic_);
+      std::vector<BitPattern> buf;
+      std::uint64_t base = 0;
+      for (;;) {
+        buf.clear();
+        const std::size_t got = stream.Fill(256, buf);
+        if (got == 0) break;
+        for (std::size_t k = 0; k < got; ++k) {
+          const auto w = static_cast<std::uint32_t>((base + k) / window_);
+          auto it = window_patterns.find(w);
+          if (it != window_patterns.end()) it->second.push_back(buf[k]);
+        }
+        base += got;
+      }
+    }
 
-    // Per candidate and selected window, reproduce the window signature.
-    // Loop order is window-major so each pattern block is good-simulated
-    // once for all shortlist candidates; lanes absorb in block-then-lane
-    // order, i.e. exactly the serial pattern order.
+    // Per selected window, one mini-campaign over the window's patterns
+    // reproduces the signature of every shortlist candidate at once; the
+    // per-candidate MISR advance fans across the pool.
+    const std::span<const DiagnosisCandidate> shortlist_span(ranked.data(),
+                                                             shortlist);
     std::vector<std::vector<Misr>> misrs(
-        shortlist,
-        std::vector<Misr>(selected.size(), Misr(config_.misr_width)));
+        selected.size(), std::vector<Misr>(shortlist, Misr(config_.misr_width)));
     for (std::size_t wi = 0; wi < selected.size(); ++wi) {
       const auto& pats = window_patterns.at(selected[wi]->window_index);
-      for (std::size_t base = 0; base < pats.size(); base += W * 64) {
-        const std::size_t count =
-            std::min<std::size_t>(W * 64, pats.size() - base);
-        fsim.SetPatternBlock(
-            sim::PackPatternBlockWide(pats, base, count, width, W));
-        for (std::size_t r = 0; r < shortlist; ++r) {
-          const auto response = fsim.FaultyResponse(ranked[r].fault);
-          for (std::size_t l = 0; l < W; ++l) {
-            const std::size_t lane_count = sim::LanePatternCount(count, l);
-            for (std::size_t k = 0; k < lane_count; ++k) {
-              for (std::size_t j = 0; j < num_outputs; ++j) {
-                misrs[r][wi].AbsorbBit((response[j * W + l] >> k) & 1);
-              }
-            }
-          }
-        }
-      }
+      sim::StoredPatternSource source(pats);
+      ShortlistMisrSink sink(shortlist_span, misrs[wi], num_outputs);
+      runner_.Run(source, sink);
     }
     for (std::size_t r = 0; r < shortlist; ++r) {
       std::size_t matches = 0;
       for (std::size_t wi = 0; wi < selected.size(); ++wi) {
-        if (misrs[r][wi].Signature() == selected[wi]->observed_signature)
+        if (misrs[wi][r].Signature() == selected[wi]->observed_signature)
           ++matches;
       }
       // Signature evidence dominates ties: exact reproduction of the

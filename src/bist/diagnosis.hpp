@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bist/stumps.hpp"
+#include "sim/campaign.hpp"
 #include "sim/fault.hpp"
 
 namespace bistdse::bist {
@@ -26,15 +27,19 @@ class SignatureDiagnosis {
   /// Describes the session whose fail data will be diagnosed (same pattern
   /// stream parameters as the StumpsSession that produced it).
   /// `block_width` (W in {1, 2, 4, 8}) selects the wide simulation datapath
-  /// — W*64 patterns per fault-simulation sweep; the ranking is
-  /// bit-identical for every width.
+  /// — W*64 patterns per fault-simulation sweep — and `threads` the
+  /// candidate-level parallelism of each query (1 = serial, 0 = full pool
+  /// width); the ranking is bit-identical for every width and thread count.
   SignatureDiagnosis(const netlist::Netlist& netlist, StumpsConfig config,
                      std::uint64_t num_random,
                      std::span<const EncodedPattern> deterministic,
-                     std::size_t block_width = 4);
+                     std::size_t block_width = 4, std::size_t threads = 1);
 
   /// Ranks `candidates` against the observed fail data; returns the top_k
   /// best-matching candidates, best first. Ties keep fault-list order.
+  /// Reuses the instance's cached simulator state across calls (no per-query
+  /// simulator construction), so one SignatureDiagnosis must not serve
+  /// concurrent Diagnose calls — use one instance per thread.
   std::vector<DiagnosisCandidate> Diagnose(
       std::span<const FailDatum> fail_data,
       std::span<const sim::StuckAtFault> candidates, std::size_t top_k) const;
@@ -42,18 +47,15 @@ class SignatureDiagnosis {
   std::uint32_t WindowCount() const { return window_count_; }
 
  private:
-  template <std::size_t W>
-  std::vector<DiagnosisCandidate> DiagnoseT(
-      std::span<const FailDatum> fail_data,
-      std::span<const sim::StuckAtFault> candidates, std::size_t top_k) const;
-
   const netlist::Netlist& netlist_;
   StumpsConfig config_;
   std::uint64_t num_random_;
   std::vector<EncodedPattern> deterministic_;
   std::uint64_t window_ = 0;  ///< Effective patterns per window.
   std::uint32_t window_count_ = 0;
-  std::size_t block_width_ = 4;
+  /// The query campaign kernel; mutable so const queries can reuse its
+  /// cached simulator state (see Diagnose's thread-safety note).
+  mutable sim::CampaignRunner runner_;
 };
 
 }  // namespace bistdse::bist

@@ -42,10 +42,17 @@ DiagnosisAccuracy EvaluateDiagnosisAccuracy(
   pool.ParallelFor(
       0, samples.size(), chunks,
       [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
-        StumpsSession session(netlist, config);
-        SignatureDiagnosis diagnosis(netlist, config,
+        // Each chunk already occupies one pool worker, so its engines
+        // simulate serially (a nested ParallelFor would run inline anyway)
+        // but share the evaluation's block width. Signatures and rankings
+        // are bit-identical for every width/thread combination.
+        StumpsConfig chunk_config = config;
+        chunk_config.sim_threads = 1;
+        chunk_config.sim_block_width = options.block_width;
+        StumpsSession session(netlist, chunk_config);
+        SignatureDiagnosis diagnosis(netlist, chunk_config,
                                      options.num_random_patterns, {},
-                                     options.block_width);
+                                     options.block_width, /*threads=*/1);
         for (std::size_t s = begin; s < end; ++s) {
           SampleOutcome& outcome = outcomes[s];
           const auto result =

@@ -4,17 +4,76 @@
 #include <stdexcept>
 #include <bit>
 
+#include "bist/campaign_sources.hpp"
 #include "bist/misr.hpp"
-#include "bist/pattern_source.hpp"
-#include "sim/fault_sim.hpp"
-#include "sim/parallel_fault_sim.hpp"
 
 namespace bistdse::bist {
 
 using sim::BitPattern;
-using sim::FaultSimulator;
-using sim::ParallelFaultSimulator;
 using sim::PatternWord;
+
+namespace {
+
+/// Pass 1: cheap detection sweep marking the faults whose signature can
+/// differ in this window at all. Each fault index is owned by one chunk, so
+/// the parallel sweep writes is_active without contention.
+class ActiveScanSink final : public sim::CampaignSink {
+ public:
+  ActiveScanSink(std::span<const sim::StuckAtFault> faults,
+                 std::vector<std::uint8_t>& is_active)
+      : faults_(faults), is_active_(is_active) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    block.ParallelFor(faults_.size(),
+                      [&](std::size_t f, sim::FaultView& view) {
+                        if (!is_active_[f] && view.DetectAny(faults_[f])) {
+                          is_active_[f] = 1;
+                        }
+                      });
+    return true;
+  }
+
+ private:
+  std::span<const sim::StuckAtFault> faults_;
+  std::vector<std::uint8_t>& is_active_;
+};
+
+/// Pass 2: golden MISR plus faulty MISRs of the window's active faults.
+/// Each active fault's MISR is advanced by its owning chunk only; blocks
+/// arrive serially, so absorb order per fault is unchanged.
+class WindowMisrSink final : public sim::CampaignSink {
+ public:
+  WindowMisrSink(std::span<const sim::StuckAtFault> faults,
+                 const std::vector<std::size_t>& active, Misr& golden_misr,
+                 std::vector<Misr>& fault_misrs, std::size_t num_outputs)
+      : faults_(faults),
+        active_(active),
+        golden_misr_(golden_misr),
+        fault_misrs_(fault_misrs),
+        num_outputs_(num_outputs) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    AbsorbBlockResponse(golden_misr_, block.GoodOutputLanes(), num_outputs_,
+                        block);
+    block.ParallelFor(active_.size(),
+                      [&](std::size_t a, sim::FaultView& view) {
+                        const std::vector<PatternWord> response =
+                            view.FaultyResponse(faults_[active_[a]]);
+                        AbsorbBlockResponse(fault_misrs_[a], response,
+                                            num_outputs_, block);
+                      });
+    return true;
+  }
+
+ private:
+  std::span<const sim::StuckAtFault> faults_;
+  const std::vector<std::size_t>& active_;
+  Misr& golden_misr_;
+  std::vector<Misr>& fault_misrs_;
+  std::size_t num_outputs_;
+};
+
+}  // namespace
 
 FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
                                  const StumpsConfig& config,
@@ -27,18 +86,14 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     throw std::invalid_argument(
         "fault dictionary requires strong windows (per-window MISR reset)");
   }
-  sim::DispatchBlockWidth(block_width, [&](auto width) {
-    Build<width()>(netlist, config, num_random, deterministic, threads);
-  });
+  Build(netlist, config, num_random, deterministic, threads, block_width);
 }
 
-template <std::size_t W>
 void FaultDictionary::Build(const netlist::Netlist& netlist,
                             const StumpsConfig& config,
                             std::uint64_t num_random,
                             std::span<const EncodedPattern> deterministic,
-                            std::size_t threads) {
-  using Word = sim::WideWord<W>;
+                            std::size_t threads, std::size_t block_width) {
   const std::size_t width = netlist.CoreInputs().size();
   const std::size_t num_outputs = netlist.CoreOutputs().size();
   const std::uint64_t total = num_random + deterministic.size();
@@ -48,97 +103,39 @@ void FaultDictionary::Build(const netlist::Netlist& netlist,
   windows_.assign(faults_.size() * words_per_fault_, 0);
   signatures_.resize(faults_.size());
 
-  // Materialize the full pattern stream window by window.
-  PatternSource source(config, width);
+  // The full session stream, materialized window by window; one runner
+  // (cached simulator state) serves every per-window campaign.
   ReseedingEncoder expander(static_cast<std::uint32_t>(width));
-  std::size_t det_next = 0;
-  std::uint64_t emitted = 0;
-  auto next_pattern = [&]() -> BitPattern {
-    if (emitted < num_random) {
-      ++emitted;
-      return source.Next();
-    }
-    ++emitted;
-    return expander.Expand(deterministic[det_next++]);
-  };
+  SessionStreamSource stream(config, width, expander, num_random,
+                             deterministic);
+  sim::CampaignRunner runner(
+      netlist, {.block_width = block_width, .threads = threads});
 
-  sim::ParallelFaultSimulatorT<W> fsim(netlist, threads);
+  std::vector<BitPattern> patterns;
   for (std::uint32_t w = 0; w < window_count_; ++w) {
-    const std::uint64_t remaining = total - static_cast<std::uint64_t>(w) * window;
-    const std::size_t in_window =
-        static_cast<std::size_t>(std::min<std::uint64_t>(window, remaining));
-    std::vector<BitPattern> patterns;
-    patterns.reserve(in_window);
-    for (std::size_t i = 0; i < in_window; ++i) patterns.push_back(next_pattern());
+    patterns.clear();
+    stream.Fill(static_cast<std::size_t>(window), patterns);
+    const std::size_t in_window = patterns.size();
+    if (in_window == 0) break;
 
-    // Pass 1: detection blocks (cheap fault propagation, W*64 patterns per
-    // sweep) identify the faults whose signature can differ in this window
-    // at all. Each fault index is owned by one chunk, so the parallel sweep
-    // writes is_active without contention and `active` keeps its serial
-    // order.
-    const std::size_t num_blocks = (in_window + W * 64 - 1) / (W * 64);
     std::vector<std::size_t> active;  // fault indices detected in this window
     {
       std::vector<std::uint8_t> is_active(faults_.size(), 0);
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        const std::size_t base = b * W * 64;
-        const std::size_t count =
-            std::min<std::size_t>(W * 64, in_window - base);
-        fsim.SetPatternBlock(
-            sim::PackPatternBlockWide(patterns, base, count, width, W));
-        const Word mask = sim::BlockMaskWide<W>(count);
-        fsim.ForEachFault(faults_.size(),
-                          [&](std::size_t f, sim::FaultSimulatorT<W>& sim) {
-                            if (!is_active[f] &&
-                                (sim.DetectBlock(faults_[f]) & mask).Any()) {
-                              is_active[f] = 1;
-                            }
-                          });
-      }
+      sim::StoredPatternSource source(patterns);
+      ActiveScanSink sink(faults_, is_active);
+      runner.Run(source, sink);
       for (std::size_t f = 0; f < faults_.size(); ++f) {
         if (is_active[f]) active.push_back(f);
       }
     }
 
-    // Pass 2: golden signature plus faulty signatures of the active faults.
-    // Lanes are absorbed in block-then-lane-then-pattern order, which is
-    // exactly the serial pattern order — the MISR states are bit-identical
-    // to the narrow build.
     Misr golden_misr(config.misr_width);
     std::vector<Misr> fault_misrs(active.size(), Misr(config.misr_width));
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-      const std::size_t base = b * W * 64;
-      const std::size_t count = std::min<std::size_t>(W * 64, in_window - base);
-      fsim.SetPatternBlock(
-          sim::PackPatternBlockWide(patterns, base, count, width, W));
-      std::vector<PatternWord> good;
-      good.reserve(num_outputs * W);
-      for (netlist::NodeId id : netlist.CoreOutputs()) {
-        const auto lanes = fsim.Good().LanesOf(id);
-        good.insert(good.end(), lanes.begin(), lanes.end());
-      }
-      for (std::size_t l = 0; l < W; ++l) {
-        const std::size_t lane_count = sim::LanePatternCount(count, l);
-        for (std::size_t k = 0; k < lane_count; ++k) {
-          for (std::size_t j = 0; j < num_outputs; ++j) {
-            golden_misr.AbsorbBit((good[j * W + l] >> k) & 1);
-          }
-        }
-      }
-      // Each active fault's MISR is advanced by its owning chunk only; the
-      // block loop stays serial, so absorb order per fault is unchanged.
-      fsim.ForEachFault(
-          active.size(), [&](std::size_t a, sim::FaultSimulatorT<W>& sim) {
-            const auto response = sim.FaultyResponse(faults_[active[a]]);
-            for (std::size_t l = 0; l < W; ++l) {
-              const std::size_t lane_count = sim::LanePatternCount(count, l);
-              for (std::size_t k = 0; k < lane_count; ++k) {
-                for (std::size_t j = 0; j < num_outputs; ++j) {
-                  fault_misrs[a].AbsorbBit((response[j * W + l] >> k) & 1);
-                }
-              }
-            }
-          });
+    {
+      sim::StoredPatternSource source(patterns);
+      WindowMisrSink sink(faults_, active, golden_misr, fault_misrs,
+                          num_outputs);
+      runner.Run(source, sink);
     }
 
     const std::uint64_t golden_signature = golden_misr.Signature();

@@ -44,11 +44,10 @@ class FaultDictionary {
   }
 
  private:
-  template <std::size_t W>
   void Build(const netlist::Netlist& netlist, const StumpsConfig& config,
              std::uint64_t num_random,
              std::span<const EncodedPattern> deterministic,
-             std::size_t threads);
+             std::size_t threads, std::size_t block_width);
 
   std::vector<sim::StuckAtFault> faults_;
   std::uint32_t window_count_ = 0;

@@ -5,9 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "bist/campaign_sources.hpp"
 #include "bist/pattern_source.hpp"
-#include "sim/fault_sim.hpp"
-#include "sim/parallel_fault_sim.hpp"
 #include "sim/pattern_set.hpp"
 #include "sim/transition_fault.hpp"
 
@@ -17,7 +16,6 @@ using atpg::DeterministicTpgOptions;
 using atpg::GenerateDeterministicPatterns;
 using netlist::Netlist;
 using sim::BitPattern;
-using sim::ParallelFaultSimulator;
 using sim::PatternWord;
 using sim::StuckAtFault;
 
@@ -70,7 +68,13 @@ std::string FormatProfileTable(const std::vector<BistProfile>& profiles) {
 
 ProfileGenerator::ProfileGenerator(const Netlist& netlist,
                                    ProfileGeneratorConfig config)
-    : netlist_(netlist), config_(std::move(config)) {
+    : netlist_(netlist),
+      config_(std::move(config)),
+      runner_(netlist,
+              sim::CampaignConfig{
+                  .block_width = config_.block_width,
+                  .threads = config_.threads,
+                  .narrow_warmup_patterns = config_.narrow_warmup_patterns}) {
   if (config_.coverage_targets_percent.size() != config_.fill_seeds.size())
     throw std::invalid_argument("one fill seed per coverage target required");
   if (config_.prp_counts.empty() || config_.coverage_targets_percent.empty())
@@ -85,75 +89,22 @@ void ProfileGenerator::RunRandomPhase() {
   if (random_phase_done_) return;
   const std::uint64_t max_prps = config_.prp_counts.back();
   first_detect_.assign(faults_.size(), UINT64_MAX);
-  std::vector<std::size_t> remaining(faults_.size());
-  for (std::size_t i = 0; i < faults_.size(); ++i) remaining[i] = i;
 
-  PatternSource prpg(config_.stumps, netlist_.CoreInputs().size());
-  // The drop-heavy head runs narrow: a wide block walks the union of W
-  // narrow activity cones for every fault a narrow sweep would already have
-  // dropped, which costs more than the W-fold sweep reduction saves. Once
-  // the survivor set is sparse, the wide tail wins (see docs/PERF.md).
-  // Detection outcomes are width-independent, so the split point does not
-  // change any result.
-  const std::uint64_t warmup =
-      config_.block_width > 1
-          ? std::min<std::uint64_t>(config_.narrow_warmup_patterns, max_prps)
-          : 0;
-  if (warmup > 0) RunRandomPhaseSegment<1>(prpg, 0, warmup, remaining);
-  sim::DispatchBlockWidth(config_.block_width, [&](auto width) {
-    RunRandomPhaseSegment<width()>(prpg, warmup, max_prps, remaining);
-  });
-  stats_.random_detected_at_max_prps = faults_.size() - remaining.size();
+  // Drop campaign over the PRPG stream. The runner handles the narrow
+  // warm-up head (drop-heavy start runs at W = 1, sparse survivor tail runs
+  // wide — see docs/PERF.md) and the serial fault-order drop merge, so
+  // first_detect_ is bit-identical for every width x thread combination.
+  PrpgSource source(config_.stumps, netlist_.CoreInputs().size());
+  sim::FirstDetectSink sink(first_detect_);
+  const sim::CampaignStats stats =
+      runner_.Run(source, sink,
+                  {.max_patterns = max_prps,
+                   .track = faults_,
+                   .drop_detected = true,
+                   .warmup = true});
+  stats_.random_detected_at_max_prps =
+      static_cast<std::size_t>(stats.dropped);
   random_phase_done_ = true;
-}
-
-template <std::size_t W>
-void ProfileGenerator::RunRandomPhaseSegment(
-    PatternSource& prpg, std::uint64_t base, std::uint64_t end,
-    std::vector<std::size_t>& remaining) {
-  using Word = sim::WideWord<W>;
-  const std::size_t width = netlist_.CoreInputs().size();
-  sim::ParallelFaultSimulatorT<W> fsim(netlist_, config_.threads);
-
-  std::vector<BitPattern> block;
-  block.reserve(W * 64);
-  std::vector<Word> detect;
-  while (base < end && !remaining.empty()) {
-    block.clear();
-    const std::size_t count =
-        static_cast<std::size_t>(std::min<std::uint64_t>(W * 64, end - base));
-    for (std::size_t k = 0; k < count; ++k) block.push_back(prpg.Next());
-    const auto words = sim::PackPatternBlockWide(block, 0, count, width, W);
-    fsim.SetPatternBlock(words);
-    const Word mask = sim::BlockMaskWide<W>(count);
-
-    // Fault-partitioned sweep: detection of each surviving fault only reads
-    // the shared good-machine block, so the loop fans out across the pool.
-    detect.assign(remaining.size(), Word::Zero());
-    fsim.ForEachFault(remaining.size(),
-                      [&](std::size_t i, sim::FaultSimulatorT<W>& sim) {
-                        detect[i] =
-                            sim.DetectBlock(faults_[remaining[i]]) & mask;
-                      });
-
-    // Serial merge in fault order keeps first_detect_ and the drop list
-    // bit-identical to the serial sweep for any thread count; FirstSetBit
-    // walks lanes in block order, so the first-detection index equals the
-    // one W sequential narrow blocks would have recorded.
-    std::vector<std::size_t> still;
-    still.reserve(remaining.size());
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      const std::size_t idx = remaining[i];
-      const int first = detect[i].FirstSetBit();
-      if (first >= 0) {
-        first_detect_[idx] = base + static_cast<std::uint64_t>(first);
-      } else {
-        still.push_back(idx);
-      }
-    }
-    remaining = std::move(still);
-    base += count;
-  }
 }
 
 void ProfileGenerator::SurvivorsAt(std::uint64_t prps,
@@ -191,12 +142,11 @@ GeneratedProfile ProfileGenerator::GenerateOne(std::uint64_t prps,
 
   const std::size_t width = netlist_.CoreInputs().size();
   ReseedingEncoder encoder(static_cast<std::uint32_t>(width));
-  ParallelFaultSimulator fsim(netlist_, config_.threads);
 
   GeneratedProfile out;
   out.profile =
       GenerateVariant(prps, target_percent, fill_seed, 1, undetected,
-                      random_detected, fsim, encoder, &out.encoded_patterns);
+                      random_detected, encoder, &out.encoded_patterns);
   return out;
 }
 
@@ -205,7 +155,6 @@ std::vector<BistProfile> ProfileGenerator::GenerateAll() {
 
   const std::size_t width = netlist_.CoreInputs().size();
   ReseedingEncoder encoder(static_cast<std::uint32_t>(width));
-  ParallelFaultSimulator fsim(netlist_, config_.threads);
 
   std::vector<BistProfile> profiles;
   std::uint32_t number = 1;
@@ -219,16 +168,54 @@ std::vector<BistProfile> ProfileGenerator::GenerateAll() {
     for (std::size_t v = 0; v < config_.coverage_targets_percent.size(); ++v) {
       profiles.push_back(GenerateVariant(
           prps, config_.coverage_targets_percent[v], config_.fill_seeds[v],
-          number++, undetected, random_detected, fsim, encoder, nullptr));
+          number++, undetected, random_detected, encoder, nullptr));
     }
   }
   return profiles;
 }
 
+namespace {
+
+/// Per-pattern detection gains of the deterministic top-up stream: each
+/// tracked fault contributes to the pattern that first detects it, and the
+/// campaign stops once the running coverage reaches the target (at block
+/// granularity — gains past the chosen prefix are never read).
+class TopUpSink final : public sim::CampaignSink {
+ public:
+  TopUpSink(std::vector<std::size_t>& gain_per_pattern, std::size_t covered,
+            std::size_t total, double target_percent)
+      : gain_per_pattern_(gain_per_pattern),
+        covered_(covered),
+        total_(total),
+        target_percent_(target_percent) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    for (std::size_t i = 0; i < block.TrackedCount(); ++i) {
+      const int first = block.TrackedFirstDetect(i);
+      if (first >= 0) {
+        ++gain_per_pattern_[static_cast<std::size_t>(block.BaseIndex()) +
+                            static_cast<std::size_t>(first)];
+        ++covered_;
+      }
+    }
+    return 100.0 * static_cast<double>(covered_) /
+               static_cast<double>(total_) <
+           target_percent_;
+  }
+
+ private:
+  std::vector<std::size_t>& gain_per_pattern_;
+  std::size_t covered_;
+  std::size_t total_;
+  double target_percent_;
+};
+
+}  // namespace
+
 BistProfile ProfileGenerator::GenerateVariant(
     std::uint64_t prps, double target_percent, std::uint64_t fill_seed,
     std::uint32_t number, const std::vector<StuckAtFault>& undetected,
-    std::size_t random_detected, ParallelFaultSimulator& fsim,
+    std::size_t random_detected,
     ReseedingEncoder& encoder, std::vector<EncodedPattern>* encoded_sink) {
   const std::size_t total = faults_.size();
   const std::size_t width = netlist_.CoreInputs().size();
@@ -248,30 +235,20 @@ BistProfile ProfileGenerator::GenerateVariant(
   }
 
   // Order of `tpg.patterns` is generation order; walk it with fault
-  // dropping to find the shortest prefix reaching the target coverage.
-  std::vector<StuckAtFault> rem = undetected;
+  // dropping to find the shortest prefix reaching the target coverage. A
+  // fault's gain lands on its first-detecting pattern, so the drop campaign
+  // reproduces the per-pattern drop walk exactly.
+  std::vector<std::size_t> gain_per_pattern(tpg.patterns.size(), 0);
+  if (!already_met && !tpg.patterns.empty()) {
+    sim::StoredPatternSource source(tpg.patterns);
+    TopUpSink sink(gain_per_pattern, random_detected, total, target_percent);
+    runner_.Run(source, sink,
+                {.track = undetected, .drop_detected = true});
+  }
   std::size_t covered = random_detected;
   std::size_t prefix = 0;
-  std::vector<std::size_t> gain_per_pattern(tpg.patterns.size(), 0);
-  std::vector<PatternWord> detect;
   for (std::size_t p = 0; !already_met && p < tpg.patterns.size(); ++p) {
-    std::vector<PatternWord> words(width);
-    for (std::size_t k = 0; k < width; ++k)
-      words[k] = tpg.patterns[p][k] ? ~PatternWord{0} : PatternWord{0};
-    fsim.SetPatternBlock(words);
-    detect.assign(rem.size(), 0);
-    fsim.DetectWords(rem, detect);
-    std::vector<StuckAtFault> still;
-    still.reserve(rem.size());
-    for (std::size_t i = 0; i < rem.size(); ++i) {
-      if (detect[i] != 0) {
-        ++gain_per_pattern[p];
-      } else {
-        still.push_back(rem[i]);
-      }
-    }
     covered += gain_per_pattern[p];
-    rem = std::move(still);
     prefix = p + 1;
     if (100.0 * static_cast<double>(covered) / static_cast<double>(total) >=
         target_percent) {

@@ -11,16 +11,9 @@
 #include "bist/profile.hpp"
 #include "bist/stumps.hpp"
 #include "netlist/netlist.hpp"
-
-namespace bistdse::sim {
-template <std::size_t W>
-class ParallelFaultSimulatorT;
-using ParallelFaultSimulator = ParallelFaultSimulatorT<1>;
-}
+#include "sim/campaign.hpp"
 
 namespace bistdse::bist {
-
-class PatternSource;
 
 struct ProfileGeneratorConfig {
   /// Pseudo-random pattern counts to profile (Table I column 2).
@@ -96,16 +89,9 @@ class ProfileGenerator {
 
  private:
   /// First-detecting pattern index per fault (UINT64_MAX = never), under the
-  /// PRPG stream of config_.stumps. Runs the narrow warm-up segment, then
-  /// dispatches the tail to the W-wide sweep selected by config_.block_width.
+  /// PRPG stream of config_.stumps: a drop campaign over the PRPG source
+  /// with the runner's narrow warm-up and a FirstDetectSink.
   void RunRandomPhase();
-  /// Drop-list sweep of patterns [base, end) of `prpg`'s stream over the
-  /// faults in `remaining` (indices into faults_); detected faults record
-  /// their first-detection index and leave `remaining`.
-  template <std::size_t W>
-  void RunRandomPhaseSegment(PatternSource& prpg, std::uint64_t base,
-                             std::uint64_t end,
-                             std::vector<std::size_t>& remaining);
 
   /// Faults surviving a random phase of length `prps` plus the count the
   /// phase already detected. Requires RunRandomPhase().
@@ -120,7 +106,6 @@ class ProfileGenerator {
                               std::uint64_t fill_seed, std::uint32_t number,
                               const std::vector<sim::StuckAtFault>& undetected,
                               std::size_t random_detected,
-                              sim::ParallelFaultSimulator& fsim,
                               ReseedingEncoder& encoder,
                               std::vector<EncodedPattern>* encoded_sink);
 
@@ -130,6 +115,9 @@ class ProfileGenerator {
   std::vector<std::uint64_t> first_detect_;  // aligned with faults_
   ProfileGenerationStats stats_;
   bool random_phase_done_ = false;
+  /// The generator's campaign kernel: simulator state is cached per width
+  /// and reused across the random phase and every top-up sweep.
+  sim::CampaignRunner runner_;
 };
 
 }  // namespace bistdse::bist

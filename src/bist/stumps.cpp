@@ -2,21 +2,126 @@
 
 #include <stdexcept>
 
-#include "bist/pattern_source.hpp"
-#include "sim/fault_sim.hpp"
-#include "sim/pattern_set.hpp"
+#include "bist/campaign_sources.hpp"
 
 namespace bistdse::bist {
 
 using netlist::Netlist;
 using sim::BitPattern;
-using sim::FaultSimulator;
 using sim::PatternWord;
+
+namespace {
+
+/// Advances one session's MISR and window signatures over simulated blocks,
+/// absorbing response bits in global pattern order (pattern, then output) —
+/// the fixed order the golden and observed runs share.
+class SignatureAbsorber {
+ public:
+  SignatureAbsorber(std::uint32_t misr_width, std::uint64_t window,
+                    bool reset_per_window)
+      : misr_(misr_width), window_(window), reset_per_window_(reset_per_window) {}
+
+  /// `response` holds Lanes() contiguous words (lane 0 first) per output —
+  /// the FaultyResponse / GoodOutputLanes layout.
+  void AbsorbBlock(std::span<const PatternWord> response,
+                   std::size_t num_outputs, const sim::CampaignBlock& block) {
+    const std::size_t lanes = block.Lanes();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t in_lane = block.LaneCount(l);
+      for (std::size_t k = 0; k < in_lane; ++k) {
+        for (std::size_t j = 0; j < num_outputs; ++j) {
+          misr_.AbsorbBit((response[j * lanes + l] >> k) & 1);
+        }
+        ++pattern_index_;
+        if (pattern_index_ % window_ == 0) {
+          signatures_.push_back(misr_.Signature());
+          if (reset_per_window_) misr_.Reset();
+        }
+      }
+    }
+  }
+
+  /// Closes the final (partial) window so every applied pattern is covered
+  /// by some signature.
+  void Close() {
+    if (pattern_index_ % window_ != 0) {
+      signatures_.push_back(misr_.Signature());
+    }
+  }
+
+  std::vector<std::uint64_t>& Signatures() { return signatures_; }
+
+ private:
+  Misr misr_;
+  std::uint64_t window_;
+  bool reset_per_window_;
+  std::uint64_t pattern_index_ = 0;
+  std::vector<std::uint64_t> signatures_;
+};
+
+/// Single-session sink: absorbs the fault-free response, or the injected
+/// fault's response, block by block.
+class SessionSignatureSink final : public sim::CampaignSink {
+ public:
+  SessionSignatureSink(std::size_t num_outputs, SignatureAbsorber& absorber,
+                       const std::optional<sim::StuckAtFault>& injected)
+      : num_outputs_(num_outputs), absorber_(absorber), injected_(injected) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    if (injected_) {
+      block.ParallelFor(1, [&](std::size_t, sim::FaultView& view) {
+        response_ = view.FaultyResponse(*injected_);
+      });
+      absorber_.AbsorbBlock(response_, num_outputs_, block);
+    } else {
+      absorber_.AbsorbBlock(block.GoodOutputLanes(), num_outputs_, block);
+    }
+    return true;
+  }
+
+ private:
+  std::size_t num_outputs_;
+  SignatureAbsorber& absorber_;
+  const std::optional<sim::StuckAtFault>& injected_;
+  std::vector<PatternWord> response_;
+};
+
+/// Batched sink: each injected fault owns one absorber; every simulated
+/// block fans the per-fault response computation and MISR advance across
+/// the pool. Absorber i only ever runs on the worker holding index i, so
+/// the per-fault signature stream is identical to a solo session's.
+class BatchSignatureSink final : public sim::CampaignSink {
+ public:
+  BatchSignatureSink(std::span<const sim::StuckAtFault> faults,
+                     std::vector<SignatureAbsorber>& absorbers,
+                     std::size_t num_outputs)
+      : faults_(faults), absorbers_(absorbers), num_outputs_(num_outputs) {}
+
+  bool OnBlock(sim::CampaignBlock& block) override {
+    block.ParallelFor(faults_.size(),
+                      [&](std::size_t i, sim::FaultView& view) {
+                        const std::vector<PatternWord> response =
+                            view.FaultyResponse(faults_[i]);
+                        absorbers_[i].AbsorbBlock(response, num_outputs_,
+                                                  block);
+                      });
+    return true;
+  }
+
+ private:
+  std::span<const sim::StuckAtFault> faults_;
+  std::vector<SignatureAbsorber>& absorbers_;
+  std::size_t num_outputs_;
+};
+
+}  // namespace
 
 StumpsSession::StumpsSession(const Netlist& netlist, StumpsConfig config)
     : netlist_(netlist),
       config_(config),
-      expander_(static_cast<std::uint32_t>(netlist.CoreInputs().size())) {
+      expander_(static_cast<std::uint32_t>(netlist.CoreInputs().size())),
+      runner_(netlist, sim::CampaignConfig{.block_width = config.sim_block_width,
+                                           .threads = config.sim_threads}) {
   if (!netlist.IsFinalized())
     throw std::invalid_argument("netlist must be finalized");
 }
@@ -24,66 +129,18 @@ StumpsSession::StumpsSession(const Netlist& netlist, StumpsConfig config)
 std::vector<std::uint64_t> StumpsSession::ComputeSignatures(
     std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
     const std::optional<sim::StuckAtFault>& injected_fault) {
-  const std::size_t width = netlist_.CoreInputs().size();
   const std::size_t num_outputs = netlist_.CoreOutputs().size();
   const std::uint64_t window =
       config_.EffectiveWindow(num_random + deterministic.size());
-  FaultSimulator fsim(netlist_);
-  PatternSource prpg(config_, width);
-  Misr misr(config_.misr_width);
 
-  std::vector<std::uint64_t> signatures;
-  std::uint64_t pattern_index = 0;
-
-  auto process_block = [&](std::span<const BitPattern> block) {
-    const auto words =
-        sim::PackPatternBlock(block, 0, block.size(), width);
-    std::vector<PatternWord> response;
-    if (injected_fault) {
-      fsim.SetPatternBlock(words);
-      response = fsim.FaultyResponse(*injected_fault);
-    } else {
-      fsim.SetPatternBlock(words);
-      response.reserve(num_outputs);
-      for (netlist::NodeId id : netlist_.CoreOutputs())
-        response.push_back(fsim.Good().ValueOf(id));
-    }
-    for (std::size_t k = 0; k < block.size(); ++k) {
-      for (std::size_t j = 0; j < num_outputs; ++j) {
-        misr.AbsorbBit((response[j] >> k) & 1);
-      }
-      ++pattern_index;
-      if (pattern_index % window == 0) {
-        signatures.push_back(misr.Signature());
-        if (config_.reset_misr_per_window) misr.Reset();
-      }
-    }
-  };
-
-  std::vector<BitPattern> block;
-  block.reserve(64);
-  for (std::uint64_t i = 0; i < num_random; ++i) {
-    block.push_back(prpg.Next());
-    if (block.size() == 64) {
-      process_block(block);
-      block.clear();
-    }
-  }
-  for (const EncodedPattern& enc : deterministic) {
-    block.push_back(expander_.Expand(enc));
-    if (block.size() == 64) {
-      process_block(block);
-      block.clear();
-    }
-  }
-  if (!block.empty()) process_block(block);
-
-  // Close the final (partial) window so every applied pattern is covered by
-  // some signature.
-  if (pattern_index % window != 0) {
-    signatures.push_back(misr.Signature());
-  }
-  return signatures;
+  SessionStreamSource source(config_, netlist_.CoreInputs().size(), expander_,
+                             num_random, deterministic);
+  SignatureAbsorber absorber(config_.misr_width, window,
+                             config_.reset_misr_per_window);
+  SessionSignatureSink sink(num_outputs, absorber, injected_fault);
+  runner_.Run(source, sink);
+  absorber.Close();
+  return std::move(absorber.Signatures());
 }
 
 namespace {
@@ -142,6 +199,39 @@ SessionResult StumpsSession::Run(
     }
   }
   return result;
+}
+
+std::vector<SessionResult> StumpsSession::RunBatch(
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+    std::span<const sim::StuckAtFault> faults) {
+  const auto& golden = GoldenSignatures(num_random, deterministic);
+  const std::size_t num_outputs = netlist_.CoreOutputs().size();
+  const std::uint64_t total = num_random + deterministic.size();
+  const std::uint64_t window = config_.EffectiveWindow(total);
+
+  std::vector<SignatureAbsorber> absorbers(
+      faults.size(), SignatureAbsorber(config_.misr_width, window,
+                                       config_.reset_misr_per_window));
+  SessionStreamSource source(config_, netlist_.CoreInputs().size(), expander_,
+                             num_random, deterministic);
+  BatchSignatureSink sink(faults, absorbers, num_outputs);
+  runner_.Run(source, sink);
+
+  std::vector<SessionResult> results(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    absorbers[i].Close();
+    SessionResult& r = results[i];
+    r.total_patterns = total;
+    r.window_signatures = std::move(absorbers[i].Signatures());
+    for (std::size_t w = 0; w < r.window_signatures.size(); ++w) {
+      if (r.window_signatures[w] != golden[w]) {
+        r.fail_data.push_back({static_cast<std::uint32_t>(w),
+                               r.window_signatures[w], golden[w]});
+        r.pass = false;
+      }
+    }
+  }
+  return results;
 }
 
 }  // namespace bistdse::bist

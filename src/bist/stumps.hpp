@@ -15,6 +15,7 @@
 #include "bist/misr.hpp"
 #include "bist/reseeding.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/campaign.hpp"
 #include "sim/fault.hpp"
 
 namespace bistdse::bist {
@@ -49,6 +50,16 @@ struct StumpsConfig {
   /// boundary so windows fail independently — this is what makes the fail
   /// data diagnosable instead of merely pass/fail.
   bool reset_misr_per_window = true;
+
+  /// Fault-simulation parallelism of the session engine: RunBatch() fans its
+  /// injected faults across the shared pool (1 = serial, 0 = full pool
+  /// width). Single-fault Run() has no fault-level parallelism to exploit.
+  /// Signatures are bit-identical for every value.
+  std::size_t sim_threads = 1;
+  /// Simulation block width W of the session engine: W*64 patterns per
+  /// circuit sweep (W in {1, 2, 4, 8}). Signatures are bit-identical for
+  /// every width.
+  std::size_t sim_block_width = 4;
 
   /// Scan cycles needed to apply one pattern: shift in (longest chain) plus
   /// one capture cycle. Shift-out overlaps the next shift-in.
@@ -89,6 +100,16 @@ class StumpsSession {
                     std::span<const EncodedPattern> deterministic,
                     const std::optional<sim::StuckAtFault>& injected_fault);
 
+  /// Runs one faulty session per entry of `faults` in a single streaming
+  /// pass over the pattern stream: every block is simulated once and the
+  /// per-fault MISRs advance fault-partitioned across the pool
+  /// (StumpsConfig::sim_threads). Result i is bit-identical to
+  /// Run(num_random, deterministic, faults[i]) for every thread count and
+  /// block width.
+  std::vector<SessionResult> RunBatch(
+      std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+      std::span<const sim::StuckAtFault> faults);
+
   /// The golden (fault-free) intermediate signatures — the "response data"
   /// stored by the BIST data task b^D.
   const std::vector<std::uint64_t>& GoldenSignatures(
@@ -113,6 +134,9 @@ class StumpsSession {
   const netlist::Netlist& netlist_;
   StumpsConfig config_;
   ReseedingEncoder expander_;
+  /// The session's campaign kernel; simulator state is reused across the
+  /// golden run, every injected-fault replay, and RunBatch passes.
+  sim::CampaignRunner runner_;
   std::vector<std::uint64_t> golden_cache_;
   std::uint64_t golden_cache_random_ = 0;
   std::uint64_t golden_cache_det_hash_ = 0;

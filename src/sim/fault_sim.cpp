@@ -192,31 +192,7 @@ template class FaultSimulatorT<2>;
 template class FaultSimulatorT<4>;
 template class FaultSimulatorT<8>;
 
-std::size_t CountDetectedFaults(const netlist::Netlist& netlist,
-                                std::span<const BitPattern> patterns,
-                                std::span<const StuckAtFault> faults,
-                                std::size_t block_width) {
-  return DispatchBlockWidth(block_width, [&](auto width) {
-    constexpr std::size_t W = width();
-    FaultSimulatorT<W> fsim(netlist);
-    const std::size_t width_inputs = netlist.CoreInputs().size();
-    std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
-    for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
-         base += W * 64) {
-      const std::size_t count =
-          std::min<std::size_t>(W * 64, patterns.size() - base);
-      fsim.SetPatternBlock(
-          PackPatternBlockWide(patterns, base, count, width_inputs, W));
-      const WideWord<W> mask = BlockMaskWide<W>(count);
-      std::vector<StuckAtFault> still;
-      still.reserve(remaining.size());
-      for (const StuckAtFault& f : remaining) {
-        if (!(fsim.DetectBlock(f) & mask).Any()) still.push_back(f);
-      }
-      remaining = std::move(still);
-    }
-    return faults.size() - remaining.size();
-  });
-}
+// CountDetectedFaults lives in campaign.cpp: it is a stored-source drop
+// campaign on the streaming CampaignRunner kernel.
 
 }  // namespace bistdse::sim

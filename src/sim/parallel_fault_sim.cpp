@@ -81,37 +81,7 @@ template class ParallelFaultSimulatorT<2>;
 template class ParallelFaultSimulatorT<4>;
 template class ParallelFaultSimulatorT<8>;
 
-std::size_t ParallelCountDetectedFaults(const netlist::Netlist& netlist,
-                                        std::span<const BitPattern> patterns,
-                                        std::span<const StuckAtFault> faults,
-                                        std::size_t threads,
-                                        std::size_t block_width) {
-  return DispatchBlockWidth(block_width, [&](auto width) {
-    constexpr std::size_t W = width();
-    ParallelFaultSimulatorT<W> fsim(netlist, threads);
-    const std::size_t input_width = netlist.CoreInputs().size();
-    std::vector<StuckAtFault> remaining(faults.begin(), faults.end());
-    std::vector<WideWord<W>> detect;
-    for (std::size_t base = 0; base < patterns.size() && !remaining.empty();
-         base += W * 64) {
-      const std::size_t count =
-          std::min<std::size_t>(W * 64, patterns.size() - base);
-      fsim.SetPatternBlock(
-          PackPatternBlockWide(patterns, base, count, input_width, W));
-      const WideWord<W> mask = BlockMaskWide<W>(count);
-      detect.assign(remaining.size(), WideWord<W>::Zero());
-      fsim.DetectBlocks(remaining, detect);
-      // Serial merge in fault order — the drop list stays identical to the
-      // serial sweep's.
-      std::vector<StuckAtFault> still;
-      still.reserve(remaining.size());
-      for (std::size_t i = 0; i < remaining.size(); ++i) {
-        if (!(detect[i] & mask).Any()) still.push_back(remaining[i]);
-      }
-      remaining = std::move(still);
-    }
-    return faults.size() - remaining.size();
-  });
-}
+// ParallelCountDetectedFaults lives in campaign.cpp: it is a stored-source
+// drop campaign on the streaming CampaignRunner kernel.
 
 }  // namespace bistdse::sim

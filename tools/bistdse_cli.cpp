@@ -3,6 +3,7 @@
 //   bistdse_cli explore   — run the DSE on a case study, export the front
 //   bistdse_cli profiles  — generate BIST profiles for a synthetic CUT
 //   bistdse_cli diagnose  — measure diagnosis accuracy on a synthetic CUT
+//   bistdse_cli stumps    — batch faulty STUMPS sessions on a synthetic CUT
 //   bistdse_cli plan      — session timelines for a saved implementation
 //
 // Examples:
@@ -10,6 +11,8 @@
 //   bistdse_cli explore --future --evals 20000
 //   bistdse_cli profiles --prps 500,1000,5000 --seed 7
 //   bistdse_cli diagnose --patterns 1024 --samples 50
+//   bistdse_cli stumps --patterns 2048 --faults 64 --threads 0
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +85,8 @@ int Usage() {
       "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
       "           [--block-width W]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
+      "           [--threads K] [--block-width W]\n"
+      "  stumps   --seed N [--patterns N] [--faults N] [--window N]\n"
       "           [--threads K] [--block-width W]\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n");
@@ -294,6 +299,64 @@ int RunDiagnose(const Flags& flags) {
   return 0;
 }
 
+// One streaming RunBatch pass over a sample of the collapsed fault universe:
+// every pattern block is simulated once and the per-fault MISRs advance
+// fault-partitioned across the pool. Reports throughput in session-patterns
+// per second (patterns x faulty sessions), the number the campaign kernel's
+// parallelism actually scales.
+int RunStumps(const Flags& flags) {
+  auto spec = casestudy::ScaledCutSpec(flags.U64("seed", 1));
+  const auto cut = netlist::GenerateRandomCircuit(spec);
+
+  bist::StumpsConfig config = casestudy::PaperStumpsConfig();
+  config.signature_window =
+      static_cast<std::uint32_t>(flags.U64("window", 32));
+  // 0 = all cores; signatures are bit-identical for every thread count.
+  config.sim_threads = flags.U64("threads", 0);
+  // W*64 patterns per fault-simulation sweep; bit-identical for every W.
+  config.sim_block_width = flags.U64("block-width", 4);
+
+  const std::uint64_t num_random = flags.U64("patterns", 2048);
+  const auto all_faults = sim::CollapsedFaults(cut);
+  const std::size_t want = std::min<std::size_t>(
+      std::max<std::uint64_t>(1, flags.U64("faults", 64)), all_faults.size());
+  const std::size_t stride = std::max<std::size_t>(1, all_faults.size() / want);
+  std::vector<sim::StuckAtFault> faults;
+  for (std::size_t fi = 0; fi < all_faults.size() && faults.size() < want;
+       fi += stride) {
+    faults.push_back(all_faults[fi]);
+  }
+
+  bist::StumpsSession session(cut, config);
+  // Prime the golden cache outside the timed region: the batch pass itself
+  // is what the --threads/--block-width knobs accelerate.
+  session.GoldenSignatures(num_random, {});
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = session.RunBatch(num_random, {}, faults);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t failing = 0, fail_entries = 0;
+  for (const auto& r : results) {
+    failing += !r.pass;
+    fail_entries += r.fail_data.size();
+  }
+  const double session_patterns =
+      static_cast<double>(num_random) * static_cast<double>(faults.size());
+  std::printf("stumps batch: %zu faulty sessions x %llu patterns in %.3f s "
+              "(%.0f session-patterns/s, threads %zu, block width %zu)\n",
+              faults.size(), static_cast<unsigned long long>(num_random), secs,
+              secs > 0 ? session_patterns / secs : 0.0, config.sim_threads,
+              config.sim_block_width);
+  std::printf("%zu/%zu sessions fail (%zu fail-data entries, %zu windows "
+              "per session)\n",
+              failing, results.size(), fail_entries,
+              results.empty() ? std::size_t{0}
+                              : results.front().window_signatures.size());
+  return 0;
+}
+
 int RunPlan(const Flags& flags) {
   if (!flags.Has("spec") || !flags.Has("impl")) {
     std::fprintf(stderr, "plan requires --spec and --impl\n");
@@ -346,6 +409,7 @@ int main(int argc, char** argv) {
   if (command == "explore") return RunExplore(flags);
   if (command == "profiles") return RunProfiles(flags);
   if (command == "diagnose") return RunDiagnose(flags);
+  if (command == "stumps") return RunStumps(flags);
   if (command == "plan") return RunPlan(flags);
   return Usage();
 }
