@@ -23,6 +23,7 @@
 #include "netlist/random_circuit.hpp"
 #include "sim/campaign.hpp"
 #include "sim/fault_sim.hpp"
+#include "sim/wide_word_simd.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace bistdse;
@@ -33,6 +34,7 @@ struct Row {
   std::string campaign;
   std::size_t block_width;
   std::size_t threads;  // 0 = full pool width
+  bool shortcuts;
   double wall_seconds;
   double patterns_per_second;
   double speedup_vs_serial;
@@ -71,8 +73,13 @@ int main(int argc, char** argv) {
 
   struct Config {
     std::size_t width, threads;
+    bool shortcuts;
   };
-  const Config configs[] = {{1, 1}, {4, 1}, {4, 0}};
+  // First row is the PR-5-equivalent baseline: serial, W=1, full event
+  // propagation. The rest ablate block width, structural shortcuts and
+  // threading independently.
+  const Config configs[] = {{1, 1, false}, {4, 1, false}, {4, 1, true},
+                            {16, 1, true}, {4, 0, true},  {16, 0, true}};
   std::vector<Row> rows;
   bool all_identical = true;
 
@@ -86,7 +93,8 @@ int main(int argc, char** argv) {
       // then sweeps W times fewer. Results stay bit-identical either way.
       sim::CampaignRunner runner(cut, {.block_width = c.width,
                                        .threads = c.threads,
-                                       .narrow_warmup_patterns = 512});
+                                       .narrow_warmup_patterns = 512,
+                                       .structural_shortcuts = c.shortcuts});
       bist::PrpgSource source(stumps_config, cut.CoreInputs().size());
       std::vector<std::uint64_t> first_detect(faults.size(), UINT64_MAX);
       sim::FirstDetectSink sink(first_detect);
@@ -101,8 +109,8 @@ int main(int argc, char** argv) {
       }
       const bool identical = first_detect == reference;
       all_identical &= identical;
-      rows.push_back({"prpg_drop", c.width, c.threads, stats.wall_seconds,
-                      stats.PatternsPerSecond(),
+      rows.push_back({"prpg_drop", c.width, c.threads, c.shortcuts,
+                      stats.wall_seconds, stats.PatternsPerSecond(),
                       serial_wall / stats.wall_seconds, identical});
     }
   }
@@ -123,6 +131,7 @@ int main(int argc, char** argv) {
       bist::StumpsConfig config = stumps_config;
       config.sim_block_width = c.width;
       config.sim_threads = c.threads;
+      config.structural_shortcuts = c.shortcuts;
       bist::StumpsSession session(cut, config);
       session.GoldenSignatures(num_patterns, {});  // prime outside the timer
       const auto t0 = std::chrono::steady_clock::now();
@@ -143,7 +152,7 @@ int main(int argc, char** argv) {
       // Throughput counts session-patterns: every fault replays the stream.
       const double session_patterns =
           static_cast<double>(num_patterns) * static_cast<double>(batch.size());
-      rows.push_back({"stumps_batch", c.width, c.threads, wall,
+      rows.push_back({"stumps_batch", c.width, c.threads, c.shortcuts, wall,
                       session_patterns / wall, serial_wall / wall, identical});
     }
   }
@@ -158,8 +167,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<bist::FaultDictionary> reference;
     double serial_wall = 0.0;
     for (const Config& c : configs) {
+      bist::StumpsConfig dict_config = stumps_config;
+      dict_config.structural_shortcuts = c.shortcuts;
       const auto t0 = std::chrono::steady_clock::now();
-      bist::FaultDictionary dict(cut, stumps_config, dict_patterns, {},
+      bist::FaultDictionary dict(cut, dict_config, dict_patterns, {},
                                  dict_faults, c.threads, c.width);
       const double wall = Seconds(t0);
 
@@ -177,16 +188,17 @@ int main(int argc, char** argv) {
         }
       }
       all_identical &= identical;
-      rows.push_back({"dictionary", c.width, c.threads, wall,
+      rows.push_back({"dictionary", c.width, c.threads, c.shortcuts, wall,
                       static_cast<double>(dict_patterns) / wall,
                       serial_wall / wall, identical});
     }
   }
 
   for (const Row& r : rows) {
-    std::printf("%-12s W=%zu threads=%zu: %8.3f s, %12.0f patterns/s, "
-                "speedup %.2fx%s\n",
-                r.campaign.c_str(), r.block_width, r.threads, r.wall_seconds,
+    std::printf("%-12s W=%-2zu threads=%zu shortcuts=%-3s: %8.3f s, "
+                "%12.0f patterns/s, speedup %.2fx%s\n",
+                r.campaign.c_str(), r.block_width, r.threads,
+                r.shortcuts ? "on" : "off", r.wall_seconds,
                 r.patterns_per_second, r.speedup_vs_serial,
                 r.bit_identical ? "" : "  [MISMATCH]");
   }
@@ -199,18 +211,23 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"campaign\",\n"
+               "  \"cpu\": \"%s\",\n"
+               "  \"simd_backend\": \"%s\",\n"
                "  \"pool_workers\": %zu,\n"
                "  \"patterns\": %llu,\n"
                "  \"results\": [\n",
+               sim::simd::CpuFeatureString().c_str(), sim::simd::SimdBackendName(),
                workers, static_cast<unsigned long long>(num_patterns));
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,
                  "    {\"campaign\": \"%s\", \"block_width\": %zu, "
-                 "\"threads\": %zu, \"wall_seconds\": %.6f, "
+                 "\"threads\": %zu, \"shortcuts\": %s, "
+                 "\"wall_seconds\": %.6f, "
                  "\"patterns_per_second\": %.1f, \"speedup_vs_serial\": %.3f, "
                  "\"bit_identical\": %s}%s\n",
-                 r.campaign.c_str(), r.block_width, r.threads, r.wall_seconds,
+                 r.campaign.c_str(), r.block_width, r.threads,
+                 r.shortcuts ? "true" : "false", r.wall_seconds,
                  r.patterns_per_second, r.speedup_vs_serial,
                  r.bit_identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");

@@ -20,6 +20,7 @@
 #include "bist/scan_sim.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/parallel_fault_sim.hpp"
+#include "sim/wide_word_simd.hpp"
 #include "sim/transition_fault.hpp"
 #include "util/rng.hpp"
 
@@ -439,10 +440,13 @@ int WritePpsfpJson(const char* path) {
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"ppsfp_detect_throughput\",\n"
+               "  \"cpu\": \"%s\",\n"
+               "  \"simd_backend\": \"%s\",\n"
                "  \"patterns\": %zu,\n"
                "  \"collapsed_faults\": %zu,\n"
                "  \"results\": [\n",
-               patterns.size(), faults.size());
+               sim::simd::CpuFeatureString().c_str(),
+               sim::simd::SimdBackendName(), patterns.size(), faults.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     std::fprintf(out,
                  "    {\"block_width\": %zu, \"threads\": %zu, "

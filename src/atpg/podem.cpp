@@ -312,13 +312,38 @@ bool Podem::XPathExists() const {
   return false;
 }
 
-PodemResult Podem::Generate(const sim::StuckAtFault& fault) {
+PodemResult Podem::Generate(const sim::StuckAtFault& fault,
+                            const TestCube* hint) {
+  if (hint && hint->bits.size() == netlist_.CoreInputs().size()) {
+    PodemResult hinted = GenerateImpl(fault, hint);
+    // A hinted Untestable is still a complete-search proof (hint decisions
+    // are flippable); only an abort warrants a fresh unhinted attempt.
+    if (hinted.outcome != PodemOutcome::Aborted) return hinted;
+  }
+  return GenerateImpl(fault, nullptr);
+}
+
+PodemResult Podem::GenerateImpl(const sim::StuckAtFault& fault,
+                                const TestCube* hint) {
   fault_ = fault;
   assignment_.assign(netlist_.CoreInputs().size(), Value3::X);
   decisions_.clear();
   PodemResult result;
 
   SimulateBothPlanes();
+  if (hint) {
+    // Seed the hint's care bits as ordinary decisions: usually they carry
+    // the region's shared activation/propagation conditions and the search
+    // finishes immediately; when they conflict, normal backtracking flips
+    // them like any other decision.
+    for (std::size_t i = 0; i < hint->bits.size(); ++i) {
+      if (Detected()) break;
+      if (hint->bits[i] == Value3::X || assignment_[i] != Value3::X) continue;
+      const auto idx = static_cast<std::uint32_t>(i);
+      decisions_.push_back({idx, hint->bits[i], false});
+      AssignAndPropagate(idx, hint->bits[i]);
+    }
+  }
   for (;;) {
     if (Detected()) {
       result.outcome = PodemOutcome::Detected;

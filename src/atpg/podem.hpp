@@ -47,8 +47,17 @@ class Podem {
   explicit Podem(const netlist::Netlist& netlist,
                  std::uint32_t backtrack_limit = 200);
 
-  /// Attempts to generate a test cube for `fault`.
-  PodemResult Generate(const sim::StuckAtFault& fault);
+  /// Attempts to generate a test cube for `fault`. `hint` (optional) is a
+  /// previously successful cube for a structurally related fault — typically
+  /// another fault in the same fanout-free region, whose activation and
+  /// propagation conditions overlap heavily. Its care bits are seeded as
+  /// ordinary flippable decisions before the search starts, so completeness
+  /// is untouched: an exhausted decision stack still proves untestability.
+  /// If the hinted search aborts on the backtrack limit, the generator
+  /// retries once without the hint — a hint can speed the search up but
+  /// never change the outcome quality.
+  PodemResult Generate(const sim::StuckAtFault& fault,
+                       const TestCube* hint = nullptr);
 
  private:
   struct Decision {
@@ -57,6 +66,8 @@ class Podem {
     bool flipped;
   };
 
+  PodemResult GenerateImpl(const sim::StuckAtFault& fault,
+                           const TestCube* hint);
   void SimulateBothPlanes();
   /// Incremental forward propagation after assigning one core input (both
   /// planes). Sound because forward decisions only refine X values (Kleene

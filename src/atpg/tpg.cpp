@@ -1,7 +1,9 @@
 #include "atpg/tpg.hpp"
 
 #include <algorithm>
+#include <numeric>
 
+#include "netlist/structure.hpp"
 #include "sim/campaign.hpp"
 #include "util/rng.hpp"
 
@@ -100,9 +102,35 @@ DeterministicTpgResult GenerateDeterministicPatterns(
   std::vector<StuckAtFault> pending;
   std::vector<std::size_t> pending_idx;
 
-  for (std::size_t i = 0; i < remaining.size(); ++i) {
+  // Batch targets per fanout-free region: faults of one region share their
+  // propagation path from the stem onward (and usually their activation
+  // neighborhood), so the region's last successful cube is handed to PODEM
+  // as a decision hint and the implication/backtrace work is amortized
+  // across the whole region instead of repeated per fault. Stable order
+  // within a region preserves the collapsed-fault order.
+  const netlist::StructuralInfo& structure = netlist.Structure();
+  std::vector<std::size_t> order(remaining.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return structure.FfrStemOf(remaining[a].node) <
+                            structure.FfrStemOf(remaining[b].node);
+                   });
+
+  netlist::NodeId current_stem = netlist::kInvalidNode;
+  TestCube region_hint;
+  bool have_hint = false;
+
+  for (std::size_t i : order) {
     if (status[i] != kPending) continue;
-    const PodemResult pr = podem.Generate(remaining[i]);
+    const netlist::NodeId stem = structure.FfrStemOf(remaining[i].node);
+    if (stem != current_stem) {
+      current_stem = stem;
+      have_hint = false;
+      ++result.ffr_groups;
+    }
+    const PodemResult pr =
+        podem.Generate(remaining[i], have_hint ? &region_hint : nullptr);
     if (pr.outcome == PodemOutcome::Untestable) {
       status[i] = kUntestable;
       ++result.untestable;
@@ -130,19 +158,65 @@ DeterministicTpgResult GenerateDeterministicPatterns(
     result.total_care_bits += pr.cube.CareBitCount();
     result.cubes.push_back(pr.cube);
     result.patterns.push_back(pattern);
+    region_hint = pr.cube;
+    have_hint = true;
   }
 
   if (options.static_compaction && !result.cubes.empty()) {
-    // Merge, refill, and recount: detection of each original target is
-    // preserved because every original cube's care bits survive in some
-    // merged cube.
+    // Merge and refill. Every explicitly generated cube keeps detecting its
+    // own target (the merged cube carries a superset of its care bits), but
+    // targets that were only dropped thanks to the old random fill can escape
+    // the refilled set — verify against the dropped set and graft back the
+    // original patterns still needed, so the compacted set never detects
+    // fewer targets than the uncompacted one.
     auto merged = MergeCompatibleCubes(result.cubes);
-    result.cubes = std::move(merged);
-    result.patterns.clear();
-    result.total_care_bits = 0;
-    for (const TestCube& cube : result.cubes) {
-      result.patterns.push_back(FillCube(cube, rng));
-      result.total_care_bits += cube.CareBitCount();
+    if (merged.size() < result.cubes.size()) {
+      std::vector<BitPattern> merged_patterns;
+      merged_patterns.reserve(merged.size());
+      for (const TestCube& cube : merged) {
+        merged_patterns.push_back(FillCube(cube, rng));
+      }
+
+      std::vector<StuckAtFault> dropped;
+      for (std::size_t j = 0; j < remaining.size(); ++j) {
+        if (status[j] == kDropped) dropped.push_back(remaining[j]);
+      }
+      std::vector<std::uint64_t> first_detect(dropped.size(), UINT64_MAX);
+      {
+        sim::StoredPatternSource source{
+            std::span<const BitPattern>(merged_patterns)};
+        sim::FirstDetectSink sink(first_detect);
+        runner.Run(source, sink, {.track = dropped, .drop_detected = true});
+      }
+      std::vector<StuckAtFault> missed;
+      for (std::size_t j = 0; j < dropped.size(); ++j) {
+        if (first_detect[j] == UINT64_MAX) missed.push_back(dropped[j]);
+      }
+      if (!missed.empty()) {
+        std::vector<std::uint64_t> original_first(missed.size(), UINT64_MAX);
+        sim::StoredPatternSource source{
+            std::span<const BitPattern>(result.patterns)};
+        sim::FirstDetectSink sink(original_first);
+        runner.Run(source, sink, {.track = missed, .drop_detected = true});
+        std::vector<std::size_t> graft;
+        for (std::uint64_t p : original_first) {
+          if (p != UINT64_MAX) graft.push_back(static_cast<std::size_t>(p));
+        }
+        std::sort(graft.begin(), graft.end());
+        graft.erase(std::unique(graft.begin(), graft.end()), graft.end());
+        for (std::size_t p : graft) {
+          merged.push_back(result.cubes[p]);
+          merged_patterns.push_back(result.patterns[p]);
+        }
+      }
+      if (merged_patterns.size() <= result.patterns.size()) {
+        result.cubes = std::move(merged);
+        result.patterns = std::move(merged_patterns);
+        result.total_care_bits = 0;
+        for (const TestCube& cube : result.cubes) {
+          result.total_care_bits += cube.CareBitCount();
+        }
+      }
     }
   }
 

@@ -31,6 +31,9 @@ struct DeterministicTpgResult {
   std::size_t untestable = 0;  ///< Proven redundant.
   std::size_t aborted = 0;     ///< PODEM gave up (backtrack limit).
   std::size_t total_care_bits = 0;
+  /// Distinct fanout-free regions the target list was batched into (PODEM
+  /// reuses each region's last successful cube as a decision hint).
+  std::size_t ffr_groups = 0;
 };
 
 /// Generates deterministic patterns covering `targets`. Faults detected by an

@@ -26,7 +26,7 @@ class SignatureDiagnosis {
  public:
   /// Describes the session whose fail data will be diagnosed (same pattern
   /// stream parameters as the StumpsSession that produced it).
-  /// `block_width` (W in {1, 2, 4, 8}) selects the wide simulation datapath
+  /// `block_width` (W in {1, 2, 4, 8, 16}) selects the wide simulation datapath
   /// — W*64 patterns per fault-simulation sweep — and `threads` the
   /// candidate-level parallelism of each query (1 = serial, 0 = full pool
   /// width); the ranking is bit-identical for every width and thread count.

@@ -37,7 +37,7 @@ struct DiagnosisEvalOptions {
   /// over this many workers (1 = serial, 0 = full pool width) with results
   /// reduced in sample order, so the accuracy report is bit-identical.
   std::size_t threads = 0;
-  /// Simulation block width W of each diagnosis (W in {1, 2, 4, 8}): W*64
+  /// Simulation block width W of each diagnosis (W in {1, 2, 4, 8, 16}): W*64
   /// patterns per fault-simulation sweep. Bit-identical for every width.
   std::size_t block_width = 4;
 };

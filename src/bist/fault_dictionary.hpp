@@ -20,7 +20,7 @@ class FaultDictionary {
   /// `config`, `num_random`, `deterministic`) over the candidate `faults`.
   /// The build fault-simulates in parallel over `threads` workers (1 =
   /// serial, 0 = full pool width) with `block_width`*64 patterns per sweep
-  /// (block_width in {1, 2, 4, 8}); the dictionary is bit-identical for
+  /// (block_width in {1, 2, 4, 8, 16}); the dictionary is bit-identical for
   /// every thread count and block width.
   FaultDictionary(const netlist::Netlist& netlist, const StumpsConfig& config,
                   std::uint64_t num_random,

@@ -74,7 +74,8 @@ ProfileGenerator::ProfileGenerator(const Netlist& netlist,
               sim::CampaignConfig{
                   .block_width = config_.block_width,
                   .threads = config_.threads,
-                  .narrow_warmup_patterns = config_.narrow_warmup_patterns}) {
+                  .narrow_warmup_patterns = config_.narrow_warmup_patterns,
+                  .structural_shortcuts = config_.structural_shortcuts}) {
   if (config_.coverage_targets_percent.size() != config_.fill_seeds.size())
     throw std::invalid_argument("one fill seed per coverage target required");
   if (config_.prp_counts.empty() || config_.coverage_targets_percent.empty())

@@ -45,9 +45,12 @@ struct ProfileGeneratorConfig {
   /// Results are bit-identical for every value (see docs/PERF.md).
   std::size_t threads = 0;
   /// Simulation block width W of the random phase: W*64 patterns per sweep
-  /// (W in {1, 2, 4, 8}). Composes multiplicatively with `threads`; results
-  /// are bit-identical for every width (see docs/PERF.md).
+  /// (W in {1, 2, 4, 8, 16}). Composes multiplicatively with `threads`;
+  /// results are bit-identical for every width (see docs/PERF.md).
   std::size_t block_width = 4;
+  /// FFR-collapse + dominator-cut detection shortcuts in the fault
+  /// simulators (bit-identical results; off = ablation/validation).
+  bool structural_shortcuts = true;
   /// Leading patterns of the random phase simulated at W = 1 regardless of
   /// `block_width`. The head of the phase drops faults so fast that wide
   /// blocks do more union-cone work than the drops they save; the sparse

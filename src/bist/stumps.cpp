@@ -120,8 +120,11 @@ StumpsSession::StumpsSession(const Netlist& netlist, StumpsConfig config)
     : netlist_(netlist),
       config_(config),
       expander_(static_cast<std::uint32_t>(netlist.CoreInputs().size())),
-      runner_(netlist, sim::CampaignConfig{.block_width = config.sim_block_width,
-                                           .threads = config.sim_threads}) {
+      runner_(netlist,
+              sim::CampaignConfig{
+                  .block_width = config.sim_block_width,
+                  .threads = config.sim_threads,
+                  .structural_shortcuts = config.structural_shortcuts}) {
   if (!netlist.IsFinalized())
     throw std::invalid_argument("netlist must be finalized");
 }

@@ -57,9 +57,12 @@ struct StumpsConfig {
   /// Signatures are bit-identical for every value.
   std::size_t sim_threads = 1;
   /// Simulation block width W of the session engine: W*64 patterns per
-  /// circuit sweep (W in {1, 2, 4, 8}). Signatures are bit-identical for
-  /// every width.
+  /// circuit sweep (W in {1, 2, 4, 8, 16}). Signatures are bit-identical
+  /// for every width.
   std::size_t sim_block_width = 4;
+  /// FFR-collapse + dominator-cut detection shortcuts in the fault
+  /// simulators (bit-identical signatures; off = ablation/validation).
+  bool structural_shortcuts = true;
 
   /// Scan cycles needed to apply one pattern: shift in (longest chain) plus
   /// one capture cycle. Shift-out overlaps the next shift-in.

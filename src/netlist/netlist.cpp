@@ -178,6 +178,7 @@ void Netlist::Finalize() {
   for (NodeId flop : flops_) core_outputs_.push_back(gates_[flop].fanins[0]);
 
   finalized_ = true;
+  structure_ = BuildStructuralInfo(*this);
 }
 
 NodeId Netlist::FindByName(const std::string& name) const {

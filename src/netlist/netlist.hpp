@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netlist/gate.hpp"
+#include "netlist/structure.hpp"
 
 namespace bistdse::netlist {
 
@@ -83,6 +84,10 @@ class Netlist {
   /// Number of combinational gates (excludes Input and Dff nodes).
   std::size_t CombinationalGateCount() const { return topo_order_.size(); }
 
+  /// Structural shortcut metadata (FFR stems, immediate post-dominators),
+  /// derived once in Finalize() and cached like the levelization.
+  const StructuralInfo& Structure() const { return structure_; }
+
   /// Node lookup by symbolic name; returns kInvalidNode if absent.
   NodeId FindByName(const std::string& name) const;
 
@@ -100,6 +105,7 @@ class Netlist {
   std::vector<NodeId> topo_order_;
   std::vector<std::uint32_t> levels_;
   std::unordered_map<std::string, NodeId> by_name_;
+  StructuralInfo structure_;
   std::uint32_t max_level_ = 0;
   bool finalized_ = false;
 };

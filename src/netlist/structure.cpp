@@ -1,0 +1,100 @@
+#include "netlist/structure.hpp"
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::netlist {
+
+namespace {
+
+/// Combinational fanouts of `id` (sequential Dff edges are observed at the
+/// driver and do not carry fault effects forward within a cycle).
+template <typename Fn>
+void ForEachCombFanout(const Netlist& netlist, NodeId id, Fn&& fn) {
+  for (NodeId out : netlist.FanoutsOf(id)) {
+    if (netlist.TypeOf(out) == GateType::Dff) continue;
+    fn(out);
+  }
+}
+
+}  // namespace
+
+StructuralInfo BuildStructuralInfo(const Netlist& netlist) {
+  const std::size_t n = netlist.NodeCount();
+  StructuralInfo info;
+  info.observed_.assign(n, 0);
+  for (NodeId id : netlist.CoreOutputs()) info.observed_[id] = 1;
+
+  // Forward topological order over *all* nodes: sources (inputs and flop Q
+  // nets) first, then the levelized combinational core. Position in this
+  // order gives the comparison key for the dominator meet; the virtual EXIT
+  // vertex sits past the end (maximal position).
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const GateType t = netlist.TypeOf(id);
+    if (t == GateType::Input || t == GateType::Dff) order.push_back(id);
+  }
+  for (NodeId id : netlist.TopologicalOrder()) order.push_back(id);
+
+  std::vector<std::uint32_t> pos(n, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i]] = static_cast<std::uint32_t>(i);
+  }
+  const std::uint32_t exit_pos = static_cast<std::uint32_t>(order.size());
+  const auto pos_of = [&](NodeId x) {
+    return x == StructuralInfo::kExitNode ? exit_pos : pos[x];
+  };
+
+  // FFR stems: reverse topological sweep, so the single fanout's stem is
+  // already known when a chain node asks for it.
+  info.ffr_stem_.assign(n, kInvalidNode);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    NodeId single = kInvalidNode;
+    std::size_t comb_fanouts = 0;
+    ForEachCombFanout(netlist, id, [&](NodeId out) {
+      ++comb_fanouts;
+      single = out;
+    });
+    info.ffr_stem_[id] =
+        comb_fanouts == 1 ? info.ffr_stem_[single] : id;
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    if (info.ffr_stem_[id] == id) ++info.ffr_count_;
+  }
+
+  // Immediate post-dominators (Cooper/Harvey/Kennedy on the reverse graph,
+  // single pass — the graph is a DAG, so one reverse-topological sweep with
+  // already-final successor entries converges immediately). The meet climbs
+  // the partially built dominator tree towards EXIT; every ipostdom lies
+  // strictly later in topological order, so the climb always terminates.
+  info.ipostdom_.assign(n, kInvalidNode);
+  const auto meet = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      if (pos_of(a) < pos_of(b)) {
+        a = info.ipostdom_[a];
+      } else {
+        b = info.ipostdom_[b];
+      }
+    }
+    return a;
+  };
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    NodeId idom = kInvalidNode;
+    if (info.observed_[id]) idom = StructuralInfo::kExitNode;
+    ForEachCombFanout(netlist, id, [&](NodeId out) {
+      if (info.ipostdom_[out] == kInvalidNode && !info.observed_[out]) {
+        return;  // dead fanout: no path to observation, contributes nothing
+      }
+      idom = idom == kInvalidNode ? out : meet(idom, out);
+    });
+    info.ipostdom_[id] = idom;
+  }
+
+  return info;
+}
+
+}  // namespace bistdse::netlist

@@ -1,0 +1,77 @@
+// Structural shortcut metadata for fault simulation: fanout-free regions
+// (FFRs) and immediate post-dominators of the combinational fanout graph.
+//
+// Both are pure functions of the netlist topology and are computed once in
+// Netlist::Finalize() (cached like the levelization), so every simulator,
+// campaign worker clone and ATPG engine shares one copy.
+//
+// FFR: a maximal region of the combinational core in which every node has a
+// single combinational fanout. A fault effect anywhere inside the region can
+// only leave it through the region's *stem* (the first node with fanout != 1
+// when walking forward), so one stem propagation answers detection for every
+// fault in the region — the classic FFR collapse.
+//
+// Immediate post-dominators: ipostdom(n) is the first node every sensitized
+// path from n towards an observation point must pass through, computed on
+// the combinational fanout DAG augmented with a virtual EXIT vertex that
+// every observed node (primary output or flop D net) feeds. When an
+// event-driven propagation wave collapses onto a single pending node whose
+// observability under the current pattern block is already known, the
+// remaining propagation is exactly `diff & obs` — the simulator cuts there
+// (Cooper/Harvey/Kennedy "simple fast dominance" over the reverse graph).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace bistdse::netlist {
+
+class Netlist;
+
+class StructuralInfo {
+ public:
+  /// Virtual observation sink in the post-dominator tree: the ipostdom of a
+  /// node whose fault effects fan out directly to observation points (or to
+  /// reconverging paths that only meet again at observation).
+  static constexpr NodeId kExitNode = kInvalidNode - 1;
+
+  /// Stem of the fanout-free region containing `n`: the first node reached
+  /// from `n` (following single combinational fanouts) whose combinational
+  /// fanout count differs from 1. FfrStemOf(stem) == stem.
+  NodeId FfrStemOf(NodeId n) const { return ffr_stem_[n]; }
+
+  /// Immediate post-dominator of `n` in the combinational fanout graph:
+  /// kExitNode when observation itself is the first common point, and
+  /// kInvalidNode when `n` cannot reach any observation point (dead logic —
+  /// faults there are undetectable).
+  NodeId IPostDomOf(NodeId n) const { return ipostdom_[n]; }
+
+  /// True when `n` is a core output (primary output or flop D net).
+  bool IsObserved(NodeId n) const { return observed_[n] != 0; }
+
+  /// True when some path from `n` reaches an observation point.
+  bool ReachesObservation(NodeId n) const { return ipostdom_[n] != kInvalidNode; }
+
+  /// Number of distinct fanout-free regions (== number of stems).
+  std::size_t FfrCount() const { return ffr_count_; }
+
+  std::size_t NodeCount() const { return ffr_stem_.size(); }
+
+ private:
+  friend StructuralInfo BuildStructuralInfo(const Netlist& netlist);
+
+  std::vector<NodeId> ffr_stem_;
+  std::vector<NodeId> ipostdom_;
+  std::vector<std::uint8_t> observed_;
+  std::size_t ffr_count_ = 0;
+};
+
+/// Computes FFR stems and immediate post-dominators for a netlist whose
+/// fanouts and levels are already derived. Called from Netlist::Finalize();
+/// not part of the public construction API.
+StructuralInfo BuildStructuralInfo(const Netlist& netlist);
+
+}  // namespace bistdse::netlist

@@ -37,8 +37,9 @@ class CampaignRunner::Engine {
 template <std::size_t W>
 class CampaignRunner::EngineT final : public Engine {
  public:
-  EngineT(const netlist::Netlist& netlist, std::size_t threads)
-      : psim_(netlist, threads) {}
+  EngineT(const netlist::Netlist& netlist, std::size_t threads,
+          bool structural_shortcuts)
+      : psim_(netlist, threads, nullptr, structural_shortcuts) {}
 
   void RunSegment(RunState& st, std::uint64_t end_index) override {
     const RunOptions& opts = st.options;
@@ -186,8 +187,8 @@ CampaignRunner::Engine& CampaignRunner::EngineFor(std::size_t width) {
       width == config_.block_width ? wide_ : narrow_;
   if (!slot) {
     DispatchBlockWidth(width, [&](auto w) {
-      slot = std::make_unique<EngineT<decltype(w)::value>>(netlist_,
-                                                           config_.threads);
+      slot = std::make_unique<EngineT<decltype(w)::value>>(
+          netlist_, config_.threads, config_.structural_shortcuts);
     });
   }
   return *slot;

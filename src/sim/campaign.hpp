@@ -220,13 +220,18 @@ class FirstDetectSink final : public CampaignSink {
 };
 
 struct CampaignConfig {
-  /// Simulation block width W: W*64 patterns per sweep (W in {1, 2, 4, 8}).
+  /// Simulation block width W: W*64 patterns per sweep (W in
+  /// {1, 2, 4, 8, 16}).
   std::size_t block_width = 4;
   /// Sweep parallelism: 1 = serial on the caller, 0 = full pool width.
   std::size_t threads = 0;
   /// Leading patterns of a warm-up-enabled run simulated at W = 1 (see
   /// RunOptions::warmup); drop-heavy random-phase heads drain faster narrow.
   std::uint64_t narrow_warmup_patterns = 0;
+  /// FFR-collapse + dominator-cut detection (netlist::StructuralInfo) in
+  /// the slot simulators. Bit-identical results either way; off is an
+  /// ablation/validation knob.
+  bool structural_shortcuts = true;
 };
 
 /// The streaming campaign kernel. A runner is bound to one netlist and one

@@ -49,6 +49,7 @@ void LogicSimulatorT<W>::Simulate(std::span<const PatternWord> words) {
   const auto inputs = netlist_.CoreInputs();
   if (words.size() != inputs.size() * W)
     throw std::invalid_argument("input word count mismatch");
+  ++generation_;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     values_[inputs[i]] = Word::Load(words.data() + i * W);
   }
@@ -77,5 +78,6 @@ template class LogicSimulatorT<1>;
 template class LogicSimulatorT<2>;
 template class LogicSimulatorT<4>;
 template class LogicSimulatorT<8>;
+template class LogicSimulatorT<16>;
 
 }  // namespace bistdse::sim

@@ -8,8 +8,8 @@
 // observed at CoreOutputs() (POs + flop D nets).
 //
 // `LogicSimulator` (= LogicSimulatorT<1>) is the classic 64-way simulator;
-// its results and API are unchanged. Wider instantiations (W in {2, 4, 8})
-// are selected at runtime via DispatchBlockWidth.
+// its results and API are unchanged. Wider instantiations (W in
+// {2, 4, 8, 16}) are selected at runtime via DispatchBlockWidth.
 #pragma once
 
 #include <cstdint>
@@ -113,17 +113,26 @@ class LogicSimulatorT {
   /// (lane 0 first) per output.
   std::vector<PatternWord> CoreOutputValues() const;
 
+  /// Monotonic counter bumped by every Simulate() call. Consumers that cache
+  /// derived per-block data (e.g. the fault simulator's stem-observability
+  /// blocks — including worker clones sharing this good machine read-only)
+  /// compare generations instead of being notified. Starts at 0 (no block
+  /// loaded yet).
+  std::uint64_t Generation() const { return generation_; }
+
   const netlist::Netlist& Circuit() const { return netlist_; }
 
  private:
   const netlist::Netlist& netlist_;
   std::vector<Word> values_;
+  std::uint64_t generation_ = 0;
 };
 
 extern template class LogicSimulatorT<1>;
 extern template class LogicSimulatorT<2>;
 extern template class LogicSimulatorT<4>;
 extern template class LogicSimulatorT<8>;
+extern template class LogicSimulatorT<16>;
 
 /// The classic 64-pattern simulator — unchanged semantics and layout.
 using LogicSimulator = LogicSimulatorT<1>;

@@ -16,10 +16,10 @@ constexpr std::size_t kMinFaultsPerSlot = 64;
 template <std::size_t W>
 ParallelFaultSimulatorT<W>::ParallelFaultSimulatorT(
     const netlist::Netlist& netlist, std::size_t threads,
-    util::ThreadPool* pool)
+    util::ThreadPool* pool, bool structural_shortcuts)
     : pool_(pool ? *pool : util::ThreadPool::Global()),
       threads_(threads ? threads : pool_.WorkerCount() + 1),
-      primary_(netlist) {}
+      primary_(netlist, structural_shortcuts) {}
 
 template <std::size_t W>
 void ParallelFaultSimulatorT<W>::SetPatternBlock(
@@ -80,6 +80,7 @@ template class ParallelFaultSimulatorT<1>;
 template class ParallelFaultSimulatorT<2>;
 template class ParallelFaultSimulatorT<4>;
 template class ParallelFaultSimulatorT<8>;
+template class ParallelFaultSimulatorT<16>;
 
 // ParallelCountDetectedFaults lives in campaign.cpp: it is a stored-source
 // drop campaign on the streaming CampaignRunner kernel.

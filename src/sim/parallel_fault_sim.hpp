@@ -31,9 +31,12 @@ class ParallelFaultSimulatorT {
   /// `threads` caps the sweep parallelism: 1 runs inline on the caller
   /// (bit-for-bit the serial path), 0 uses the executor's full width.
   /// `pool` defaults to util::ThreadPool::Global(); tests inject their own.
+  /// `structural_shortcuts` is forwarded to every slot simulator (results
+  /// are bit-identical either way — see FaultSimulatorT).
   explicit ParallelFaultSimulatorT(const netlist::Netlist& netlist,
                                    std::size_t threads = 0,
-                                   util::ThreadPool* pool = nullptr);
+                                   util::ThreadPool* pool = nullptr,
+                                   bool structural_shortcuts = true);
 
   /// Loads the fault-free block once; all slots observe it.
   void SetPatternBlock(std::span<const PatternWord> core_input_words);
@@ -75,6 +78,7 @@ extern template class ParallelFaultSimulatorT<1>;
 extern template class ParallelFaultSimulatorT<2>;
 extern template class ParallelFaultSimulatorT<4>;
 extern template class ParallelFaultSimulatorT<8>;
+extern template class ParallelFaultSimulatorT<16>;
 
 using ParallelFaultSimulator = ParallelFaultSimulatorT<1>;
 

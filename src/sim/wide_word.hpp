@@ -3,13 +3,15 @@
 //
 // Lane l, bit k of a WideWord holds pattern l*64+k of the current block —
 // i.e. the wide block is W narrow 64-pattern blocks laid out contiguously
-// per node. All bitwise operators loop over the lanes in index order, which
-// the compiler auto-vectorizes (SSE/AVX) because the lanes are contiguous
-// and the trip count is a compile-time constant.
+// per node. The bitwise operators route through the explicit SIMD backend
+// in wide_word_simd.hpp (AVX-512/AVX2 when the build targets them, scalar
+// lane loops otherwise); the scalar path doubles as the constant-evaluation
+// path, so the operators stay constexpr.
 //
 // Determinism contract: every wide computation must equal the W sequential
 // narrow blocks it replaces, with reductions in block-then-lane-then-index
 // order. FirstSetBit() encodes that order for first-detection accounting.
+// The SIMD backends are pure bitwise lane ops and cannot change any bit.
 #pragma once
 
 #include <array>
@@ -17,24 +19,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
+
+#include "sim/wide_word_simd.hpp"
 
 namespace bistdse::sim {
 
 using PatternWord = std::uint64_t;
 
 /// Widths the runtime dispatch accepts (see DispatchBlockWidth).
-inline constexpr std::array<std::size_t, 4> kSupportedBlockWidths = {1, 2, 4, 8};
+inline constexpr std::array<std::size_t, 5> kSupportedBlockWidths = {1, 2, 4,
+                                                                    8, 16};
 
 template <std::size_t W>
 struct alignas(W * sizeof(PatternWord)) WideWord {
-  static_assert(W == 1 || W == 2 || W == 4 || W == 8,
-                "block width must be 1, 2, 4, or 8 lanes");
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8 || W == 16,
+                "block width must be 1, 2, 4, 8, or 16 lanes");
   static constexpr std::size_t kLanes = W;
   static constexpr std::size_t kPatterns = W * 64;
 
-  // Natural alignment of the whole block (16/32/64 bytes for W = 2/4/8)
-  // keeps the vectorized lane ops on aligned full-width loads.
+  // Natural alignment of the whole block (16/32/64/128 bytes for
+  // W = 2/4/8/16) keeps the SIMD lane ops on aligned full-width loads.
   PatternWord lane[W];
 
   static constexpr WideWord Zero() {
@@ -59,6 +65,7 @@ struct alignas(W * sizeof(PatternWord)) WideWord {
   }
 
   constexpr bool Any() const {
+    if (!std::is_constant_evaluated()) return simd::AnyLane<W>(lane);
     PatternWord acc = 0;
     for (std::size_t l = 0; l < W; ++l) acc |= lane[l];
     return acc != 0;
@@ -77,14 +84,26 @@ struct alignas(W * sizeof(PatternWord)) WideWord {
   }
 
   constexpr WideWord& operator&=(const WideWord& o) {
+    if (!std::is_constant_evaluated()) {
+      simd::AndLanes<W>(lane, o.lane);
+      return *this;
+    }
     for (std::size_t l = 0; l < W; ++l) lane[l] &= o.lane[l];
     return *this;
   }
   constexpr WideWord& operator|=(const WideWord& o) {
+    if (!std::is_constant_evaluated()) {
+      simd::OrLanes<W>(lane, o.lane);
+      return *this;
+    }
     for (std::size_t l = 0; l < W; ++l) lane[l] |= o.lane[l];
     return *this;
   }
   constexpr WideWord& operator^=(const WideWord& o) {
+    if (!std::is_constant_evaluated()) {
+      simd::XorLanes<W>(lane, o.lane);
+      return *this;
+    }
     for (std::size_t l = 0; l < W; ++l) lane[l] ^= o.lane[l];
     return *this;
   }
@@ -98,11 +117,33 @@ struct alignas(W * sizeof(PatternWord)) WideWord {
     return a ^= b;
   }
   friend constexpr WideWord operator~(WideWord a) {
+    if (!std::is_constant_evaluated()) {
+      simd::NotLanes<W>(a.lane);
+      return a;
+    }
     for (std::size_t l = 0; l < W; ++l) a.lane[l] = ~a.lane[l];
     return a;
   }
   friend constexpr bool operator==(const WideWord&, const WideWord&) = default;
 };
+
+/// Is `block_width` one of kSupportedBlockWidths?
+constexpr bool IsSupportedBlockWidth(std::size_t block_width) {
+  for (std::size_t w : kSupportedBlockWidths) {
+    if (w == block_width) return true;
+  }
+  return false;
+}
+
+/// "1, 2, 4, 8, 16" — for error messages and CLI help.
+inline std::string SupportedBlockWidthList() {
+  std::string s;
+  for (std::size_t w : kSupportedBlockWidths) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(w);
+  }
+  return s;
+}
 
 /// Calls `fn(std::integral_constant<std::size_t, W>{})` for the requested
 /// runtime width. All per-width code is stamped out at compile time; this is
@@ -118,8 +159,13 @@ decltype(auto) DispatchBlockWidth(std::size_t block_width, Fn&& fn) {
       return fn(std::integral_constant<std::size_t, 4>{});
     case 8:
       return fn(std::integral_constant<std::size_t, 8>{});
+    case 16:
+      return fn(std::integral_constant<std::size_t, 16>{});
     default:
-      throw std::invalid_argument("block width must be 1, 2, 4, or 8");
+      throw std::invalid_argument("unsupported block width " +
+                                  std::to_string(block_width) +
+                                  " (supported: " + SupportedBlockWidthList() +
+                                  ")");
   }
 }
 

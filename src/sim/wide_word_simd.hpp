@@ -1,0 +1,209 @@
+// Explicit SIMD backend for the WideWord lane operators.
+//
+// The backend is selected once at configure time from the compiler's target
+// feature macros (build with -DBISTDSE_SIMD=ON to add -mavx2, or pass
+// -march=native yourself):
+//
+//   __AVX512F__  -> 512-bit zmm ops for W >= 8 (and ymm for W = 4)
+//   __AVX2__     -> 256-bit ymm ops for W >= 4
+//   otherwise    -> portable scalar lane loops (what the compiler already
+//                   auto-vectorizes when the target allows)
+//
+// Every backend computes the exact same bits: these are pure bitwise lane
+// ops, so the bit-identity contract of wide_word.hpp is untouched — only
+// the instructions issued per block change. The scalar path is also the
+// constant-evaluation path, which keeps the WideWord operators constexpr.
+//
+// Lane buffers handed to these helpers are the `lane[W]` arrays of
+// WideWord<W>, which is alignas(W * 8) — at least 32-byte aligned for every
+// vectorized width. Unaligned loads are used anyway (zero penalty on aligned
+// data with AVX2+) so stack copies with weaker provenance stay safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace bistdse::sim::simd {
+
+#if defined(__AVX512F__)
+inline constexpr const char* kBackendName = "avx512";
+#elif defined(__AVX2__)
+inline constexpr const char* kBackendName = "avx2";
+#else
+inline constexpr const char* kBackendName = "scalar";
+#endif
+
+/// The backend compiled into this binary ("avx512", "avx2" or "scalar").
+inline const char* SimdBackendName() { return kBackendName; }
+
+/// Runtime CPU feature string (independent of what was compiled in), e.g.
+/// "sse2+avx+avx2+avx512f+avx512bw". Emitted into the bench JSON so perf
+/// trajectories stay attributable across runners.
+inline std::string CpuFeatureString() {
+#if defined(__x86_64__) || defined(__i386__)
+  std::string s;
+  const auto add = [&s](const char* name, bool have) {
+    if (!have) return;
+    if (!s.empty()) s += '+';
+    s += name;
+  };
+  add("sse2", __builtin_cpu_supports("sse2"));
+  add("sse4.2", __builtin_cpu_supports("sse4.2"));
+  add("avx", __builtin_cpu_supports("avx"));
+  add("avx2", __builtin_cpu_supports("avx2"));
+  add("avx512f", __builtin_cpu_supports("avx512f"));
+  add("avx512bw", __builtin_cpu_supports("avx512bw"));
+  return s.empty() ? "none" : s;
+#else
+  return "non-x86";
+#endif
+}
+
+// --- lane-op kernels -------------------------------------------------------
+//
+// Each helper applies one bitwise op across the W 64-bit lanes of dst/src.
+// W is a compile-time constant, so the chunk loops fully unroll.
+
+template <std::size_t W>
+inline void AndLanes(std::uint64_t* dst, const std::uint64_t* src) {
+#if defined(__AVX512F__)
+  if constexpr (W >= 8) {
+    for (std::size_t l = 0; l < W; l += 8) {
+      const __m512i a = _mm512_loadu_si512(dst + l);
+      const __m512i b = _mm512_loadu_si512(src + l);
+      _mm512_storeu_si512(dst + l, _mm512_and_si512(a, b));
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (W >= 4) {
+    for (std::size_t l = 0; l < W; l += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + l));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + l));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + l),
+                          _mm256_and_si256(a, b));
+    }
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < W; ++l) dst[l] &= src[l];
+}
+
+template <std::size_t W>
+inline void OrLanes(std::uint64_t* dst, const std::uint64_t* src) {
+#if defined(__AVX512F__)
+  if constexpr (W >= 8) {
+    for (std::size_t l = 0; l < W; l += 8) {
+      const __m512i a = _mm512_loadu_si512(dst + l);
+      const __m512i b = _mm512_loadu_si512(src + l);
+      _mm512_storeu_si512(dst + l, _mm512_or_si512(a, b));
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (W >= 4) {
+    for (std::size_t l = 0; l < W; l += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + l));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + l));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + l),
+                          _mm256_or_si256(a, b));
+    }
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < W; ++l) dst[l] |= src[l];
+}
+
+template <std::size_t W>
+inline void XorLanes(std::uint64_t* dst, const std::uint64_t* src) {
+#if defined(__AVX512F__)
+  if constexpr (W >= 8) {
+    for (std::size_t l = 0; l < W; l += 8) {
+      const __m512i a = _mm512_loadu_si512(dst + l);
+      const __m512i b = _mm512_loadu_si512(src + l);
+      _mm512_storeu_si512(dst + l, _mm512_xor_si512(a, b));
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (W >= 4) {
+    for (std::size_t l = 0; l < W; l += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + l));
+      const __m256i b =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + l));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + l),
+                          _mm256_xor_si256(a, b));
+    }
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < W; ++l) dst[l] ^= src[l];
+}
+
+template <std::size_t W>
+inline void NotLanes(std::uint64_t* dst) {
+#if defined(__AVX512F__)
+  if constexpr (W >= 8) {
+    const __m512i ones = _mm512_set1_epi64(-1);
+    for (std::size_t l = 0; l < W; l += 8) {
+      const __m512i a = _mm512_loadu_si512(dst + l);
+      _mm512_storeu_si512(dst + l, _mm512_xor_si512(a, ones));
+    }
+    return;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (W >= 4) {
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    for (std::size_t l = 0; l < W; l += 4) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + l));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + l),
+                          _mm256_xor_si256(a, ones));
+    }
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < W; ++l) dst[l] = ~dst[l];
+}
+
+template <std::size_t W>
+inline bool AnyLane(const std::uint64_t* src) {
+#if defined(__AVX512F__)
+  if constexpr (W >= 8) {
+    __m512i acc = _mm512_loadu_si512(src);
+    for (std::size_t l = 8; l < W; l += 8) {
+      acc = _mm512_or_si512(acc, _mm512_loadu_si512(src + l));
+    }
+    return _mm512_test_epi64_mask(acc, acc) != 0;
+  }
+#endif
+#if defined(__AVX2__)
+  if constexpr (W >= 4) {
+    __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+    for (std::size_t l = 4; l < W; l += 4) {
+      acc = _mm256_or_si256(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + l)));
+    }
+    return _mm256_testz_si256(acc, acc) == 0;
+  }
+#endif
+  std::uint64_t acc = 0;
+  for (std::size_t l = 0; l < W; ++l) acc |= src[l];
+  return acc != 0;
+}
+
+}  // namespace bistdse::sim::simd

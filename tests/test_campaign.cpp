@@ -31,8 +31,8 @@ struct GridPoint {
   std::size_t width;
   std::size_t threads;
 };
-const GridPoint kGrid[] = {{1, 1}, {2, 1}, {4, 1}, {8, 1},
-                           {1, 4}, {2, 4}, {4, 4}, {8, 4}};
+const GridPoint kGrid[] = {{1, 1}, {2, 1}, {4, 1}, {8, 1}, {16, 1},
+                           {1, 4}, {2, 4}, {4, 4}, {8, 4}, {16, 4}};
 
 std::vector<BitPattern> PrpgPatterns(const netlist::Netlist& netlist,
                                      const bist::StumpsConfig& config,
@@ -50,7 +50,9 @@ std::vector<std::uint64_t> SerialFirstDetect(
     const netlist::Netlist& netlist, std::span<const BitPattern> patterns,
     std::span<const StuckAtFault> faults) {
   const std::size_t width = netlist.CoreInputs().size();
-  sim::FaultSimulatorT<1> fsim(netlist);
+  // The reference deliberately runs without structural shortcuts: full event
+  // propagation to the outputs, nothing shared with the shortcut paths.
+  sim::FaultSimulatorT<1> fsim(netlist, /*structural_shortcuts=*/false);
   std::vector<std::uint64_t> first_detect(faults.size(), UINT64_MAX);
   for (std::size_t p = 0; p < patterns.size(); ++p) {
     fsim.SetPatternBlock(
@@ -77,20 +79,25 @@ TEST(CampaignRunner, FirstDetectMatchesSerialReference) {
   const auto faults = sim::CollapsedFaults(netlist);
   const auto reference = SerialFirstDetect(netlist, patterns, faults);
 
-  for (const GridPoint& g : kGrid) {
-    sim::CampaignRunner runner(
-        netlist, {.block_width = g.width, .threads = g.threads});
-    std::vector<std::uint64_t> first_detect(faults.size(), UINT64_MAX);
-    sim::StoredPatternSource source(patterns);
-    sim::FirstDetectSink sink(first_detect);
-    const auto stats =
-        runner.Run(source, sink, {.track = faults, .drop_detected = true});
-    EXPECT_EQ(first_detect, reference) << "W=" << g.width
-                                       << " threads=" << g.threads;
-    std::uint64_t detected = 0;
-    for (std::uint64_t fd : reference) detected += fd != UINT64_MAX;
-    EXPECT_EQ(stats.dropped, detected);
-    EXPECT_EQ(stats.survivors, faults.size() - detected);
+  for (const bool shortcuts : {true, false}) {
+    for (const GridPoint& g : kGrid) {
+      sim::CampaignRunner runner(netlist,
+                                 {.block_width = g.width,
+                                  .threads = g.threads,
+                                  .structural_shortcuts = shortcuts});
+      std::vector<std::uint64_t> first_detect(faults.size(), UINT64_MAX);
+      sim::StoredPatternSource source(patterns);
+      sim::FirstDetectSink sink(first_detect);
+      const auto stats =
+          runner.Run(source, sink, {.track = faults, .drop_detected = true});
+      EXPECT_EQ(first_detect, reference)
+          << "W=" << g.width << " threads=" << g.threads << " shortcuts="
+          << shortcuts;
+      std::uint64_t detected = 0;
+      for (std::uint64_t fd : reference) detected += fd != UINT64_MAX;
+      EXPECT_EQ(stats.dropped, detected);
+      EXPECT_EQ(stats.survivors, faults.size() - detected);
+    }
   }
 }
 
@@ -163,7 +170,7 @@ TEST(CampaignConsumers, ProfileCurvesBitIdentical) {
   const auto netlist = testing::MakeSmallRandom(7, 200);
 
   auto generate = [&](std::size_t width, std::size_t threads,
-                      std::uint64_t warmup) {
+                      std::uint64_t warmup, bool shortcuts) {
     bist::ProfileGeneratorConfig config;
     config.prp_counts = {100, 300};
     config.coverage_targets_percent = {100.0, 95.0};
@@ -171,22 +178,27 @@ TEST(CampaignConsumers, ProfileCurvesBitIdentical) {
     config.threads = threads;
     config.block_width = width;
     config.narrow_warmup_patterns = warmup;
+    config.structural_shortcuts = shortcuts;
     bist::ProfileGenerator generator(netlist, config);
     return generator.GenerateAll();
   };
 
-  const auto reference = generate(1, 1, 0);
+  const auto reference = generate(1, 1, 0, false);
   ASSERT_EQ(reference.size(), 4u);
-  for (const GridPoint& g : kGrid) {
-    const auto profiles = generate(g.width, g.threads, 64);
-    ASSERT_EQ(profiles.size(), reference.size());
-    for (std::size_t i = 0; i < profiles.size(); ++i) {
-      EXPECT_EQ(profiles[i].fault_coverage_percent,
-                reference[i].fault_coverage_percent);
-      EXPECT_EQ(profiles[i].num_deterministic_patterns,
-                reference[i].num_deterministic_patterns);
-      EXPECT_EQ(profiles[i].data_bytes, reference[i].data_bytes);
-      EXPECT_EQ(profiles[i].care_bits, reference[i].care_bits);
+  for (const bool shortcuts : {true, false}) {
+    for (const GridPoint& g : kGrid) {
+      const auto profiles = generate(g.width, g.threads, 64, shortcuts);
+      ASSERT_EQ(profiles.size(), reference.size());
+      for (std::size_t i = 0; i < profiles.size(); ++i) {
+        EXPECT_EQ(profiles[i].fault_coverage_percent,
+                  reference[i].fault_coverage_percent)
+            << "W=" << g.width << " threads=" << g.threads << " shortcuts="
+            << shortcuts;
+        EXPECT_EQ(profiles[i].num_deterministic_patterns,
+                  reference[i].num_deterministic_patterns);
+        EXPECT_EQ(profiles[i].data_bytes, reference[i].data_bytes);
+        EXPECT_EQ(profiles[i].care_bits, reference[i].care_bits);
+      }
     }
   }
 }
@@ -197,25 +209,29 @@ TEST(CampaignConsumers, StumpsSignaturesBitIdentical) {
   ASSERT_GE(faults.size(), 8u);
 
   auto run_session = [&](std::size_t width, std::size_t threads,
-                         const StuckAtFault& fault) {
+                         bool shortcuts, const StuckAtFault& fault) {
     bist::StumpsConfig config;
     config.sim_block_width = width;
     config.sim_threads = threads;
+    config.structural_shortcuts = shortcuts;
     bist::StumpsSession session(netlist, config);
     return session.Run(256, {}, fault);
   };
 
-  const auto reference = run_session(1, 1, faults[3]);
-  for (const GridPoint& g : kGrid) {
-    const auto result = run_session(g.width, g.threads, faults[3]);
-    EXPECT_EQ(result.window_signatures, reference.window_signatures)
-        << "W=" << g.width << " threads=" << g.threads;
-    ASSERT_EQ(result.fail_data.size(), reference.fail_data.size());
-    for (std::size_t i = 0; i < result.fail_data.size(); ++i) {
-      EXPECT_EQ(result.fail_data[i].window_index,
-                reference.fail_data[i].window_index);
-      EXPECT_EQ(result.fail_data[i].observed_signature,
-                reference.fail_data[i].observed_signature);
+  const auto reference = run_session(1, 1, false, faults[3]);
+  for (const bool shortcuts : {true, false}) {
+    for (const GridPoint& g : kGrid) {
+      const auto result = run_session(g.width, g.threads, shortcuts, faults[3]);
+      EXPECT_EQ(result.window_signatures, reference.window_signatures)
+          << "W=" << g.width << " threads=" << g.threads << " shortcuts="
+          << shortcuts;
+      ASSERT_EQ(result.fail_data.size(), reference.fail_data.size());
+      for (std::size_t i = 0; i < result.fail_data.size(); ++i) {
+        EXPECT_EQ(result.fail_data[i].window_index,
+                  reference.fail_data[i].window_index);
+        EXPECT_EQ(result.fail_data[i].observed_signature,
+                  reference.fail_data[i].observed_signature);
+      }
     }
   }
 }

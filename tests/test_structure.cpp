@@ -1,0 +1,244 @@
+// Structural shortcut metadata (netlist::StructuralInfo) and the bit-identity
+// contract of the shortcut fault-simulation paths: FFR stems, immediate
+// post-dominators, and the guarantee that a simulator with structural
+// shortcuts enabled produces exactly the same detect words as one running
+// full event propagation — for every fault, every lane, every bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/structure.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/pattern_set.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bistdse {
+namespace {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NodeId;
+using netlist::StructuralInfo;
+using sim::BitPattern;
+using sim::StuckAtFault;
+using sim::WideWord;
+
+// Combinational fanouts of `n`: fanouts that are not flops (a Dff fanout
+// means `n` is the flop's D net, which is an observation point, not a
+// combinational edge).
+std::vector<NodeId> CombFanouts(const Netlist& nl, NodeId n) {
+  std::vector<NodeId> out;
+  for (NodeId f : nl.FanoutsOf(n)) {
+    if (nl.TypeOf(f) != GateType::Dff) out.push_back(f);
+  }
+  return out;
+}
+
+void CheckStructuralInvariants(const Netlist& nl) {
+  const StructuralInfo& s = nl.Structure();
+  ASSERT_EQ(s.NodeCount(), nl.NodeCount());
+
+  std::vector<std::uint8_t> observed(nl.NodeCount(), 0);
+  for (NodeId id : nl.CoreOutputs()) observed[id] = 1;
+
+  std::size_t self_stems = 0;
+  for (NodeId n = 0; n < nl.NodeCount(); ++n) {
+    const auto comb = CombFanouts(nl, n);
+    const NodeId stem = s.FfrStemOf(n);
+
+    // Stems are fixed points; non-stem nodes have exactly one combinational
+    // fanout and share that fanout's stem.
+    EXPECT_EQ(s.FfrStemOf(stem), stem) << "node " << n;
+    if (stem == n) {
+      ++self_stems;
+      EXPECT_NE(comb.size(), 1u) << "node " << n;
+    } else {
+      ASSERT_EQ(comb.size(), 1u) << "node " << n;
+      EXPECT_EQ(s.FfrStemOf(comb[0]), stem) << "node " << n;
+    }
+
+    // Observation flags match CoreOutputs(), and an observed node's first
+    // common point towards observation is observation itself.
+    EXPECT_EQ(s.IsObserved(n), observed[n] != 0) << "node " << n;
+    if (s.IsObserved(n)) {
+      EXPECT_EQ(s.IPostDomOf(n), StructuralInfo::kExitNode) << "node " << n;
+      EXPECT_TRUE(s.ReachesObservation(n));
+    }
+
+    // Every post-dominator chain terminates at the virtual EXIT within
+    // NodeCount steps, through nodes that themselves reach observation.
+    if (s.ReachesObservation(n)) {
+      NodeId walk = n;
+      std::size_t steps = 0;
+      while (walk != StructuralInfo::kExitNode) {
+        ASSERT_NE(s.IPostDomOf(walk), netlist::kInvalidNode)
+            << "node " << n << " chain node " << walk;
+        walk = s.IPostDomOf(walk);
+        ASSERT_LE(++steps, nl.NodeCount()) << "node " << n;
+      }
+    } else {
+      // Dead logic: no fanout may reach observation either.
+      for (NodeId f : comb) {
+        EXPECT_FALSE(s.ReachesObservation(f)) << "node " << n;
+      }
+    }
+  }
+  EXPECT_EQ(s.FfrCount(), self_stems);
+}
+
+TEST(StructuralInfo, InvariantsHoldOnC17) {
+  const auto nl = testing::MakeC17();
+  CheckStructuralInvariants(nl);
+  // c17 has no dead logic.
+  for (NodeId n = 0; n < nl.NodeCount(); ++n) {
+    EXPECT_TRUE(nl.Structure().ReachesObservation(n));
+  }
+}
+
+TEST(StructuralInfo, InvariantsHoldOnSeededRandomNetlists) {
+  for (const std::uint64_t seed : {3u, 17u, 59u, 101u}) {
+    const auto nl = testing::MakeSmallRandom(seed, 250);
+    CheckStructuralInvariants(nl);
+  }
+}
+
+TEST(StructuralInfo, ChainStemAndDominatorOnHandBuiltCircuit) {
+  // a ──▶ n1(NOT) ──▶ n2(NOT) ──▶ g(AND) ──▶ out (observed)
+  // b ───────────────────────────▶ g
+  // Every node has a single combinational fanout except g (none), so the
+  // whole path collapses into one fanout-free region with stem g.
+  Netlist nl;
+  const NodeId a = nl.AddInput("a");
+  const NodeId b = nl.AddInput("b");
+  const NodeId n1 = nl.AddGate(GateType::Not, {a});
+  const NodeId n2 = nl.AddGate(GateType::Not, {n1});
+  const NodeId g = nl.AddGate(GateType::And, {n2, b});
+  nl.MarkOutput(g);
+  nl.Finalize();
+
+  const StructuralInfo& s = nl.Structure();
+  // g is observed with no fanout: it is its own stem and exits directly.
+  EXPECT_EQ(s.FfrStemOf(g), g);
+  EXPECT_EQ(s.IPostDomOf(g), StructuralInfo::kExitNode);
+  // The chain nodes collapse onto g.
+  EXPECT_EQ(s.FfrStemOf(n1), g);
+  EXPECT_EQ(s.FfrStemOf(n2), g);
+  EXPECT_EQ(s.IPostDomOf(n1), n2);
+  EXPECT_EQ(s.IPostDomOf(n2), g);
+  EXPECT_EQ(s.FfrStemOf(a), g);
+  EXPECT_EQ(s.FfrStemOf(b), g);
+}
+
+TEST(StructuralInfo, ReconvergenceDominatesAtMergeGate) {
+  //        ┌─▶ i1(NOT) ─┐
+  // a ──▶ s┤            ├─▶ m(AND) ──▶ out
+  //        └─▶ i2(NOT) ─┘
+  Netlist nl;
+  const NodeId a = nl.AddInput("a");
+  const NodeId i1 = nl.AddGate(GateType::Not, {a});
+  const NodeId i2 = nl.AddGate(GateType::Buf, {a});
+  const NodeId m = nl.AddGate(GateType::And, {i1, i2});
+  nl.MarkOutput(m);
+  nl.Finalize();
+
+  const StructuralInfo& s = nl.Structure();
+  // `a` fans out twice: it is a stem, and both branches reconverge at m.
+  EXPECT_EQ(s.FfrStemOf(a), a);
+  EXPECT_EQ(s.IPostDomOf(a), m);
+  EXPECT_EQ(s.IPostDomOf(i1), m);
+  EXPECT_EQ(s.IPostDomOf(i2), m);
+}
+
+// ---------------------------------------------------------------------------
+// Property: shortcut-enabled simulation is bit-identical to full event
+// propagation, for every collapsed fault, across several pattern blocks
+// (exercising the per-generation observability cache) and partial tails.
+
+template <std::size_t W>
+void ExpectShortcutBitIdentity(std::uint64_t seed, std::uint32_t gates) {
+  const auto nl = testing::MakeSmallRandom(seed, gates);
+  const std::size_t width = nl.CoreInputs().size();
+  const auto faults = sim::CollapsedFaults(nl);
+  ASSERT_FALSE(faults.empty());
+
+  sim::FaultSimulatorT<W> with(nl, /*structural_shortcuts=*/true);
+  sim::FaultSimulatorT<W> without(nl, /*structural_shortcuts=*/false);
+  ASSERT_TRUE(with.StructuralShortcuts());
+  ASSERT_FALSE(without.StructuralShortcuts());
+
+  util::SplitMix64 rng(seed * 977 + 5);
+  for (int block = 0; block < 3; ++block) {
+    // Vary the fill level so partial tail lanes are covered too.
+    const std::size_t count = W * 64 - (block * 19) % 47;
+    std::vector<BitPattern> patterns(count);
+    for (auto& p : patterns) {
+      p.resize(width);
+      for (auto& bit : p) bit = rng.Chance(0.5);
+    }
+    const auto words = sim::PackPatternBlockWide(patterns, 0, count, width, W);
+    with.SetPatternBlock(words);
+    without.SetPatternBlock(words);
+
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      // Raw detect words must agree on all W*64 bit positions, masked or not.
+      ASSERT_EQ(with.DetectBlock(faults[f]), without.DetectBlock(faults[f]))
+          << "seed " << seed << " block " << block << " fault " << f;
+    }
+    // Faulty responses always use full propagation; spot-check equality.
+    for (std::size_t f = 0; f < faults.size(); f += 13) {
+      ASSERT_EQ(with.FaultyResponse(faults[f]),
+                without.FaultyResponse(faults[f]))
+          << "seed " << seed << " block " << block << " fault " << f;
+    }
+  }
+}
+
+TEST(ShortcutBitIdentity, RandomNetlistsW1) {
+  for (const std::uint64_t seed : {33u, 67u}) {
+    ExpectShortcutBitIdentity<1>(seed, 220);
+  }
+}
+
+TEST(ShortcutBitIdentity, RandomNetlistsW4) {
+  for (const std::uint64_t seed : {35u, 71u}) {
+    ExpectShortcutBitIdentity<4>(seed, 220);
+  }
+}
+
+TEST(ShortcutBitIdentity, RandomNetlistsW16) {
+  for (const std::uint64_t seed : {37u, 73u}) {
+    ExpectShortcutBitIdentity<16>(seed, 220);
+  }
+}
+
+TEST(ShortcutBitIdentity, ExhaustiveOnC17) {
+  // 5 inputs: all 32 patterns in one narrow block — exhaustive equality.
+  const auto nl = testing::MakeC17();
+  const std::size_t width = nl.CoreInputs().size();
+  ASSERT_EQ(width, 5u);
+  std::vector<BitPattern> patterns(32);
+  for (std::size_t p = 0; p < 32; ++p) {
+    patterns[p].resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      patterns[p][i] = (p >> i) & 1;
+    }
+  }
+  const auto faults = sim::CollapsedFaults(nl);
+
+  sim::FaultSimulatorT<1> with(nl, true);
+  sim::FaultSimulatorT<1> without(nl, false);
+  const auto words = sim::PackPatternBlockWide(patterns, 0, 32, width, 1);
+  with.SetPatternBlock(words);
+  without.SetPatternBlock(words);
+  const WideWord<1> mask = sim::BlockMaskWide<1>(32);
+  for (const StuckAtFault& f : faults) {
+    EXPECT_EQ(with.DetectBlock(f), without.DetectBlock(f));
+    // Every testable c17 fault is detected by the exhaustive set.
+    EXPECT_TRUE((with.DetectBlock(f) & mask).Any());
+  }
+}
+
+}  // namespace
+}  // namespace bistdse

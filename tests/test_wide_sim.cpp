@@ -87,9 +87,20 @@ TEST(WideWord, DispatchBlockWidthRejectsUnsupportedWidths) {
       return static_cast<std::size_t>(width());
     }), w);
   }
-  EXPECT_THROW(sim::DispatchBlockWidth(3, [](auto) {}), std::invalid_argument);
-  EXPECT_THROW(sim::DispatchBlockWidth(0, [](auto) {}), std::invalid_argument);
-  EXPECT_THROW(sim::DispatchBlockWidth(16, [](auto) {}), std::invalid_argument);
+  for (const std::size_t bad : {0u, 3u, 5u, 32u}) {
+    EXPECT_THROW(sim::DispatchBlockWidth(bad, [](auto) {}),
+                 std::invalid_argument);
+  }
+  // The error message must name the offending value and the supported set.
+  try {
+    sim::DispatchBlockWidth(5, [](auto) {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_NE(what.find(sim::SupportedBlockWidthList()), std::string::npos)
+        << what;
+  }
 }
 
 TEST(WideWord, PackPatternBlockWideMatchesNarrowPackingPerLane) {
@@ -167,6 +178,7 @@ void ExpectWideSimMatchesNarrow(std::uint64_t seed) {
 TEST(WideFaultSim, LanesMatchNarrowBlocksW2) { ExpectWideSimMatchesNarrow<2>(21); }
 TEST(WideFaultSim, LanesMatchNarrowBlocksW4) { ExpectWideSimMatchesNarrow<4>(22); }
 TEST(WideFaultSim, LanesMatchNarrowBlocksW8) { ExpectWideSimMatchesNarrow<8>(23); }
+TEST(WideFaultSim, LanesMatchNarrowBlocksW16) { ExpectWideSimMatchesNarrow<16>(32); }
 
 TEST(WideFaultSim, CountDetectedFaultsIdenticalAcrossWidths) {
   auto nl = bistdse::testing::MakeSmallRandom(24, 250);
@@ -176,7 +188,7 @@ TEST(WideFaultSim, CountDetectedFaultsIdenticalAcrossWidths) {
   const std::size_t expected =
       sim::CountDetectedFaults(nl, patterns, faults, 1);
   EXPECT_GT(expected, 0u);
-  for (const std::size_t w : {2u, 4u, 8u}) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
     EXPECT_EQ(sim::CountDetectedFaults(nl, patterns, faults, w), expected)
         << "width " << w;
   }
@@ -219,7 +231,7 @@ TEST(WideProfileGeneration, TablesIdenticalAcrossBlockWidths) {
   bist::ProfileGenerator narrow(nl, SmallProfileConfig(1));
   const auto expected = narrow.GenerateAll();
 
-  for (const std::size_t w : {2u, 4u, 8u}) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
     // Exercise both the warm-up split and the pure wide phase.
     for (const std::uint64_t warmup : {std::uint64_t{0}, std::uint64_t{96}}) {
       auto config = SmallProfileConfig(w);
@@ -248,7 +260,7 @@ TEST(WideFaultDictionary, WindowsAndSignaturesIdenticalAcrossWidths) {
   std::vector<bist::FailDatum> fail_data = {{1, 0xDEAD, 0}, {3, 0xBEEF, 0}};
   const auto expected_rank = narrow.Diagnose(fail_data, 10);
 
-  for (const std::size_t w : {2u, 4u, 8u}) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
     const bist::FaultDictionary wide(nl, config, 96, {}, faults, 1, w);
     ASSERT_EQ(wide.WindowCount(), narrow.WindowCount());
     for (std::size_t f = 0; f < faults.size(); ++f) {
@@ -280,7 +292,7 @@ TEST(WideDiagnosis, RankingIdenticalAcrossWidths) {
   const bist::SignatureDiagnosis narrow(nl, config, 96, {}, 1);
   const auto expected = narrow.Diagnose(fail_data, faults, 15);
 
-  for (const std::size_t w : {2u, 4u, 8u}) {
+  for (const std::size_t w : {2u, 4u, 8u, 16u}) {
     const bist::SignatureDiagnosis wide(nl, config, 96, {}, w);
     const auto ranked = wide.Diagnose(fail_data, faults, 15);
     ASSERT_EQ(ranked.size(), expected.size()) << "width " << w;
@@ -305,7 +317,7 @@ TEST(WideDiagnosisEval, AccuracyIdenticalAcrossWidths) {
   options.block_width = 1;
   const auto expected = bist::EvaluateDiagnosisAccuracy(nl, config, options);
 
-  for (const std::size_t w : {4u, 8u}) {
+  for (const std::size_t w : {4u, 16u}) {
     options.block_width = w;
     const auto accuracy = bist::EvaluateDiagnosisAccuracy(nl, config, options);
     EXPECT_EQ(accuracy.injected, expected.injected) << "width " << w;

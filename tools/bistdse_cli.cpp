@@ -55,6 +55,20 @@ struct Flags {
   }
 };
 
+/// Parse-time validation of --block-width: reject unsupported widths with a
+/// message naming the value and the supported set, instead of letting the
+/// first DispatchBlockWidth deep inside a campaign throw mid-run.
+std::size_t BlockWidthFlag(const Flags& flags, std::uint64_t fallback) {
+  const std::uint64_t w = flags.U64("block-width", fallback);
+  if (!sim::IsSupportedBlockWidth(w)) {
+    std::fprintf(stderr, "invalid --block-width %llu (supported: %s)\n",
+                 static_cast<unsigned long long>(w),
+                 sim::SupportedBlockWidthList().c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(w);
+}
+
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
@@ -83,11 +97,12 @@ int Usage() {
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n"
       "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
-      "           [--block-width W]\n"
+      "           [--block-width W] [--no-shortcuts]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
       "           [--threads K] [--block-width W]\n"
       "  stumps   --seed N [--patterns N] [--faults N] [--window N]\n"
-      "           [--threads K] [--block-width W]\n"
+      "           [--threads K] [--block-width W] [--no-shortcuts]\n"
+      "  (--block-width W: W in {1, 2, 4, 8, 16}, validated at parse time)\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n");
   return 2;
@@ -253,7 +268,9 @@ int RunProfiles(const Flags& flags) {
   // 0 = all cores; results are bit-identical for every thread count.
   config.threads = flags.U64("threads", 0);
   // W*64 patterns per fault-simulation sweep; bit-identical for every W.
-  config.block_width = flags.U64("block-width", 4);
+  config.block_width = BlockWidthFlag(flags, 4);
+  // Ablation knob: disable the FFR/dominator detection shortcuts.
+  config.structural_shortcuts = !flags.Has("no-shortcuts");
   if (flags.Has("prps")) {
     config.prp_counts.clear();
     const std::string list = flags.Str("prps", "");
@@ -286,7 +303,7 @@ int RunDiagnose(const Flags& flags) {
   options.num_random_patterns = flags.U64("patterns", 512);
   options.max_samples = flags.U64("samples", 60);
   options.threads = flags.U64("threads", 0);
-  options.block_width = flags.U64("block-width", 4);
+  options.block_width = BlockWidthFlag(flags, 4);
   const auto faults_total = sim::CollapsedFaults(cut).size();
   options.sample_stride =
       std::max<std::size_t>(1, faults_total / options.max_samples);
@@ -314,7 +331,9 @@ int RunStumps(const Flags& flags) {
   // 0 = all cores; signatures are bit-identical for every thread count.
   config.sim_threads = flags.U64("threads", 0);
   // W*64 patterns per fault-simulation sweep; bit-identical for every W.
-  config.sim_block_width = flags.U64("block-width", 4);
+  config.sim_block_width = BlockWidthFlag(flags, 4);
+  // Ablation knob: disable the FFR/dominator detection shortcuts.
+  config.structural_shortcuts = !flags.Has("no-shortcuts");
 
   const std::uint64_t num_random = flags.U64("patterns", 2048);
   const auto all_faults = sim::CollapsedFaults(cut);
