@@ -1,25 +1,80 @@
-// Diagnosis accuracy of the collected fail data (extension study): injects
-// sampled stuck-at defects, runs the BIST session, diagnoses from the
-// failing strong-window signatures, and reports how often the true defect
-// is recovered — quantifying the paper's claim that a few signatures
-// suffice for chip-level diagnosis, and ablating the strong-window design
-// (per-window MISR reset, Cook et al. ETS'12) against a plain MISR chain.
+// Diagnosis accuracy and fleet-scale serving throughput.
 //
-// Env: BISTDSE_DIAG_PATTERNS (default 512), BISTDSE_DIAG_SAMPLES (default 80).
+// Part 1 (accuracy, extension study): injects sampled stuck-at defects, runs
+// the BIST session, diagnoses from the failing strong-window signatures, and
+// reports how often the true defect is recovered — quantifying the paper's
+// claim that a few signatures suffice for chip-level diagnosis, and ablating
+// the strong-window design (per-window MISR reset, Cook et al. ETS'12)
+// against a plain MISR chain.
+//
+// Part 2 (fleet load): the serving path many field returns take — one
+// precomputed fault dictionary artifact, reopened per process (owned Load vs
+// zero-copy mmap, open time reported separately from first-query time),
+// sharded into a DictionaryStore, and hit with query batches across thread
+// counts. Baseline is per-query SignatureDiagnosis re-simulation; the run
+// gates on the dictionary batch path clearing 10x its queries/s. Campaign
+// memoization is measured by two profile generators sharing a CampaignMemo:
+// the second generator's random phase must be a cache hit.
+//
+// Env: BISTDSE_DIAG_PATTERNS (default 384), BISTDSE_DIAG_SAMPLES (default 30),
+//      BISTDSE_DICT_FAULTS (default 400), BISTDSE_DICT_QUERIES (default 512),
+//      BISTDSE_DICT_RESIM_QUERIES (default 3), BISTDSE_DICT_SHARDS (default 4).
+// Arg: output path (default BENCH_diagnosis.json).
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "bist/diagnosis.hpp"
 #include "bist/diagnosis_eval.hpp"
+#include "bist/dictionary_store.hpp"
+#include "bist/profile_generator.hpp"
 #include "casestudy/casestudy.hpp"
 #include "netlist/random_circuit.hpp"
+#include "sim/campaign_memo.hpp"
+#include "sim/wide_word_simd.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace bistdse;
 
-int main() {
+namespace {
+
+struct AccuracyRow {
+  std::uint32_t window;
+  bool strong;
+  std::size_t injected, escaped;
+  double top1, top5, mean_rank;
+};
+
+struct BatchRow {
+  std::size_t shards, threads, queries;
+  double wall_seconds, queries_per_second, speedup_vs_resim;
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size > 0 ? static_cast<std::uint64_t>(size) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_diagnosis.json";
   bench::PrintHeader(
-      "Diagnosis accuracy — fail data -> defect localization",
-      "Inject faults, run BIST, diagnose from failing window signatures.\n"
-      "Ablation: window granularity and strong windows vs plain MISR.");
+      "Diagnosis — accuracy and fleet-scale serving throughput",
+      "Inject faults, run BIST, diagnose from failing window signatures;\n"
+      "then serve dictionary query batches (load vs mmap, sharded store)\n"
+      "against the per-query re-simulation baseline.");
 
   auto spec = casestudy::ScaledCutSpec(3);
   spec.num_gates = 1500;
@@ -40,6 +95,7 @@ int main() {
               cut.CombinationalGateCount(), faults.size(),
               static_cast<unsigned long long>(options.num_random_patterns));
 
+  // --- Part 1: accuracy ablation ------------------------------------------
   std::printf("  window | MISR mode | injected | escaped | tied1 | top-5 | "
               "mean rank\n");
   // "tied1" counts the true fault tying the best score — with a plain MISR
@@ -47,6 +103,7 @@ int main() {
   std::printf("  -------+-----------+----------+---------+-------+-------+"
               "----------\n");
 
+  std::vector<AccuracyRow> accuracy;
   double strong32_top5 = 0.0, plain32_top5 = 0.0;
   for (const std::uint32_t window : {8u, 32u}) {
     for (const bool strong : {true, false}) {
@@ -59,15 +116,230 @@ int main() {
                   window, strong ? "strong" : "plain", acc.injected,
                   acc.escaped, 100.0 * acc.Top1Rate(), 100.0 * acc.TopkRate(),
                   acc.mean_rank);
+      accuracy.push_back({window, strong, acc.injected, acc.escaped,
+                          acc.Top1Rate(), acc.TopkRate(), acc.mean_rank});
       if (window == 32 && strong) strong32_top5 = acc.TopkRate();
       if (window == 32 && !strong) plain32_top5 = acc.TopkRate();
     }
   }
 
+  // --- Part 2: fleet-scale dictionary serving -----------------------------
+  const std::size_t workers = util::ThreadPool::Global().WorkerCount();
+  bist::StumpsConfig dict_config = casestudy::PaperStumpsConfig();
+  const std::uint64_t dict_patterns = options.num_random_patterns;
+
+  std::vector<sim::StuckAtFault> dict_faults;
+  {
+    const std::size_t want = std::max<std::uint64_t>(
+        1, bench::EnvU64("BISTDSE_DICT_FAULTS", 400));
+    const std::size_t stride = std::max<std::size_t>(1, faults.size() / want);
+    for (std::size_t f = 0; f < faults.size() && dict_faults.size() < want;
+         f += stride) {
+      dict_faults.push_back(faults[f]);
+    }
+  }
+
+  std::printf("\nfleet serving: %zu dictionary faults, %zu pool workers\n",
+              dict_faults.size(), workers);
+
+  const auto t_build = std::chrono::steady_clock::now();
+  bist::FaultDictionary built(cut, dict_config, dict_patterns, {},
+                              dict_faults);
+  const double build_s = Seconds(t_build);
+  const std::string artifact = "bench_diagnosis.fdict";
+  built.Save(artifact);
+  const std::uint64_t artifact_bytes = FileBytes(artifact);
+  std::printf("  build: %.3f s (%u windows), artifact %llu bytes\n", build_s,
+              built.WindowCount(),
+              static_cast<unsigned long long>(artifact_bytes));
+
+  // Open paths: owned copy vs zero-copy mapping. Map's open time excludes
+  // the payload by construction — the first query is what faults pages in,
+  // so it is timed separately.
+  const auto t_load = std::chrono::steady_clock::now();
+  const auto loaded = bist::FaultDictionary::Load(artifact);
+  const double load_s = Seconds(t_load);
+  const auto t_map = std::chrono::steady_clock::now();
+  const auto mapped = bist::FaultDictionary::Map(artifact);
+  const double map_s = Seconds(t_map);
+
+  // Query mix: fail data of sampled injected faults.
+  std::vector<std::vector<bist::FailDatum>> fail_sets;
+  {
+    bist::StumpsSession session(cut, dict_config);
+    for (std::size_t f = 0; f < dict_faults.size() && fail_sets.size() < 16;
+         f += std::max<std::size_t>(1, dict_faults.size() / 16)) {
+      auto result = session.Run(dict_patterns, {}, dict_faults[f]);
+      if (!result.fail_data.empty()) {
+        fail_sets.push_back(std::move(result.fail_data));
+      }
+    }
+  }
+  if (fail_sets.empty()) {
+    std::fprintf(stderr, "no failing sessions — cannot benchmark serving\n");
+    return 1;
+  }
+
+  const auto t_first = std::chrono::steady_clock::now();
+  (void)mapped.Diagnose(fail_sets.front(), 5);
+  const double map_first_query_s = Seconds(t_first);
+  std::printf("  open: load %.3f ms (copy), map %.3f ms + first query "
+              "%.3f ms (zero-copy)\n",
+              1e3 * load_s, 1e3 * map_s, 1e3 * map_first_query_s);
+
+  // Baseline: per-query SignatureDiagnosis re-simulates the whole session
+  // per candidate set — the pre-dictionary serving cost.
+  const std::size_t resim_queries = std::max<std::uint64_t>(
+      1, bench::EnvU64("BISTDSE_DICT_RESIM_QUERIES", 3));
+  bist::SignatureDiagnosis resim(cut, dict_config, dict_patterns, {});
+  const auto t_resim = std::chrono::steady_clock::now();
+  for (std::size_t q = 0; q < resim_queries; ++q) {
+    (void)resim.Diagnose(fail_sets[q % fail_sets.size()], dict_faults, 5);
+  }
+  const double resim_s = Seconds(t_resim);
+  const double resim_qps = static_cast<double>(resim_queries) / resim_s;
+  std::printf("  re-simulation baseline: %zu queries in %.3f s "
+              "(%.1f queries/s)\n",
+              resim_queries, resim_s, resim_qps);
+
+  // Sharded batch serving across thread counts.
+  const std::size_t num_shards =
+      std::max<std::uint64_t>(1, bench::EnvU64("BISTDSE_DICT_SHARDS", 4));
+  const std::size_t num_queries =
+      std::max<std::uint64_t>(1, bench::EnvU64("BISTDSE_DICT_QUERIES", 512));
+  bist::DictionaryStore store;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    store.AddFromFile({"ecu-" + std::to_string(s), "p1"}, artifact,
+                      /*mapped=*/true);
+  }
+  std::vector<bist::DictQuery> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back({{"ecu-" + std::to_string(q % num_shards), "p1"},
+                       fail_sets[q % fail_sets.size()]});
+  }
+
+  std::vector<BatchRow> batches;
+  double best_qps = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = store.DiagnoseBatch(queries, 5, threads);
+    const double wall = Seconds(t0);
+    const double qps = static_cast<double>(results.size()) / wall;
+    best_qps = std::max(best_qps, qps);
+    batches.push_back({num_shards, threads, results.size(), wall, qps,
+                       qps / resim_qps});
+    std::printf("  batch: %zu shards, threads=%zu: %zu queries in %.3f s "
+                "(%.0f queries/s, %.0fx vs re-sim)\n",
+                num_shards, threads, results.size(), wall, qps,
+                qps / resim_qps);
+  }
+
+  // Campaign memoization: a second profile generator over the same
+  // (netlist, PRPG stream, faults) serves its random phase from the memo.
+  sim::CampaignMemo memo;
+  bist::ProfileGeneratorConfig pg_config;
+  pg_config.stumps = dict_config;
+  pg_config.prp_counts = {dict_patterns};
+  pg_config.coverage_targets_percent = {10.0};  // random phase suffices
+  pg_config.fill_seeds = {11};
+  pg_config.memo = &memo;
+  const auto t_cold = std::chrono::steady_clock::now();
+  bist::ProfileGenerator cold(cut, pg_config);
+  (void)cold.GenerateAll();
+  const double cold_s = Seconds(t_cold);
+  const auto t_warm = std::chrono::steady_clock::now();
+  bist::ProfileGenerator warm(cut, pg_config);
+  (void)warm.GenerateAll();
+  const double warm_s = Seconds(t_warm);
+  std::printf("  memoized campaign: cold %.3f s, warm %.3f s, hit rate "
+              "%.0f %% (%llu/%llu)\n",
+              cold_s, warm_s, 100.0 * memo.HitRate(),
+              static_cast<unsigned long long>(memo.Hits()),
+              static_cast<unsigned long long>(memo.Hits() + memo.Misses()));
+
+  // --- gates ---------------------------------------------------------------
+  const bool accuracy_ok = strong32_top5 >= plain32_top5 &&
+                           strong32_top5 >= 0.7;
+  const bool speedup_ok = best_qps >= 10.0 * resim_qps;
+  const bool memo_ok = memo.HitRate() > 0.0;
   std::printf("\nshape checks:\n");
-  const bool ok = strong32_top5 >= plain32_top5 && strong32_top5 >= 0.7;
   std::printf("  strong windows >= plain MISR at window 32 and top-5 >= 70 %% "
               "... %s\n",
-              ok ? "OK" : "VIOLATED");
-  return ok ? 0 : 1;
+              accuracy_ok ? "OK" : "VIOLATED");
+  std::printf("  dictionary batch >= 10x re-simulation queries/s "
+              "(%.0f vs %.1f) ... %s\n",
+              best_qps, resim_qps, speedup_ok ? "OK" : "VIOLATED");
+  std::printf("  campaign memo hit rate > 0 ... %s\n",
+              memo_ok ? "OK" : "VIOLATED");
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"diagnosis\",\n"
+               "  \"cpu\": \"%s\",\n"
+               "  \"simd_backend\": \"%s\",\n"
+               "  \"pool_workers\": %zu,\n"
+               "  \"patterns\": %llu,\n"
+               "  \"accuracy\": [\n",
+               sim::simd::CpuFeatureString().c_str(),
+               sim::simd::SimdBackendName(), workers,
+               static_cast<unsigned long long>(options.num_random_patterns));
+  for (std::size_t i = 0; i < accuracy.size(); ++i) {
+    const AccuracyRow& r = accuracy[i];
+    std::fprintf(out,
+                 "    {\"window\": %u, \"strong\": %s, \"injected\": %zu, "
+                 "\"escaped\": %zu, \"top1\": %.4f, \"top5\": %.4f, "
+                 "\"mean_rank\": %.2f}%s\n",
+                 r.window, r.strong ? "true" : "false", r.injected, r.escaped,
+                 r.top1, r.top5, r.mean_rank,
+                 i + 1 < accuracy.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"fleet\": {\n"
+               "    \"dict_faults\": %zu,\n"
+               "    \"windows\": %u,\n"
+               "    \"build_seconds\": %.6f,\n"
+               "    \"artifact_bytes\": %llu,\n"
+               "    \"load_seconds\": %.6f,\n"
+               "    \"map_seconds\": %.6f,\n"
+               "    \"map_first_query_seconds\": %.6f,\n"
+               "    \"resim_queries_per_second\": %.3f,\n"
+               "    \"batch\": [\n",
+               dict_faults.size(), built.WindowCount(), build_s,
+               static_cast<unsigned long long>(artifact_bytes), load_s, map_s,
+               map_first_query_s, resim_qps);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const BatchRow& b = batches[i];
+    std::fprintf(out,
+                 "      {\"shards\": %zu, \"threads\": %zu, \"queries\": %zu, "
+                 "\"wall_seconds\": %.6f, \"queries_per_second\": %.1f, "
+                 "\"speedup_vs_resim\": %.1f}%s\n",
+                 b.shards, b.threads, b.queries, b.wall_seconds,
+                 b.queries_per_second, b.speedup_vs_resim,
+                 i + 1 < batches.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n"
+               "    \"memo\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"hit_rate\": %.4f, \"cold_seconds\": %.6f, "
+               "\"warm_seconds\": %.6f}\n"
+               "  },\n"
+               "  \"gates\": {\"accuracy_ok\": %s, \"speedup_ok\": %s, "
+               "\"memo_ok\": %s}\n"
+               "}\n",
+               static_cast<unsigned long long>(memo.Hits()),
+               static_cast<unsigned long long>(memo.Misses()), memo.HitRate(),
+               cold_s, warm_s, accuracy_ok ? "true" : "false",
+               speedup_ok ? "true" : "false", memo_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("diagnosis benchmark written to %s\n", out_path);
+  std::remove(artifact.c_str());
+
+  return accuracy_ok && speedup_ok && memo_ok ? 0 : 1;
 }

@@ -1,0 +1,40 @@
+#include "bist/dictionary_store.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace bistdse::bist {
+
+void DictionaryStore::Add(DictShardKey key, FaultDictionary dict) {
+  shards_.insert_or_assign(std::move(key), std::move(dict));
+}
+
+void DictionaryStore::AddFromFile(DictShardKey key, const std::string& path,
+                                  bool mapped) {
+  Add(std::move(key),
+      mapped ? FaultDictionary::Map(path) : FaultDictionary::Load(path));
+}
+
+const FaultDictionary* DictionaryStore::Find(const DictShardKey& key) const {
+  const auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::vector<DiagnosisCandidate>> DictionaryStore::DiagnoseBatch(
+    std::span<const DictQuery> queries, std::size_t top_k,
+    std::size_t threads) const {
+  std::vector<std::vector<DiagnosisCandidate>> results(queries.size());
+  const std::size_t max_chunks = threads == 1 ? 1 : threads;
+  util::ThreadPool::Global().ParallelFor(
+      0, queries.size(), max_chunks,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const FaultDictionary* dict = Find(queries[i].shard);
+          if (dict != nullptr) {
+            results[i] = dict->Diagnose(queries[i].fail_data, top_k);
+          }
+        }
+      });
+  return results;
+}
+
+}  // namespace bistdse::bist

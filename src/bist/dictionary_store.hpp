@@ -1,0 +1,75 @@
+// Fleet-scale dictionary serving: one process holds the fault dictionaries
+// of many (ECU variant, BIST profile) shards — typically Map()ed from their
+// artifacts — and answers batches of field-return diagnosis queries by
+// fanning the pure per-query Diagnose() over the shared thread pool.
+//
+// Results are written per query index, so a batch is bit-identical to
+// serial per-query diagnosis for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bist/fault_dictionary.hpp"
+
+namespace bistdse::bist {
+
+/// Shard identity inside one serving process: which ECU variant and which
+/// BIST session profile produced the fail data.
+struct DictShardKey {
+  std::string ecu;
+  std::string profile;
+
+  bool operator==(const DictShardKey&) const = default;
+};
+
+struct DictShardKeyHash {
+  std::size_t operator()(const DictShardKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : k.ecu) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    h = (h ^ 0xff) * 0x100000001b3ULL;  // separator: ("ab","c") != ("a","bc")
+    for (char c : k.profile)
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One field-return diagnosis request: the shard it belongs to plus the
+/// fail data its BIST session uploaded.
+struct DictQuery {
+  DictShardKey shard;
+  std::vector<FailDatum> fail_data;
+};
+
+class DictionaryStore {
+ public:
+  /// Registers `dict` under `key`, replacing any previous shard.
+  void Add(DictShardKey key, FaultDictionary dict);
+
+  /// Opens a Save()d artifact (mmap-backed when `mapped`) and registers it.
+  /// Propagates FaultDictionary::Map()/Load() errors.
+  void AddFromFile(DictShardKey key, const std::string& path,
+                   bool mapped = true);
+
+  std::size_t ShardCount() const { return shards_.size(); }
+
+  /// The shard registered under `key`, or nullptr.
+  const FaultDictionary* Find(const DictShardKey& key) const;
+
+  /// Diagnoses every query against its shard, fanned out over the shared
+  /// pool (`threads`: 1 = serial, 0 = full pool width). Result i is query
+  /// i's ranking — bit-identical to calling Find(...)->Diagnose(...) per
+  /// query in order, for every thread count. A query naming an unknown
+  /// shard yields an empty ranking.
+  std::vector<std::vector<DiagnosisCandidate>> DiagnoseBatch(
+      std::span<const DictQuery> queries, std::size_t top_k,
+      std::size_t threads = 0) const;
+
+ private:
+  std::unordered_map<DictShardKey, FaultDictionary, DictShardKeyHash> shards_;
+};
+
+}  // namespace bistdse::bist

@@ -1,8 +1,12 @@
 #include "bist/fault_dictionary.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <bit>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <type_traits>
 
 #include "bist/campaign_sources.hpp"
 #include "bist/misr.hpp"
@@ -13,6 +17,75 @@ using sim::BitPattern;
 using sim::PatternWord;
 
 namespace {
+
+std::uint64_t FnvMix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t FnvBytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) h = FnvMix(h, p[i]);
+  return h;
+}
+
+// --- on-disk format (version 1) -------------------------------------------
+//
+// Little-/host-endian, 8-byte-aligned sections in file order:
+//   [DictHeader][fault table][window bitmask words][signature offsets]
+//   [sparse signature payload]
+// The header carries the session identity, the section layout, the total
+// file size (truncation check) and an FNV checksum over its own bytes
+// (corruption check). Section layout is fully derivable from the counts, so
+// a reader re-derives it and rejects any mismatch. The payload itself is
+// never touched at open time — that is what keeps Map() O(1).
+
+constexpr char kMagic[8] = {'B', 'D', 'S', 'E', 'F', 'D', '0', '1'};
+
+struct DictHeader {
+  char magic[8];
+  std::uint64_t file_bytes;
+  std::uint64_t netlist_hash;
+  std::uint64_t config_hash;
+  std::uint64_t num_random;
+  std::uint64_t det_count;
+  std::uint64_t det_hash;
+  std::uint64_t total_patterns;
+  std::uint64_t window;
+  std::uint64_t fault_count;
+  std::uint64_t words_per_fault;
+  std::uint64_t sig_words;
+  std::uint32_t window_count;
+  std::uint32_t misr_width;
+  std::uint64_t faults_off;
+  std::uint64_t windows_off;
+  std::uint64_t offsets_off;
+  std::uint64_t sigs_off;
+  std::uint64_t header_hash;  ///< FNV over the header bytes before this field.
+};
+static_assert(sizeof(DictHeader) == 144, "padding crept into DictHeader");
+static_assert(std::is_trivially_copyable_v<DictHeader>);
+
+/// Padding-free fault record: the in-memory StuckAtFault has alignment
+/// padding whose bytes would make the artifact nondeterministic.
+struct DiskFault {
+  std::uint32_t node;
+  std::int8_t fanin_index;
+  std::uint8_t stuck_value;
+  std::uint16_t reserved;
+};
+static_assert(sizeof(DiskFault) == 8);
+static_assert(std::is_trivially_copyable_v<DiskFault>);
+
+std::uint64_t HeaderHash(const DictHeader& h) {
+  return FnvBytes(&h, offsetof(DictHeader, header_hash));
+}
+
+[[noreturn]] void Corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("fault dictionary '" + path + "': " + what);
+}
 
 /// Pass 1: cheap detection sweep marking the faults whose signature can
 /// differ in this window at all. Each fault index is owned by one chunk, so
@@ -75,6 +148,21 @@ class WindowMisrSink final : public sim::CampaignSink {
 
 }  // namespace
 
+std::uint64_t SessionStreamConfigHash(const StumpsConfig& config) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = FnvMix(h, config.num_scan_chains);
+  h = FnvMix(h, config.max_chain_length);
+  h = FnvMix(h, config.signature_window);
+  h = FnvMix(h, config.max_windows_per_session);
+  h = FnvMix(h, config.prpg_degree);
+  h = FnvMix(h, config.prpg_seed);
+  h = FnvMix(h, config.use_phase_shifter ? 1 : 0);
+  h = FnvMix(h, config.phase_shifter_seed);
+  h = FnvMix(h, config.misr_width);
+  h = FnvMix(h, config.reset_misr_per_window ? 1 : 0);
+  return h;
+}
+
 FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
                                  const StumpsConfig& config,
                                  std::uint64_t num_random,
@@ -86,25 +174,41 @@ FaultDictionary::FaultDictionary(const netlist::Netlist& netlist,
     throw std::invalid_argument(
         "fault dictionary requires strong windows (per-window MISR reset)");
   }
-  Build(netlist, config, num_random, deterministic, threads, block_width);
+  netlist_hash_ = netlist.ContentHash();
+  config_hash_ = SessionStreamConfigHash(config);
+  num_random_ = num_random;
+  det_count_ = deterministic.size();
+  det_hash_ = HashEncodedPatterns(deterministic);
+  total_patterns_ = num_random + det_count_;
+  window_ = config.EffectiveWindow(total_patterns_);
+  window_count_ =
+      static_cast<std::uint32_t>((total_patterns_ + window_ - 1) / window_);
+  misr_width_ = config.misr_width;
+  words_per_fault_ = (window_count_ + 63) / 64;
+  owned_windows_.assign(faults_.size() * words_per_fault_, 0);
+  windows_ = owned_windows_;
+
+  std::vector<std::vector<std::uint64_t>> sig_tail(faults_.size());
+  BuildWindows(netlist, config, num_random, deterministic, threads,
+               block_width, 0, sig_tail);
+  const std::vector<std::size_t> keep(faults_.size(), 0);
+  FlattenSignatures(keep, sig_tail);
 }
 
-void FaultDictionary::Build(const netlist::Netlist& netlist,
-                            const StumpsConfig& config,
-                            std::uint64_t num_random,
-                            std::span<const EncodedPattern> deterministic,
-                            std::size_t threads, std::size_t block_width) {
+void FaultDictionary::BuildWindows(
+    const netlist::Netlist& netlist, const StumpsConfig& config,
+    std::uint64_t num_random, std::span<const EncodedPattern> deterministic,
+    std::size_t threads, std::size_t block_width, std::uint32_t start_window,
+    std::vector<std::vector<std::uint64_t>>& sig_tail) {
   const std::size_t width = netlist.CoreInputs().size();
   const std::size_t num_outputs = netlist.CoreOutputs().size();
-  const std::uint64_t total = num_random + deterministic.size();
-  const std::uint64_t window = config.EffectiveWindow(total);
-  window_count_ = static_cast<std::uint32_t>((total + window - 1) / window);
-  words_per_fault_ = (window_count_ + 63) / 64;
-  windows_.assign(faults_.size() * words_per_fault_, 0);
-  signatures_.resize(faults_.size());
 
   // The full session stream, materialized window by window; one runner
-  // (cached simulator state) serves every per-window campaign.
+  // (cached simulator state) serves every per-window campaign. Windows are
+  // independent under strong windows (per-window MISR reset), so the build
+  // can start at any window boundary — the stream is regenerated and the
+  // already-built head is skipped at pattern-generation cost only, no
+  // simulation.
   ReseedingEncoder expander(static_cast<std::uint32_t>(width));
   SessionStreamSource stream(config, width, expander, num_random,
                              deterministic);
@@ -112,11 +216,20 @@ void FaultDictionary::Build(const netlist::Netlist& netlist,
       netlist, {.block_width = block_width, .threads = threads});
 
   std::vector<BitPattern> patterns;
-  for (std::uint32_t w = 0; w < window_count_; ++w) {
+  std::uint64_t skip = static_cast<std::uint64_t>(start_window) * window_;
+  while (skip > 0) {
     patterns.clear();
-    stream.Fill(static_cast<std::size_t>(window), patterns);
-    const std::size_t in_window = patterns.size();
-    if (in_window == 0) break;
+    const std::size_t got = stream.Fill(
+        static_cast<std::size_t>(std::min<std::uint64_t>(skip, 4096)),
+        patterns);
+    if (got == 0) return;  // Stream shorter than the already-built head.
+    skip -= got;
+  }
+
+  for (std::uint32_t w = start_window; w < window_count_; ++w) {
+    patterns.clear();
+    stream.Fill(static_cast<std::size_t>(window_), patterns);
+    if (patterns.empty()) break;
 
     std::vector<std::size_t> active;  // fault indices detected in this window
     {
@@ -129,12 +242,12 @@ void FaultDictionary::Build(const netlist::Netlist& netlist,
       }
     }
 
-    Misr golden_misr(config.misr_width);
-    std::vector<Misr> fault_misrs(active.size(), Misr(config.misr_width));
+    Misr golden_misr(misr_width_);
+    std::vector<Misr> fault_misrs(active.size(), Misr(misr_width_));
     {
       sim::StoredPatternSource source(patterns);
       WindowMisrSink sink(faults_, active, golden_misr, fault_misrs,
-                          num_outputs);
+                         num_outputs);
       runner.Run(source, sink);
     }
 
@@ -143,15 +256,320 @@ void FaultDictionary::Build(const netlist::Netlist& netlist,
       const std::uint64_t sig = fault_misrs[a].Signature();
       if (sig != golden_signature) {
         const std::size_t f = active[a];
-        windows_[f * words_per_fault_ + w / 64] |= std::uint64_t{1} << (w % 64);
-        signatures_[f].push_back(sig);
+        owned_windows_[f * words_per_fault_ + w / 64] |= std::uint64_t{1}
+                                                         << (w % 64);
+        sig_tail[f].push_back(sig);
       }
     }
   }
 }
 
+void FaultDictionary::FlattenSignatures(
+    std::span<const std::size_t> keep_sigs,
+    const std::vector<std::vector<std::uint64_t>>& tails) {
+  std::vector<std::uint64_t> offsets(faults_.size() + 1, 0);
+  std::vector<std::uint64_t> flat;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    total += keep_sigs[f] + tails[f].size();
+  }
+  flat.reserve(total);
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    offsets[f] = flat.size();
+    if (keep_sigs[f] > 0) {
+      const auto old = signatures_.subspan(sig_offsets_[f], keep_sigs[f]);
+      flat.insert(flat.end(), old.begin(), old.end());
+    }
+    flat.insert(flat.end(), tails[f].begin(), tails[f].end());
+  }
+  offsets[faults_.size()] = flat.size();
+  owned_signatures_ = std::move(flat);
+  owned_sig_offsets_ = std::move(offsets);
+  signatures_ = owned_signatures_;
+  sig_offsets_ = owned_sig_offsets_;
+}
+
+void FaultDictionary::EnsureOwned() {
+  if (mapping_.Size() == 0) return;  // Built or Load()ed: already owned.
+  owned_windows_.assign(windows_.begin(), windows_.end());
+  owned_sig_offsets_.assign(sig_offsets_.begin(), sig_offsets_.end());
+  owned_signatures_.assign(signatures_.begin(), signatures_.end());
+  windows_ = owned_windows_;
+  sig_offsets_ = owned_sig_offsets_;
+  signatures_ = owned_signatures_;
+  mapping_ = util::MmapFile();
+}
+
+void FaultDictionary::CheckFaultIndex(std::size_t i) const {
+  if (i >= faults_.size()) {
+    throw std::out_of_range("FaultDictionary: fault index " +
+                            std::to_string(i) + " out of range (count " +
+                            std::to_string(faults_.size()) + ")");
+  }
+}
+
+void FaultDictionary::Save(const std::string& path) const {
+  DictHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.netlist_hash = netlist_hash_;
+  h.config_hash = config_hash_;
+  h.num_random = num_random_;
+  h.det_count = det_count_;
+  h.det_hash = det_hash_;
+  h.total_patterns = total_patterns_;
+  h.window = window_;
+  h.fault_count = faults_.size();
+  h.words_per_fault = words_per_fault_;
+  h.sig_words = signatures_.size();
+  h.window_count = window_count_;
+  h.misr_width = misr_width_;
+  h.faults_off = sizeof(DictHeader);
+  h.windows_off = h.faults_off + h.fault_count * sizeof(DiskFault);
+  h.offsets_off = h.windows_off + windows_.size() * sizeof(std::uint64_t);
+  h.sigs_off = h.offsets_off + (h.fault_count + 1) * sizeof(std::uint64_t);
+  h.file_bytes = h.sigs_off + h.sig_words * sizeof(std::uint64_t);
+  h.header_hash = HeaderHash(h);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) Corrupt(path, "cannot open for writing");
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  std::vector<DiskFault> disk_faults(faults_.size());
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    disk_faults[f] = {faults_[f].node, faults_[f].fanin_index,
+                      static_cast<std::uint8_t>(faults_[f].stuck_value), 0};
+  }
+  out.write(reinterpret_cast<const char*>(disk_faults.data()),
+            static_cast<std::streamsize>(disk_faults.size() *
+                                         sizeof(DiskFault)));
+  out.write(reinterpret_cast<const char*>(windows_.data()),
+            static_cast<std::streamsize>(windows_.size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(sig_offsets_.data()),
+            static_cast<std::streamsize>(sig_offsets_.size() *
+                                         sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(signatures_.data()),
+            static_cast<std::streamsize>(signatures_.size() *
+                                         sizeof(std::uint64_t)));
+  if (!out) Corrupt(path, "write failed");
+}
+
+FaultDictionary FaultDictionary::Load(const std::string& path) {
+  return Open(path, /*keep_mapping=*/false);
+}
+
+FaultDictionary FaultDictionary::Map(const std::string& path) {
+  return Open(path, /*keep_mapping=*/true);
+}
+
+FaultDictionary FaultDictionary::Open(const std::string& path,
+                                      bool keep_mapping) {
+  util::MmapFile file(path);
+  const std::span<const std::byte> bytes = file.Bytes();
+  if (bytes.size() < sizeof(DictHeader)) {
+    Corrupt(path, "truncated file (smaller than the header)");
+  }
+  DictHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    Corrupt(path, "bad magic (not a fault dictionary, or wrong version)");
+  }
+  if (h.header_hash != HeaderHash(h)) {
+    Corrupt(path, "corrupted header (checksum mismatch)");
+  }
+  if (h.file_bytes != bytes.size()) {
+    Corrupt(path, "truncated or padded file (header declares " +
+                      std::to_string(h.file_bytes) + " bytes, file has " +
+                      std::to_string(bytes.size()) + ")");
+  }
+  // Re-derive the section layout from the counts; any disagreement with the
+  // stored offsets means corruption.
+  const std::uint64_t faults_off = sizeof(DictHeader);
+  const std::uint64_t windows_off =
+      faults_off + h.fault_count * sizeof(DiskFault);
+  const std::uint64_t offsets_off =
+      windows_off + h.fault_count * h.words_per_fault * sizeof(std::uint64_t);
+  const std::uint64_t sigs_off =
+      offsets_off + (h.fault_count + 1) * sizeof(std::uint64_t);
+  const std::uint64_t end = sigs_off + h.sig_words * sizeof(std::uint64_t);
+  if (h.faults_off != faults_off || h.windows_off != windows_off ||
+      h.offsets_off != offsets_off || h.sigs_off != sigs_off ||
+      h.file_bytes != end ||
+      h.words_per_fault != (h.window_count + 63) / 64 ||
+      h.total_patterns != h.num_random + h.det_count ||
+      h.window == 0 ||
+      h.window_count !=
+          (h.total_patterns + h.window - 1) / h.window) {
+    Corrupt(path, "inconsistent section layout (corrupted header)");
+  }
+
+  FaultDictionary d;
+  d.netlist_hash_ = h.netlist_hash;
+  d.config_hash_ = h.config_hash;
+  d.num_random_ = h.num_random;
+  d.det_count_ = h.det_count;
+  d.det_hash_ = h.det_hash;
+  d.total_patterns_ = h.total_patterns;
+  d.window_ = h.window;
+  d.window_count_ = h.window_count;
+  d.misr_width_ = h.misr_width;
+  d.words_per_fault_ = static_cast<std::size_t>(h.words_per_fault);
+
+  // The fault table is always materialized — it is the metadata-scale part
+  // of the artifact (8 bytes per fault vs the multi-word rows + signatures).
+  const auto* disk_faults =
+      reinterpret_cast<const DiskFault*>(bytes.data() + faults_off);
+  d.faults_.resize(static_cast<std::size_t>(h.fault_count));
+  for (std::size_t f = 0; f < d.faults_.size(); ++f) {
+    d.faults_[f].node = disk_faults[f].node;
+    d.faults_[f].fanin_index = disk_faults[f].fanin_index;
+    d.faults_[f].stuck_value = disk_faults[f].stuck_value != 0;
+  }
+
+  const auto* windows =
+      reinterpret_cast<const std::uint64_t*>(bytes.data() + windows_off);
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(bytes.data() + offsets_off);
+  const auto* sigs =
+      reinterpret_cast<const std::uint64_t*>(bytes.data() + sigs_off);
+  const std::size_t window_words =
+      static_cast<std::size_t>(h.fault_count * h.words_per_fault);
+
+  // Offset-table sanity (metadata-scale read; the signature payload itself
+  // stays untouched): monotone, starts at 0, ends at sig_words.
+  if (offsets[0] != 0 || offsets[h.fault_count] != h.sig_words) {
+    Corrupt(path, "corrupted signature offsets (bad bounds)");
+  }
+  for (std::size_t f = 0; f < h.fault_count; ++f) {
+    if (offsets[f] > offsets[f + 1]) {
+      Corrupt(path, "corrupted signature offsets (not monotone)");
+    }
+  }
+
+  if (keep_mapping) {
+    d.mapping_ = std::move(file);
+    // Re-derive the base pointer from the moved-to mapping: spans must point
+    // into storage owned by `d`.
+    const std::byte* base = d.mapping_.Bytes().data();
+    d.windows_ = {reinterpret_cast<const std::uint64_t*>(base + windows_off),
+                  window_words};
+    d.sig_offsets_ = {
+        reinterpret_cast<const std::uint64_t*>(base + offsets_off),
+        static_cast<std::size_t>(h.fault_count + 1)};
+    d.signatures_ = {reinterpret_cast<const std::uint64_t*>(base + sigs_off),
+                     static_cast<std::size_t>(h.sig_words)};
+  } else {
+    d.owned_windows_.assign(windows, windows + window_words);
+    d.owned_sig_offsets_.assign(offsets, offsets + h.fault_count + 1);
+    d.owned_signatures_.assign(sigs, sigs + h.sig_words);
+    d.windows_ = d.owned_windows_;
+    d.sig_offsets_ = d.owned_sig_offsets_;
+    d.signatures_ = d.owned_signatures_;
+  }
+  return d;
+}
+
+void FaultDictionary::Extend(const netlist::Netlist& netlist,
+                             const StumpsConfig& config,
+                             std::uint64_t num_random,
+                             std::span<const EncodedPattern> deterministic,
+                             std::size_t threads, std::size_t block_width) {
+  if (netlist.ContentHash() != netlist_hash_) {
+    throw std::invalid_argument(
+        "FaultDictionary::Extend: netlist differs from the dictionary's");
+  }
+  if (SessionStreamConfigHash(config) != config_hash_) {
+    throw std::invalid_argument(
+        "FaultDictionary::Extend: session config differs from the "
+        "dictionary's");
+  }
+  const std::uint64_t new_total = num_random + deterministic.size();
+  if (new_total < total_patterns_) {
+    throw std::invalid_argument(
+        "FaultDictionary::Extend: session shrank (only growth is supported)");
+  }
+  // The old stream must be a prefix of the grown one. Two shapes qualify:
+  // the random phase is unchanged and the old deterministic list is a prefix
+  // of the new one, or the old session was purely random and the random
+  // phase grew (an LFSR stream's first N patterns are length-invariant).
+  const bool same_head =
+      num_random == num_random_ && deterministic.size() >= det_count_ &&
+      HashEncodedPatterns(deterministic.first(
+          static_cast<std::size_t>(det_count_))) == det_hash_;
+  const bool random_growth = det_count_ == 0 && num_random >= num_random_;
+  if (!same_head && !random_growth) {
+    throw std::invalid_argument(
+        "FaultDictionary::Extend: grown session does not extend this "
+        "dictionary's pattern stream");
+  }
+  if (config.EffectiveWindow(new_total) != window_) {
+    throw std::invalid_argument(
+        "FaultDictionary::Extend: the grown session changes the effective "
+        "window width (max_windows_per_session rewidening); a full rebuild "
+        "is required");
+  }
+  if (new_total == total_patterns_) return;  // ΔN == 0: nothing to do.
+
+  EnsureOwned();
+
+  // Complete windows keep their rows; a trailing partial window is
+  // re-simulated from its first pattern (extending a mid-window MISR would
+  // need per-fault mid-states for *all* faults, which costs more than the
+  // one-window replay).
+  const std::uint32_t start_w =
+      total_patterns_ % window_ == 0
+          ? window_count_
+          : window_count_ - 1;
+  const std::uint32_t new_count =
+      static_cast<std::uint32_t>((new_total + window_ - 1) / window_);
+  const std::size_t new_words = (new_count + 63) / 64;
+  const std::size_t old_words = words_per_fault_;
+
+  // Re-stride the bitmask rows to the new word count, clearing every bit at
+  // or past start_w (the rebuilt region).
+  std::vector<std::uint64_t> grown(faults_.size() * new_words, 0);
+  const std::size_t copy_words = std::min(old_words, new_words);
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    for (std::size_t ww = 0; ww < copy_words; ++ww) {
+      grown[f * new_words + ww] = owned_windows_[f * old_words + ww];
+    }
+    for (std::uint32_t w = start_w; w < window_count_; ++w) {
+      grown[f * new_words + w / 64] &= ~(std::uint64_t{1} << (w % 64));
+    }
+  }
+
+  // Signatures to keep per fault = failing windows below start_w (their
+  // sparse entries are a prefix of the old row, in window order).
+  std::vector<std::size_t> keep(faults_.size(), 0);
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    std::size_t kept = 0;
+    for (std::size_t ww = 0; ww < new_words; ++ww) {
+      kept += static_cast<std::size_t>(std::popcount(grown[f * new_words + ww]));
+    }
+    keep[f] = kept;
+  }
+
+  owned_windows_ = std::move(grown);
+  windows_ = owned_windows_;
+  words_per_fault_ = new_words;
+  window_count_ = new_count;
+  num_random_ = num_random;
+  det_count_ = deterministic.size();
+  det_hash_ = HashEncodedPatterns(deterministic);
+  total_patterns_ = new_total;
+
+  std::vector<std::vector<std::uint64_t>> sig_tail(faults_.size());
+  BuildWindows(netlist, config, num_random, deterministic, threads,
+               block_width, start_w, sig_tail);
+  FlattenSignatures(keep, sig_tail);
+}
+
 std::vector<DiagnosisCandidate> FaultDictionary::Diagnose(
     std::span<const FailDatum> fail_data, std::size_t top_k) const {
+  // No fail evidence ranks no candidates, and a zero-sized ranking needs no
+  // scoring pass; both are defined results, not incidental loop behavior.
+  if (fail_data.empty() || top_k == 0) return {};
+
   std::vector<std::uint64_t> observed(words_per_fault_, 0);
   for (const FailDatum& fd : fail_data) {
     observed[fd.window_index / 64] |= std::uint64_t{1} << (fd.window_index % 64);
@@ -160,7 +578,7 @@ std::vector<DiagnosisCandidate> FaultDictionary::Diagnose(
   std::vector<DiagnosisCandidate> ranked;
   ranked.reserve(faults_.size());
   for (std::size_t f = 0; f < faults_.size(); ++f) {
-    const auto fw = WindowsOf(f);
+    const auto fw = windows_.subspan(f * words_per_fault_, words_per_fault_);
     std::uint64_t inter = 0, uni = 0;
     for (std::size_t w = 0; w < words_per_fault_; ++w) {
       inter += std::popcount(fw[w] & observed[w]);
@@ -171,30 +589,36 @@ std::vector<DiagnosisCandidate> FaultDictionary::Diagnose(
 
     // Signature bonus: fraction of observed failing windows whose stored
     // faulty signature matches exactly.
-    if (!fail_data.empty()) {
-      std::size_t matches = 0;
-      for (const FailDatum& fd : fail_data) {
-        const std::uint32_t w = fd.window_index;
-        if (!((fw[w / 64] >> (w % 64)) & 1)) continue;
-        // Rank of window w among this fault's failing windows.
-        std::size_t rank = 0;
-        for (std::uint32_t ww = 0; ww < w; ++ww) {
-          if ((fw[ww / 64] >> (ww % 64)) & 1) ++rank;
-        }
-        if (rank < signatures_[f].size() &&
-            signatures_[f][rank] == fd.observed_signature) {
-          ++matches;
-        }
+    const std::uint64_t row_begin = sig_offsets_[f];
+    const std::uint64_t row_size = sig_offsets_[f + 1] - row_begin;
+    std::size_t matches = 0;
+    for (const FailDatum& fd : fail_data) {
+      const std::uint32_t w = fd.window_index;
+      if (!((fw[w / 64] >> (w % 64)) & 1)) continue;
+      // Rank of window w among this fault's failing windows (popcount of
+      // the row below w).
+      std::size_t rank = 0;
+      for (std::size_t ww = 0; ww < w / 64; ++ww) {
+        rank += static_cast<std::size_t>(std::popcount(fw[ww]));
       }
-      score += static_cast<double>(matches) /
-               static_cast<double>(fail_data.size());
+      if (w % 64 != 0) {
+        rank += static_cast<std::size_t>(std::popcount(
+            fw[w / 64] & ((std::uint64_t{1} << (w % 64)) - 1)));
+      }
+      if (rank < row_size &&
+          signatures_[row_begin + rank] == fd.observed_signature) {
+        ++matches;
+      }
     }
+    score +=
+        static_cast<double>(matches) / static_cast<double>(fail_data.size());
     ranked.push_back({faults_[f], score});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
                      return a.score > b.score;
                    });
+  // top_k past the candidate count returns every candidate.
   if (ranked.size() > top_k) ranked.resize(top_k);
   return ranked;
 }

@@ -3,16 +3,33 @@
 // fault-simulation sweep; afterwards each diagnosis is a dictionary match —
 // the classic trade when many field returns of the same ECU generation are
 // diagnosed against the same BIST session.
+//
+// Serving-layer lifecycle: a built dictionary is Save()d to a compact
+// versioned binary artifact once; server processes then either Load() it
+// (owned copy) or Map() it — an mmap-backed read path whose span views point
+// straight into the file mapping, so opening a multi-gigabyte dictionary is
+// O(1) with no deserialization copy (pages fault in on first query). When
+// the session later grows by ΔN patterns, Extend() appends the new windows'
+// rows (re-simulating only the trailing partial window, if any) instead of
+// rebuilding from pattern 0 — bit-identical to a from-scratch build.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bist/diagnosis.hpp"
 #include "bist/stumps.hpp"
+#include "util/mmap_file.hpp"
 
 namespace bistdse::bist {
+
+/// FNV-1a over the StumpsConfig fields that determine the session's pattern
+/// stream and signature semantics (PRPG, phase shifter, window layout, MISR).
+/// Simulation-only knobs (threads, block width, shortcuts) are excluded:
+/// they never change results.
+std::uint64_t SessionStreamConfigHash(const StumpsConfig& config);
 
 class FaultDictionary {
  public:
@@ -28,34 +45,118 @@ class FaultDictionary {
                   std::vector<sim::StuckAtFault> faults,
                   std::size_t threads = 0, std::size_t block_width = 4);
 
+  /// Writes the dictionary as a versioned binary artifact (header, fault
+  /// table, window bitmask words, sparse signature payload). Throws
+  /// std::runtime_error when the file cannot be written.
+  void Save(const std::string& path) const;
+
+  /// Reads a Save()d artifact into owned storage (full payload copy).
+  /// Throws std::runtime_error on missing, truncated, corrupted, or
+  /// version-mismatched files, naming the defect.
+  static FaultDictionary Load(const std::string& path);
+
+  /// Opens a Save()d artifact zero-copy: payload accessors are span views
+  /// into the file mapping; only the (small) fault table is materialized.
+  /// Same validation and errors as Load().
+  static FaultDictionary Map(const std::string& path);
+
+  /// Incremental ΔN update: extends the dictionary to the grown session
+  /// (`num_random` + `deterministic`, which must have this dictionary's
+  /// session stream as a prefix). Only the windows at and past the old
+  /// session's end are (re)simulated — the trailing partial window, if any,
+  /// plus the appended windows — and the result is bit-identical to a
+  /// from-scratch build of the grown session. Throws std::invalid_argument
+  /// when the netlist/config/stream do not match, when the session shrinks,
+  /// or when the grown session changes the effective window width (a
+  /// max_windows_per_session rewidening requires a full rebuild). A mapped
+  /// dictionary is materialized to owned storage first.
+  void Extend(const netlist::Netlist& netlist, const StumpsConfig& config,
+              std::uint64_t num_random,
+              std::span<const EncodedPattern> deterministic,
+              std::size_t threads = 0, std::size_t block_width = 4);
+
   std::size_t FaultCount() const { return faults_.size(); }
   std::uint32_t WindowCount() const { return window_count_; }
+  std::uint64_t TotalPatterns() const { return total_patterns_; }
+  std::uint64_t NetlistHash() const { return netlist_hash_; }
+  std::uint64_t ConfigHash() const { return config_hash_; }
+  /// True when the payload views point into a file mapping (Map() path).
+  bool IsMapped() const { return mapping_.IsMapped(); }
+  std::span<const sim::StuckAtFault> Faults() const { return faults_; }
 
   /// Ranks candidates against observed fail data by failing-window-set
-  /// Jaccard match (ties broken by stored-signature equality on the listed
-  /// windows). Equivalent to SignatureDiagnosis but O(candidates) per query
-  /// with no re-simulation.
+  /// Jaccard match plus a signature bonus (fraction of observed failing
+  /// windows whose stored faulty signature matches exactly). Equivalent to
+  /// SignatureDiagnosis but O(candidates) per query with no re-simulation.
+  ///
+  /// Edge cases are defined explicitly: empty `fail_data` returns an empty
+  /// ranking (no fail evidence ranks no candidates), `top_k == 0` returns
+  /// empty, and `top_k` past the candidate count returns every candidate.
+  /// Pure and const: any number of threads may Diagnose concurrently.
   std::vector<DiagnosisCandidate> Diagnose(
       std::span<const FailDatum> fail_data, std::size_t top_k) const;
 
   /// Failing-window bitmask words of fault `i` (testing/inspection).
+  /// Throws std::out_of_range when `i >= FaultCount()`.
   std::span<const std::uint64_t> WindowsOf(std::size_t i) const {
-    return {windows_.data() + i * words_per_fault_, words_per_fault_};
+    CheckFaultIndex(i);
+    return windows_.subspan(i * words_per_fault_, words_per_fault_);
+  }
+
+  /// Sparse faulty signatures of fault `i`, aligned with the set bits of
+  /// WindowsOf(i) in window order. Throws std::out_of_range like WindowsOf.
+  std::span<const std::uint64_t> SignaturesOf(std::size_t i) const {
+    CheckFaultIndex(i);
+    return signatures_.subspan(sig_offsets_[i],
+                               sig_offsets_[i + 1] - sig_offsets_[i]);
   }
 
  private:
-  void Build(const netlist::Netlist& netlist, const StumpsConfig& config,
-             std::uint64_t num_random,
-             std::span<const EncodedPattern> deterministic,
-             std::size_t threads, std::size_t block_width);
+  FaultDictionary() = default;  ///< Load()/Map() shell.
 
-  std::vector<sim::StuckAtFault> faults_;
+  static FaultDictionary Open(const std::string& path, bool keep_mapping);
+
+  /// (Re)simulates windows [start_window, window_count_): sets failing-window
+  /// bits in `owned_windows_` and appends the per-fault sparse signatures of
+  /// those windows to `sig_tail`.
+  void BuildWindows(const netlist::Netlist& netlist,
+                    const StumpsConfig& config, std::uint64_t num_random,
+                    std::span<const EncodedPattern> deterministic,
+                    std::size_t threads, std::size_t block_width,
+                    std::uint32_t start_window,
+                    std::vector<std::vector<std::uint64_t>>& sig_tail);
+
+  /// Rebuilds the flat signature arrays from per-fault kept prefixes
+  /// (first `keep_sigs[f]` old entries) plus appended tails.
+  void FlattenSignatures(std::span<const std::size_t> keep_sigs,
+                         const std::vector<std::vector<std::uint64_t>>& tails);
+
+  /// Copies mapped payload views into owned vectors and drops the mapping.
+  void EnsureOwned();
+
+  void CheckFaultIndex(std::size_t i) const;
+
+  // --- session identity (serialized) ---------------------------------------
+  std::uint64_t netlist_hash_ = 0;
+  std::uint64_t config_hash_ = 0;
+  std::uint64_t num_random_ = 0;
+  std::uint64_t det_count_ = 0;
+  std::uint64_t det_hash_ = 0;
+  std::uint64_t total_patterns_ = 0;
+  std::uint64_t window_ = 0;  ///< Effective patterns per window.
   std::uint32_t window_count_ = 0;
+  std::uint32_t misr_width_ = 0;
   std::size_t words_per_fault_ = 0;
-  std::vector<std::uint64_t> windows_;  // faults x words_per_fault_
-  /// Per fault, per *failing* window: the faulty MISR signature (sparse,
-  /// aligned with the set bits of `windows_` in window order).
-  std::vector<std::vector<std::uint64_t>> signatures_;
+
+  // --- payload: span views over owned buffers or the file mapping ----------
+  std::vector<sim::StuckAtFault> faults_;  ///< Always materialized (small).
+  std::span<const std::uint64_t> windows_;      ///< faults x words_per_fault.
+  std::span<const std::uint64_t> sig_offsets_;  ///< faults + 1 entries.
+  std::span<const std::uint64_t> signatures_;   ///< Flat sparse payload.
+  std::vector<std::uint64_t> owned_windows_;
+  std::vector<std::uint64_t> owned_sig_offsets_;
+  std::vector<std::uint64_t> owned_signatures_;
+  util::MmapFile mapping_;  ///< Backs the views on the Map() path.
 };
 
 }  // namespace bistdse::bist

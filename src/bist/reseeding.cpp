@@ -105,4 +105,18 @@ BitPattern ReseedingEncoder::Expand(const EncodedPattern& encoded) const {
   return lfsr.Emit(width_);
 }
 
+std::uint64_t HashEncodedPatterns(std::span<const EncodedPattern> patterns) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(patterns.size());
+  for (const EncodedPattern& enc : patterns) {
+    mix(enc.lfsr_degree);
+    for (std::uint8_t b : enc.seed_bits) mix(b);
+  }
+  return h;
+}
+
 }  // namespace bistdse::bist

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "atpg/podem.hpp"
@@ -29,6 +30,11 @@ struct EncodedPattern {
   /// Stored size in bytes (seed plus a 2-byte degree/length header).
   std::size_t StorageBytes() const { return (lfsr_degree + 7) / 8 + 2; }
 };
+
+/// FNV-1a over the encoded seed content (degree + seed bits, count-mixed).
+/// Caches keying a deterministic pattern list (the golden-signature cache,
+/// fault-dictionary session identity) hash *content*, not just count.
+std::uint64_t HashEncodedPatterns(std::span<const EncodedPattern> patterns);
 
 class ReseedingEncoder {
  public:

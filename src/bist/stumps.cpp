@@ -146,29 +146,9 @@ std::vector<std::uint64_t> StumpsSession::ComputeSignatures(
   return std::move(absorber.Signatures());
 }
 
-namespace {
-
-/// FNV-1a over the deterministic seed bits: the golden cache must key on
-/// pattern *content*, not just count.
-std::uint64_t HashDeterministic(std::span<const EncodedPattern> deterministic) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(deterministic.size());
-  for (const EncodedPattern& enc : deterministic) {
-    mix(enc.lfsr_degree);
-    for (std::uint8_t b : enc.seed_bits) mix(b);
-  }
-  return h;
-}
-
-}  // namespace
-
 const std::vector<std::uint64_t>& StumpsSession::GoldenSignatures(
     std::uint64_t num_random, std::span<const EncodedPattern> deterministic) {
-  const std::uint64_t det_hash = HashDeterministic(deterministic);
+  const std::uint64_t det_hash = HashEncodedPatterns(deterministic);
   if (!golden_cache_valid_ || golden_cache_random_ != num_random ||
       golden_cache_det_hash_ != det_hash) {
     golden_cache_ = ComputeSignatures(num_random, deterministic, std::nullopt);

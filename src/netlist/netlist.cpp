@@ -186,4 +186,23 @@ NodeId Netlist::FindByName(const std::string& name) const {
   return it == by_name_.end() ? kInvalidNode : it->second;
 }
 
+std::uint64_t Netlist::ContentHash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(gates_.size());
+  for (const Gate& g : gates_) {
+    mix(static_cast<std::uint64_t>(g.type));
+    mix(g.fanins.size());
+    for (NodeId f : g.fanins) mix(f);
+  }
+  mix(primary_outputs_.size());
+  for (NodeId out : primary_outputs_) mix(out);
+  mix(flops_.size());
+  for (NodeId flop : flops_) mix(flop);
+  return h;
+}
+
 }  // namespace bistdse::netlist

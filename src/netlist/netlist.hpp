@@ -91,6 +91,13 @@ class Netlist {
   /// Node lookup by symbolic name; returns kInvalidNode if absent.
   NodeId FindByName(const std::string& name) const;
 
+  /// FNV-1a content hash over the finalized structure (gate types, fanins,
+  /// outputs, flop order) — names excluded, so structurally identical
+  /// netlists hash equal. Simulation results are pure functions of this
+  /// structure, which is what lets campaign memos and serialized fault
+  /// dictionaries key on it.
+  std::uint64_t ContentHash() const;
+
  private:
   NodeId AddNode(Gate gate);
   void CheckArity(GateType type, std::size_t arity) const;

@@ -1,0 +1,92 @@
+#include "sim/campaign_memo.hpp"
+
+#include "netlist/netlist.hpp"
+
+namespace bistdse::sim {
+
+std::uint64_t HashFaultList(std::span<const StuckAtFault> faults) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(faults.size());
+  for (const StuckAtFault& f : faults) {
+    mix(f.node);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.fanin_index)));
+    mix(f.stuck_value ? 1 : 0);
+  }
+  return h;
+}
+
+std::shared_ptr<const FirstDetectResult> CampaignMemo::Lookup(
+    const FirstDetectKey& key, std::uint64_t max_patterns) {
+  const auto found = cache_.Lookup(key);
+  if (found && (*found)->covered_patterns >= max_patterns) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *found;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void CampaignMemo::Store(const FirstDetectKey& key, FirstDetectResult result) {
+  cache_.UpsertIf(
+      key, std::make_shared<const FirstDetectResult>(std::move(result)),
+      [](const std::shared_ptr<const FirstDetectResult>& candidate,
+         const std::shared_ptr<const FirstDetectResult>& stored) {
+        return candidate->covered_patterns > stored->covered_patterns;
+      });
+}
+
+CampaignStats RunFirstDetectMemoized(CampaignRunner& runner,
+                                     PatternSource& source,
+                                     std::uint64_t stream_key,
+                                     std::span<const StuckAtFault> track,
+                                     std::span<std::uint64_t> first_detect,
+                                     std::uint64_t max_patterns, bool warmup,
+                                     CampaignMemo* memo) {
+  FirstDetectKey key;
+  if (memo != nullptr) {
+    key = {runner.Circuit().ContentHash(), stream_key, HashFaultList(track)};
+    const auto cached = memo->Lookup(key, max_patterns);
+    if (cached != nullptr && cached->first_detect.size() == track.size()) {
+      CampaignStats stats;  // patterns == 0: nothing was simulated.
+      for (std::size_t i = 0; i < track.size(); ++i) {
+        const std::uint64_t fd = cached->first_detect[i];
+        // Detections at or past the requested budget happened outside this
+        // (shorter) campaign: report undetected, exactly as a fresh run
+        // of max_patterns would.
+        if (fd < max_patterns) {
+          first_detect[i] = fd;
+          ++stats.dropped;
+        } else {
+          first_detect[i] = UINT64_MAX;
+        }
+      }
+      stats.survivors = track.size() - static_cast<std::size_t>(stats.dropped);
+      return stats;
+    }
+  }
+
+  for (std::uint64_t& fd : first_detect) fd = UINT64_MAX;
+  FirstDetectSink sink(first_detect);
+  const CampaignStats stats = runner.Run(source, sink,
+                                         {.max_patterns = max_patterns,
+                                          .track = track,
+                                          .drop_detected = true,
+                                          .warmup = warmup});
+  if (memo != nullptr) {
+    FirstDetectResult result;
+    result.first_detect.assign(first_detect.begin(), first_detect.end());
+    // A campaign that stopped short of its budget ran out of stream or out
+    // of undropped faults — either way the entries are final for every
+    // longer prefix.
+    result.covered_patterns =
+        stats.patterns < max_patterns ? UINT64_MAX : max_patterns;
+    memo->Store(key, std::move(result));
+  }
+  return stats;
+}
+
+}  // namespace bistdse::sim

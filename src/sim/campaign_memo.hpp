@@ -1,0 +1,107 @@
+// Campaign memoization: first-detect drop campaigns keyed by (netlist
+// content, pattern stream, tracked fault list). Repeated campaigns over the
+// same stream are pure replays — the campaign kernel's determinism contract
+// makes their results a function of the key alone — so a shared memo lets a
+// second profile sweep, a DSE re-evaluation, or a grown-session rerun skip
+// the fault-simulation entirely.
+//
+// Prefix reuse: a first-detection index is prefix-stable (a fault first
+// detected at pattern p is first detected at p in every campaign of length
+// > p), so a cached campaign covering M patterns answers any request for
+// max_patterns <= M by truncating later detections to "undetected".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/campaign.hpp"
+#include "util/concurrent_memo.hpp"
+
+namespace bistdse::sim {
+
+/// FNV-1a over a fault list (node, pin, polarity per entry, count-mixed).
+std::uint64_t HashFaultList(std::span<const StuckAtFault> faults);
+
+struct FirstDetectKey {
+  std::uint64_t netlist_hash = 0;  ///< netlist::Netlist::ContentHash().
+  std::uint64_t stream_key = 0;    ///< Pattern stream identity (e.g. bist::PrpgStreamKey).
+  std::uint64_t faults_hash = 0;   ///< HashFaultList over the tracked faults.
+
+  bool operator==(const FirstDetectKey&) const = default;
+};
+
+}  // namespace bistdse::sim
+
+template <>
+struct std::hash<bistdse::sim::FirstDetectKey> {
+  std::size_t operator()(const bistdse::sim::FirstDetectKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t v : {k.netlist_hash, k.stream_key, k.faults_hash}) {
+      h = (h ^ v) * 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+namespace bistdse::sim {
+
+/// Cached outcome of one first-detect drop campaign: entry i is the global
+/// stream index of tracked fault i's first detection (UINT64_MAX =
+/// undetected within `covered_patterns`). `covered_patterns` is the stream
+/// prefix the entries answer; UINT64_MAX when the campaign ended by source
+/// exhaustion or by dropping every fault — final for every longer prefix.
+struct FirstDetectResult {
+  std::vector<std::uint64_t> first_detect;
+  std::uint64_t covered_patterns = 0;
+};
+
+/// Concurrency-safe memo of first-detect campaigns, with hit-rate counters.
+/// Values are shared_ptr-held and immutable once stored.
+class CampaignMemo {
+ public:
+  /// A cached result covering at least `max_patterns`, or nullptr. Counts
+  /// toward Hits()/Misses().
+  std::shared_ptr<const FirstDetectResult> Lookup(const FirstDetectKey& key,
+                                                  std::uint64_t max_patterns);
+
+  /// Stores `result`, keeping whichever of (stored, new) covers the longer
+  /// prefix.
+  void Store(const FirstDetectKey& key, FirstDetectResult result);
+
+  std::uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t Misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  double HitRate() const {
+    const std::uint64_t h = Hits(), m = Misses();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+ private:
+  util::ConcurrentMemo<FirstDetectKey,
+                       std::shared_ptr<const FirstDetectResult>>
+      cache_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// The canonical memoized first-detect drop campaign: on a memo hit (same
+/// key, covering prefix) fills `first_detect` from the cache and returns
+/// synthesized stats with stats.patterns == 0 — nothing is simulated; on a
+/// miss (or with `memo == nullptr`) runs the drop campaign via
+/// FirstDetectSink and stores the outcome. `first_detect.size()` must equal
+/// `track.size()`; every entry is (re)written, undetected ones to
+/// UINT64_MAX. stats.dropped / stats.survivors are correct on both paths.
+CampaignStats RunFirstDetectMemoized(CampaignRunner& runner,
+                                     PatternSource& source,
+                                     std::uint64_t stream_key,
+                                     std::span<const StuckAtFault> track,
+                                     std::span<std::uint64_t> first_detect,
+                                     std::uint64_t max_patterns, bool warmup,
+                                     CampaignMemo* memo);
+
+}  // namespace bistdse::sim

@@ -1,0 +1,112 @@
+#include "util/mmap_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BISTDSE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BISTDSE_HAVE_MMAP 0
+#endif
+
+namespace bistdse::util {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& path, const char* what) {
+  throw std::runtime_error("MmapFile: cannot " + std::string(what) + " '" +
+                           path + "'");
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) {
+#if BISTDSE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) Fail(path, "open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    Fail(path, "stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // Empty file: valid, empty span.
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) {
+    size_ = 0;
+    Fail(path, "mmap");
+  }
+  data_ = static_cast<const std::byte*>(map);
+  mapped_ = true;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) Fail(path, "open");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    Fail(path, "stat");
+  }
+  fallback_.resize(static_cast<std::size_t>(size));
+  const std::size_t got =
+      fallback_.empty()
+          ? 0
+          : std::fread(fallback_.data(), 1, fallback_.size(), f);
+  std::fclose(f);
+  if (got != fallback_.size()) Fail(path, "read");
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+#endif
+}
+
+MmapFile::~MmapFile() { Release(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && !fallback_.empty()) data_ = fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MmapFile::Release() noexcept {
+#if BISTDSE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+}  // namespace bistdse::util

@@ -1,0 +1,45 @@
+// Read-only file mapping for zero-copy artifact loading (the mmap-backed
+// fault-dictionary read path). On POSIX the file is mmap'd and the OS pages
+// it in lazily, so opening a multi-gigabyte artifact costs O(1) regardless
+// of payload size; where mmap is unavailable the class falls back to a
+// plain heap read, keeping the same interface (callers can query which
+// path they got via IsMapped()).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bistdse::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Maps `path` read-only. Throws std::runtime_error (with the path in the
+  /// message) when the file cannot be opened or mapped.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The file's bytes; stable for the lifetime of the object.
+  std::span<const std::byte> Bytes() const { return {data_, size_}; }
+  std::size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+  /// True when the bytes are an actual mapping (no copy was made).
+  bool IsMapped() const { return mapped_; }
+
+ private:
+  void Release() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;  ///< Owns the bytes when !mapped_.
+};
+
+}  // namespace bistdse::util

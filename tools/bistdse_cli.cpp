@@ -4,6 +4,7 @@
 //   bistdse_cli profiles  — generate BIST profiles for a synthetic CUT
 //   bistdse_cli diagnose  — measure diagnosis accuracy on a synthetic CUT
 //   bistdse_cli stumps    — batch faulty STUMPS sessions on a synthetic CUT
+//   bistdse_cli dict      — build / query / serve fault-dictionary artifacts
 //   bistdse_cli plan      — session timelines for a saved implementation
 //
 // Examples:
@@ -12,6 +13,9 @@
 //   bistdse_cli profiles --prps 500,1000,5000 --seed 7
 //   bistdse_cli diagnose --patterns 1024 --samples 50
 //   bistdse_cli stumps --patterns 2048 --faults 64 --threads 0
+//   bistdse_cli dict build --seed 3 --patterns 512 --out cut.fdict
+//   bistdse_cli dict query --in cut.fdict --seed 3 --mmap --samples 20
+//   bistdse_cli dict serve --in cut.fdict --seed 3 --shards 4 --queries 256
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "bist/diagnosis_eval.hpp"
+#include "bist/dictionary_store.hpp"
 #include "bist/profile_generator.hpp"
 #include "casestudy/casestudy.hpp"
 #include "dse/exploration.hpp"
@@ -102,6 +107,12 @@ int Usage() {
       "           [--threads K] [--block-width W]\n"
       "  stumps   --seed N [--patterns N] [--faults N] [--window N]\n"
       "           [--threads K] [--block-width W] [--no-shortcuts]\n"
+      "  dict build --out FILE --seed N [--patterns N] [--window N]\n"
+      "           [--max-faults N] [--threads K] [--block-width W]\n"
+      "  dict query --in FILE --seed N [--window N] [--mmap] [--samples N]\n"
+      "           [--top-k K]\n"
+      "  dict serve --in FILE --seed N [--window N] [--mmap] [--shards S]\n"
+      "           [--queries N] [--samples N] [--top-k K] [--threads K]\n"
       "  (--block-width W: W in {1, 2, 4, 8, 16}, validated at parse time)\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n");
@@ -376,6 +387,245 @@ int RunStumps(const Flags& flags) {
   return 0;
 }
 
+// --- dict: fault-dictionary serving artifacts -----------------------------
+//
+// `dict build` fault-simulates one session over the CUT derived from --seed
+// and Save()s the dictionary; `dict query` reopens the artifact (Load copy
+// or --mmap zero-copy), regenerates faulty sessions for sampled dictionary
+// faults, and reports diagnosis accuracy plus open/query timing; `dict
+// serve` registers the artifact under --shards (ECU, profile) keys and runs
+// one DiagnoseBatch over --queries round-robin queries — the fleet-serving
+// path.
+
+bist::StumpsConfig DictStumpsConfig(const Flags& flags) {
+  bist::StumpsConfig config = casestudy::PaperStumpsConfig();
+  config.signature_window =
+      static_cast<std::uint32_t>(flags.U64("window", 32));
+  return config;
+}
+
+netlist::Netlist DictCut(const Flags& flags) {
+  auto spec = casestudy::ScaledCutSpec(flags.U64("seed", 3));
+  spec.num_gates = 1500;
+  spec.num_flops = 128;  // the `diagnose` command's CUT, for comparability
+  return netlist::GenerateRandomCircuit(spec);
+}
+
+/// Fail data of faulty sessions for `want` sampled dictionary faults
+/// (pass-sessions and escapes are skipped). Returns (fault index in the
+/// dictionary, fail data) pairs.
+std::vector<std::pair<std::size_t, std::vector<bist::FailDatum>>>
+SampleFailData(const netlist::Netlist& cut, const bist::StumpsConfig& config,
+               const bist::FaultDictionary& dict, std::size_t want) {
+  bist::StumpsSession session(cut, config);
+  const auto faults = dict.Faults();
+  const std::size_t stride = std::max<std::size_t>(1, faults.size() / want);
+  std::vector<std::pair<std::size_t, std::vector<bist::FailDatum>>> out;
+  for (std::size_t f = 0; f < faults.size() && out.size() < want;
+       f += stride) {
+    auto result = session.Run(dict.TotalPatterns(), {}, faults[f]);
+    if (!result.fail_data.empty()) {
+      out.emplace_back(f, std::move(result.fail_data));
+    }
+  }
+  return out;
+}
+
+/// 1-based rank of `injected` in a ranking, or 0 when absent.
+std::size_t RankOf(const std::vector<bist::DiagnosisCandidate>& ranked,
+                   const sim::StuckAtFault& injected) {
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const sim::StuckAtFault& c = ranked[r].fault;
+    if (c.node == injected.node && c.fanin_index == injected.fanin_index &&
+        c.stuck_value == injected.stuck_value) {
+      return r + 1;
+    }
+  }
+  return 0;
+}
+
+int RunDictBuild(const Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr, "dict build requires --out\n");
+    return 2;
+  }
+  const auto cut = DictCut(flags);
+  const auto config = DictStumpsConfig(flags);
+  const std::uint64_t patterns = flags.U64("patterns", 512);
+
+  const auto all_faults = sim::CollapsedFaults(cut);
+  const std::size_t want = std::min<std::size_t>(
+      std::max<std::uint64_t>(1, flags.U64("max-faults", 512)),
+      all_faults.size());
+  const std::size_t stride = std::max<std::size_t>(1, all_faults.size() / want);
+  std::vector<sim::StuckAtFault> faults;
+  for (std::size_t f = 0; f < all_faults.size() && faults.size() < want;
+       f += stride) {
+    faults.push_back(all_faults[f]);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bist::FaultDictionary dict(cut, config, patterns, {}, std::move(faults),
+                             flags.U64("threads", 0),
+                             BlockWidthFlag(flags, 4));
+  const double build_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::string path = flags.Str("out", "cut.fdict");
+  dict.Save(path);
+  std::printf("dict build: %zu faults x %u windows (%llu patterns) in "
+              "%.2f s -> %s\n",
+              dict.FaultCount(), dict.WindowCount(),
+              static_cast<unsigned long long>(dict.TotalPatterns()), build_s,
+              path.c_str());
+  return 0;
+}
+
+int RunDictQuery(const Flags& flags) {
+  if (!flags.Has("in")) {
+    std::fprintf(stderr, "dict query requires --in\n");
+    return 2;
+  }
+  const std::string path = flags.Str("in", "");
+  const bool mapped = flags.Has("mmap");
+
+  const auto t_open = std::chrono::steady_clock::now();
+  auto dict = mapped ? bist::FaultDictionary::Map(path)
+                     : bist::FaultDictionary::Load(path);
+  const double open_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_open)
+          .count();
+
+  const auto cut = DictCut(flags);
+  const auto config = DictStumpsConfig(flags);
+  if (dict.NetlistHash() != cut.ContentHash() ||
+      dict.ConfigHash() != bist::SessionStreamConfigHash(config)) {
+    std::fprintf(stderr,
+                 "%s was built for a different CUT or session config "
+                 "(check --seed/--window)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const auto samples =
+      SampleFailData(cut, config, dict, flags.U64("samples", 30));
+  const std::size_t top_k = flags.U64("top-k", 5);
+  std::size_t top1 = 0, topk = 0;
+  double first_query_s = 0.0;
+  const auto t_q = std::chrono::steady_clock::now();
+  for (std::size_t q = 0; q < samples.size(); ++q) {
+    const auto ranked = dict.Diagnose(samples[q].second, top_k);
+    if (q == 0) {
+      first_query_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t_q)
+                          .count();
+    }
+    const std::size_t rank =
+        RankOf(ranked, dict.Faults()[samples[q].first]);
+    top1 += rank == 1;
+    topk += rank >= 1 && rank <= top_k;
+  }
+  const double query_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_q)
+          .count();
+  std::printf("dict query (%s): open %.3f ms, first query %.3f ms\n",
+              mapped ? "mmap" : "load", 1e3 * open_s, 1e3 * first_query_s);
+  std::printf("%zu queries in %.3f s (%.0f queries/s): top-1 %.0f %%, "
+              "top-%zu %.0f %%\n",
+              samples.size(), query_s,
+              query_s > 0 ? static_cast<double>(samples.size()) / query_s : 0.0,
+              samples.empty() ? 0.0
+                              : 100.0 * static_cast<double>(top1) /
+                                    static_cast<double>(samples.size()),
+              top_k,
+              samples.empty() ? 0.0
+                              : 100.0 * static_cast<double>(topk) /
+                                    static_cast<double>(samples.size()));
+  return 0;
+}
+
+int RunDictServe(const Flags& flags) {
+  if (!flags.Has("in")) {
+    std::fprintf(stderr, "dict serve requires --in\n");
+    return 2;
+  }
+  const std::string path = flags.Str("in", "");
+  const bool mapped = flags.Has("mmap");
+  const std::size_t shards = std::max<std::uint64_t>(1, flags.U64("shards", 4));
+  const std::size_t num_queries =
+      std::max<std::uint64_t>(1, flags.U64("queries", 256));
+  const std::size_t top_k = flags.U64("top-k", 5);
+
+  // One artifact registered under `shards` (ECU, profile) keys — the
+  // fleet-store shape; with --mmap the shards share the kernel page cache.
+  bist::DictionaryStore store;
+  for (std::size_t s = 0; s < shards; ++s) {
+    store.AddFromFile({"ecu-" + std::to_string(s), "p1"}, path, mapped);
+  }
+
+  const auto cut = DictCut(flags);
+  const auto config = DictStumpsConfig(flags);
+  const auto* shard0 = store.Find({"ecu-0", "p1"});
+  if (shard0->NetlistHash() != cut.ContentHash() ||
+      shard0->ConfigHash() != bist::SessionStreamConfigHash(config)) {
+    std::fprintf(stderr,
+                 "%s was built for a different CUT or session config "
+                 "(check --seed/--window)\n",
+                 path.c_str());
+    return 1;
+  }
+  const auto samples =
+      SampleFailData(cut, config, *shard0, flags.U64("samples", 30));
+  if (samples.empty()) {
+    std::fprintf(stderr, "no failing sample sessions — nothing to serve\n");
+    return 1;
+  }
+  std::vector<bist::DictQuery> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back({{"ecu-" + std::to_string(q % shards), "p1"},
+                       samples[q % samples.size()].second});
+  }
+
+  const std::size_t threads = flags.U64("threads", 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = store.DiagnoseBatch(queries, top_k, threads);
+  const double batch_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::size_t top1 = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto& injected =
+        shard0->Faults()[samples[q % samples.size()].first];
+    top1 += RankOf(results[q], injected) == 1;
+  }
+  std::printf("dict serve (%s): %zu shards, %zu queries in %.3f s "
+              "(%.0f queries/s, threads %zu), top-1 %.0f %%\n",
+              mapped ? "mmap" : "load", store.ShardCount(), queries.size(),
+              batch_s,
+              batch_s > 0 ? static_cast<double>(queries.size()) / batch_s
+                          : 0.0,
+              threads,
+              100.0 * static_cast<double>(top1) /
+                  static_cast<double>(queries.size()));
+  return 0;
+}
+
+int RunDict(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string sub = argv[2];
+  const Flags flags = ParseFlags(argc, argv, 3);
+  try {
+    if (sub == "build") return RunDictBuild(flags);
+    if (sub == "query") return RunDictQuery(flags);
+    if (sub == "serve") return RunDictServe(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dict %s: %s\n", sub.c_str(), e.what());
+    return 1;
+  }
+  return Usage();
+}
+
 int RunPlan(const Flags& flags) {
   if (!flags.Has("spec") || !flags.Has("impl")) {
     std::fprintf(stderr, "plan requires --spec and --impl\n");
@@ -424,6 +674,7 @@ int RunPlan(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "dict") return RunDict(argc, argv);
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "explore") return RunExplore(flags);
   if (command == "profiles") return RunProfiles(flags);
