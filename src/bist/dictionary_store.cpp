@@ -1,5 +1,7 @@
 #include "bist/dictionary_store.hpp"
 
+#include <algorithm>
+
 #include "util/thread_pool.hpp"
 
 namespace bistdse::bist {
@@ -12,6 +14,16 @@ void DictionaryStore::AddFromFile(DictShardKey key, const std::string& path,
                                   bool mapped) {
   Add(std::move(key),
       mapped ? FaultDictionary::Map(path) : FaultDictionary::Load(path));
+}
+
+std::vector<DictShardKey> DictionaryStore::Keys() const {
+  std::vector<DictShardKey> keys;
+  keys.reserve(shards_.size());
+  for (const auto& [key, dict] : shards_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const auto& a, const auto& b) {
+    return a.ecu != b.ecu ? a.ecu < b.ecu : a.profile < b.profile;
+  });
+  return keys;
 }
 
 const FaultDictionary* DictionaryStore::Find(const DictShardKey& key) const {

@@ -56,6 +56,10 @@ class DictionaryStore {
 
   std::size_t ShardCount() const { return shards_.size(); }
 
+  /// Every registered shard key, sorted (ecu, profile) for determinism —
+  /// what the serving layer's hot-reload validation iterates.
+  std::vector<DictShardKey> Keys() const;
+
   /// The shard registered under `key`, or nullptr.
   const FaultDictionary* Find(const DictShardKey& key) const;
 

@@ -129,6 +129,17 @@ void NetworkEngine::HandleCompletion(BusIndex bus_index) {
       injector_ != nullptr ? injector_->Judge(is_transport)
                            : FrameFate::Delivered;
   switch (fate) {
+    case FrameFate::Reordered:
+      // The frame reaches the receiver intact, just out of sequence; the
+      // segmented transport reassembles by sequence number, so forwarding
+      // and outcome delivery follow the Delivered path — only the counters
+      // and trace attribute the event.
+      ++stats.frames_reordered;
+      if (trace_ != nullptr && (trace_frames_ || is_transport)) {
+        trace_->Record({now_ms_, TraceEventKind::FrameReordered, bus.name, id,
+                        frame.meta.transfer, frame.meta.seq, ""});
+      }
+      [[fallthrough]];
     case FrameFate::Delivered:
       TraceFrame(TraceEventKind::FrameCompleted, bus_index, id, frame.meta);
       if (frame.hop + 1 < slot.path.size()) {

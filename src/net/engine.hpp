@@ -66,6 +66,7 @@ struct SlotHopStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t frames_corrupted = 0;
+  std::uint64_t frames_reordered = 0;
   double max_response_ms = 0.0;
   double total_response_ms = 0.0;
 };

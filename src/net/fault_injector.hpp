@@ -18,11 +18,14 @@ enum class FrameFate {
   Delivered,
   Dropped,     ///< Frame destroyed on the wire (CRC error + no retransmit).
   Corrupted,   ///< Frame arrives but fails the receiver's integrity check.
+  Reordered,   ///< Frame arrives intact but out of sequence; the receiver's
+               ///< reassembly buffer absorbs it (ISO-TP sequence numbers).
 };
 
 struct FaultInjectorConfig {
   double drop_rate = 0.0;     ///< Probability a completed frame is lost.
   double corrupt_rate = 0.0;  ///< Probability it arrives corrupted instead.
+  double reorder_rate = 0.0;  ///< Probability it arrives out of sequence.
   std::uint64_t seed = 1;
   /// When false, only transport frames (transfer != 0) are judged; the
   /// functional background traffic stays lossless.
@@ -47,18 +50,24 @@ class FaultInjector {
       ++corrupted_;
       return FrameFate::Corrupted;
     }
+    if (u < config_.drop_rate + config_.corrupt_rate + config_.reorder_rate) {
+      ++reordered_;
+      return FrameFate::Reordered;
+    }
     return FrameFate::Delivered;
   }
 
   const FaultInjectorConfig& Config() const { return config_; }
   std::uint64_t TotalDropped() const { return dropped_; }
   std::uint64_t TotalCorrupted() const { return corrupted_; }
+  std::uint64_t TotalReordered() const { return reordered_; }
 
  private:
   FaultInjectorConfig config_;
   util::SplitMix64 rng_;
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t reordered_ = 0;
 };
 
 }  // namespace bistdse::net

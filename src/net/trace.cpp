@@ -13,12 +13,18 @@ const char* ToString(TraceEventKind kind) {
     case TraceEventKind::FrameCompleted: return "frame_completed";
     case TraceEventKind::FrameDropped: return "frame_dropped";
     case TraceEventKind::FrameCorrupted: return "frame_corrupted";
+    case TraceEventKind::FrameReordered: return "frame_reordered";
     case TraceEventKind::GatewayForward: return "gateway_forward";
     case TraceEventKind::TransferStarted: return "transfer_started";
     case TraceEventKind::TransferCompleted: return "transfer_completed";
     case TraceEventKind::TransferFailed: return "transfer_failed";
     case TraceEventKind::Retransmission: return "retransmission";
     case TraceEventKind::FlowControl: return "flow_control";
+    case TraceEventKind::RequestAdmitted: return "request_admitted";
+    case TraceEventKind::RequestRejected: return "request_rejected";
+    case TraceEventKind::RequestAnswered: return "request_answered";
+    case TraceEventKind::BatchDispatched: return "batch_dispatched";
+    case TraceEventKind::DictReload: return "dict_reload";
   }
   return "unknown";
 }

@@ -24,12 +24,19 @@ enum class TraceEventKind {
   FrameCompleted,
   FrameDropped,
   FrameCorrupted,
+  FrameReordered,
   GatewayForward,
   TransferStarted,
   TransferCompleted,
   TransferFailed,
   Retransmission,
   FlowControl,
+  // Diagnosis-server request lifecycle (serve::DiagnosisServer).
+  RequestAdmitted,
+  RequestRejected,
+  RequestAnswered,
+  BatchDispatched,
+  DictReload,
 };
 
 const char* ToString(TraceEventKind kind);

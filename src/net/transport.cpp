@@ -4,6 +4,14 @@
 
 namespace bistdse::net {
 
+std::string FormatTransferAttribution(const TransferStats& stats) {
+  return "retries=" + std::to_string(stats.retransmissions) +
+         " dropped=" + std::to_string(stats.dropped) +
+         " corrupted=" + std::to_string(stats.corrupted) +
+         " reordered=" + std::to_string(stats.reordered) +
+         " timeouts=" + std::to_string(stats.timeouts);
+}
+
 SegmentedTransfer::SegmentedTransfer(std::uint64_t transfer_id,
                                      std::string name,
                                      std::uint64_t total_bytes,
@@ -34,7 +42,8 @@ void SegmentedTransfer::Fail(double now_ms, const std::string& reason) {
   complete_ms_ = now_ms;
   if (trace_ != nullptr) {
     trace_->Record({now_ms, TraceEventKind::TransferFailed, "", 0, id_, 0,
-                    name_ + ": " + reason});
+                    name_ + ": " + reason + " (" +
+                        FormatTransferAttribution(stats_) + ")"});
   }
 }
 
@@ -43,6 +52,7 @@ bool SegmentedTransfer::FillFrame(double now_ms,
                                   FrameMeta& meta) {
   if (!active_ || Finished()) return false;
   if (now_ms - start_ms_ > config_.timeout_ms) {
+    ++stats_.timeouts;
     Fail(now_ms, "transfer timeout");
     return false;
   }
@@ -99,6 +109,11 @@ void SegmentedTransfer::OnOutcome(double now_ms, const FrameMeta& meta,
   in_flight_.erase(it);
 
   switch (fate) {
+    case FrameFate::Reordered:
+      // Arrived intact but out of sequence: the receiver reassembles by
+      // sequence number, so the chunk is acknowledged like a delivery.
+      ++stats_.reordered;
+      [[fallthrough]];
     case FrameFate::Delivered:
       ++stats_.delivered;
       bytes_acked_ += chunk.bytes;
@@ -106,7 +121,9 @@ void SegmentedTransfer::OnOutcome(double now_ms, const FrameMeta& meta,
         complete_ms_ = now_ms;
         if (trace_ != nullptr) {
           trace_->Record({now_ms, TraceEventKind::TransferCompleted, "", 0,
-                          id_, meta.seq, name_});
+                          id_, meta.seq,
+                          name_ + " (" + FormatTransferAttribution(stats_) +
+                              ")"});
         }
       }
       break;

@@ -48,10 +48,18 @@ struct TransferStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;  ///< Delivered out of sequence (reassembled).
   std::uint64_t retransmissions = 0;
   std::uint64_t fc_grants = 0;
+  std::uint64_t timeouts = 0;   ///< Per-transfer deadline expiries (0 or 1).
   std::uint32_t max_retry_burst = 0;  ///< Worst consecutive failures of one chunk.
 };
+
+/// "retries=R dropped=D corrupted=C reordered=O timeouts=T" — the
+/// per-transfer attribution suffix appended to transfer_completed /
+/// transfer_failed trace notes so every server-side upload failure is
+/// explainable from the JSONL trace alone.
+std::string FormatTransferAttribution(const TransferStats& stats);
 
 /// One segmented transfer riding a set of carrier slots. Attach it (directly
 /// or through a SlotClientMux) as the SlotClient of every mirrored slot; the

@@ -1,0 +1,60 @@
+#include "serve/versioned_store.hpp"
+
+#include <stdexcept>
+
+namespace bistdse::serve {
+
+VersionedStore::VersionedStore(bist::DictionaryStore initial)
+    : current_(std::make_shared<Generation>(
+          Generation{0, std::move(initial)})) {}
+
+std::shared_ptr<const Generation> VersionedStore::Acquire() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
+std::uint32_t VersionedStore::Version() const {
+  std::lock_guard lock(mutex_);
+  return current_->version;
+}
+
+std::uint32_t VersionedStore::Reload(bist::DictionaryStore next) {
+  std::lock_guard lock(mutex_);
+  // Wrong-CUT rejection: a rollover may grow a dictionary (ΔN Extend) or
+  // retire/add shards, but a shard key served by both generations must
+  // keep its circuit and session-stream identity.
+  for (const bist::DictShardKey& key : next.Keys()) {
+    const bist::FaultDictionary* serving = current_->store.Find(key);
+    if (serving == nullptr) continue;
+    const bist::FaultDictionary* incoming = next.Find(key);
+    if (incoming->NetlistHash() != serving->NetlistHash() ||
+        incoming->ConfigHash() != serving->ConfigHash()) {
+      ++reload_rejects_;
+      throw std::invalid_argument(
+          "reload rejected: shard (" + key.ecu + ", " + key.profile +
+          ") was built for a different CUT or session config");
+    }
+  }
+  previous_ = current_;
+  current_ = std::make_shared<Generation>(
+      Generation{current_->version + 1, std::move(next)});
+  ++reloads_;
+  return current_->version;
+}
+
+std::uint64_t VersionedStore::Reloads() const {
+  std::lock_guard lock(mutex_);
+  return reloads_;
+}
+
+std::uint64_t VersionedStore::ReloadRejects() const {
+  std::lock_guard lock(mutex_);
+  return reload_rejects_;
+}
+
+bool VersionedStore::PreviousDrained() const {
+  std::lock_guard lock(mutex_);
+  return previous_.expired();
+}
+
+}  // namespace bistdse::serve

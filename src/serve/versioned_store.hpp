@@ -1,0 +1,62 @@
+// Versioned dictionary generations for hot-reload while serving.
+//
+// The server answers queries against whatever generation is current when a
+// batch is dispatched; a rollover atomically publishes a new generation
+// while in-flight batches keep their shared_ptr to the old one and drain
+// against it (the refcount IS the epoch — when the last in-flight batch
+// commits, the old generation's dictionaries unmap). Zero requests are
+// dropped across a rollover, and an artifact built for the wrong CUT or
+// session config is rejected without disturbing the serving generation.
+//
+// Thread-safe: Acquire() and Reload() may race from any number of threads
+// (the reload path of a live server runs off a signal/watcher thread while
+// the serving loop dispatches batches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "bist/dictionary_store.hpp"
+
+namespace bistdse::serve {
+
+/// One immutable published generation of the sharded dictionary store.
+struct Generation {
+  std::uint32_t version = 0;
+  bist::DictionaryStore store;
+};
+
+class VersionedStore {
+ public:
+  explicit VersionedStore(bist::DictionaryStore initial);
+
+  /// The current generation. Hold the returned pointer for the duration of
+  /// a batch: it pins the generation across a concurrent Reload().
+  std::shared_ptr<const Generation> Acquire() const;
+
+  std::uint32_t Version() const;
+
+  /// Atomically publishes `next` as the new serving generation. Every shard
+  /// key that both generations serve must agree on netlist and session
+  /// config hashes — a wrong-CUT artifact throws std::invalid_argument and
+  /// the serving generation is untouched. Returns the new version.
+  std::uint32_t Reload(bist::DictionaryStore next);
+
+  std::uint64_t Reloads() const;
+  std::uint64_t ReloadRejects() const;
+
+  /// True when no in-flight consumer still pins the generation that the
+  /// most recent Reload() replaced — the drain criterion of the rollover
+  /// tests. Trivially true before the first reload.
+  bool PreviousDrained() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Generation> current_;
+  std::weak_ptr<const Generation> previous_;
+  std::uint64_t reloads_ = 0;
+  std::uint64_t reload_rejects_ = 0;
+};
+
+}  // namespace bistdse::serve

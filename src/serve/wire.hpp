@@ -1,0 +1,39 @@
+// Wire codecs of the diagnosis server: the byte layout a field ECU's
+// fail-data upload and the server's top-k ranking reply occupy on the bus.
+//
+// The discrete-event network model carries byte *counts*, not payload bits,
+// so these codecs are what ties the simulated transfers to real content: an
+// upload transfer is sized by EncodeQuery's output and the buffer is decoded
+// when the segmented transport reports intact delivery (corrupted frames
+// never ack — they retransmit — so a completed transfer implies an intact
+// payload). Rankings round-trip bit-exactly: candidate scores travel as
+// raw IEEE-754 bit patterns, which is what makes the end-to-end serve path
+// bit-identical to a direct DictionaryStore::DiagnoseBatch call.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bist/diagnosis.hpp"
+#include "bist/dictionary_store.hpp"
+
+namespace bistdse::serve::wire {
+
+/// Serialized upload: magic "BDSQ", shard key, fail data, FNV-1a checksum.
+std::vector<std::uint8_t> EncodeQuery(const bist::DictQuery& query);
+
+/// Inverse of EncodeQuery. Throws std::runtime_error naming the defect on
+/// truncated, wrong-magic, or checksum-mismatched buffers.
+bist::DictQuery DecodeQuery(std::span<const std::uint8_t> bytes);
+
+/// Serialized reply: magic "BDSR", candidate list (fault identity + score
+/// bit pattern), FNV-1a checksum. An empty ranking is a valid payload.
+std::vector<std::uint8_t> EncodeRanking(
+    std::span<const bist::DiagnosisCandidate> ranking);
+
+/// Inverse of EncodeRanking; same error contract as DecodeQuery.
+std::vector<bist::DiagnosisCandidate> DecodeRanking(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace bistdse::serve::wire

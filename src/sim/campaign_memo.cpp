@@ -19,24 +19,52 @@ std::uint64_t HashFaultList(std::span<const StuckAtFault> faults) {
   return h;
 }
 
+void CampaignMemo::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
 std::shared_ptr<const FirstDetectResult> CampaignMemo::Lookup(
     const FirstDetectKey& key, std::uint64_t max_patterns) {
-  const auto found = cache_.Lookup(key);
-  if (found && (*found)->covered_patterns >= max_patterns) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return *found;
+  {
+    std::lock_guard lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end() &&
+        found->second->result->covered_patterns >= max_patterns) {
+      Touch(found->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return found->second->result;
+    }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
 void CampaignMemo::Store(const FirstDetectKey& key, FirstDetectResult result) {
-  cache_.UpsertIf(
-      key, std::make_shared<const FirstDetectResult>(std::move(result)),
-      [](const std::shared_ptr<const FirstDetectResult>& candidate,
-         const std::shared_ptr<const FirstDetectResult>& stored) {
-        return candidate->covered_patterns > stored->covered_patterns;
-      });
+  std::lock_guard lock(mutex_);
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    // Keep whichever campaign covers the longer prefix (it answers a
+    // superset of requests); the racing shorter result is discarded.
+    if (result.covered_patterns > found->second->result->covered_patterns) {
+      found->second->result =
+          std::make_shared<const FirstDetectResult>(std::move(result));
+    }
+    Touch(found->second);
+    return;
+  }
+  lru_.push_front(
+      {key, std::make_shared<const FirstDetectResult>(std::move(result))});
+  index_.emplace(key, lru_.begin());
+  if (capacity_ != 0 && lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t CampaignMemo::Size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
 }
 
 CampaignStats RunFirstDetectMemoized(CampaignRunner& runner,

@@ -13,12 +13,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/campaign.hpp"
-#include "util/concurrent_memo.hpp"
 
 namespace bistdse::sim {
 
@@ -58,22 +60,36 @@ struct FirstDetectResult {
   std::uint64_t covered_patterns = 0;
 };
 
-/// Concurrency-safe memo of first-detect campaigns, with hit-rate counters.
-/// Values are shared_ptr-held and immutable once stored.
+/// Concurrency-safe memo of first-detect campaigns, with hit-rate counters
+/// and a bounded footprint: when constructed with a capacity, the memo holds
+/// at most that many campaigns and evicts the least-recently-used one past
+/// the bound (a fleet-long DSE sweep touches far more (netlist, stream,
+/// fault-list) keys than are worth keeping resident — recency is the reuse
+/// signal, since re-evaluations cluster around the current frontier).
+/// Values are shared_ptr-held and immutable once stored, so an evicted
+/// result stays valid for any caller still holding it.
 class CampaignMemo {
  public:
+  /// `capacity` = maximum cached campaigns; 0 = unbounded (the pre-existing
+  /// behavior, right for single-session reuse).
+  explicit CampaignMemo(std::size_t capacity = 0) : capacity_(capacity) {}
+
   /// A cached result covering at least `max_patterns`, or nullptr. Counts
-  /// toward Hits()/Misses().
+  /// toward Hits()/Misses(); a covering hit refreshes the entry's recency.
   std::shared_ptr<const FirstDetectResult> Lookup(const FirstDetectKey& key,
                                                   std::uint64_t max_patterns);
 
   /// Stores `result`, keeping whichever of (stored, new) covers the longer
-  /// prefix.
+  /// prefix; either way the entry becomes most-recently-used. May evict the
+  /// LRU entry when the memo is at capacity.
   void Store(const FirstDetectKey& key, FirstDetectResult result);
 
   std::uint64_t Hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t Misses() const {
     return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t Evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
   double HitRate() const {
     const std::uint64_t h = Hits(), m = Misses();
@@ -81,12 +97,25 @@ class CampaignMemo {
                       : static_cast<double>(h) / static_cast<double>(h + m);
   }
 
+  std::size_t Capacity() const { return capacity_; }
+  std::size_t Size() const;
+
  private:
-  util::ConcurrentMemo<FirstDetectKey,
-                       std::shared_ptr<const FirstDetectResult>>
-      cache_;
+  struct Entry {
+    FirstDetectKey key;
+    std::shared_ptr<const FirstDetectResult> result;
+  };
+
+  /// Splices `it` to the MRU (front) position. Caller holds mutex_.
+  void Touch(std::list<Entry>::iterator it);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<FirstDetectKey, std::list<Entry>::iterator> index_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// The canonical memoized first-detect drop campaign: on a memo hit (same

@@ -170,6 +170,91 @@ TEST_F(CampaignMemoTest, LongerCampaignMissesThenReplaces) {
   EXPECT_EQ(memo.Hits(), 2u);
 }
 
+// --- bounded memo: LRU eviction keeps the footprint capped ---------------
+
+sim::FirstDetectKey SyntheticKey(std::uint64_t i) {
+  return {0x1000 + i, 0x2000 + i, 0x3000 + i};
+}
+
+sim::FirstDetectResult SyntheticResult(std::uint64_t covered) {
+  sim::FirstDetectResult result;
+  result.first_detect = {covered / 2};
+  result.covered_patterns = covered;
+  return result;
+}
+
+TEST(CampaignMemoBoundedTest, CapacityOverflowEvictsLeastRecentlyUsed) {
+  sim::CampaignMemo memo(2);
+  EXPECT_EQ(memo.Capacity(), 2u);
+  memo.Store(SyntheticKey(1), SyntheticResult(100));
+  memo.Store(SyntheticKey(2), SyntheticResult(100));
+  EXPECT_EQ(memo.Size(), 2u);
+  EXPECT_EQ(memo.Evictions(), 0u);
+
+  memo.Store(SyntheticKey(3), SyntheticResult(100));
+  EXPECT_EQ(memo.Size(), 2u);  // Bounded: the third entry displaced one.
+  EXPECT_EQ(memo.Evictions(), 1u);
+  EXPECT_EQ(memo.Lookup(SyntheticKey(1), 50), nullptr);  // LRU victim.
+  EXPECT_NE(memo.Lookup(SyntheticKey(2), 50), nullptr);
+  EXPECT_NE(memo.Lookup(SyntheticKey(3), 50), nullptr);
+  EXPECT_EQ(memo.Hits(), 2u);
+  EXPECT_EQ(memo.Misses(), 1u);
+}
+
+TEST(CampaignMemoBoundedTest, CoveringHitRefreshesRecency) {
+  sim::CampaignMemo memo(2);
+  memo.Store(SyntheticKey(1), SyntheticResult(100));
+  memo.Store(SyntheticKey(2), SyntheticResult(100));
+  // Touch key 1: key 2 becomes the LRU entry and is the next victim.
+  EXPECT_NE(memo.Lookup(SyntheticKey(1), 100), nullptr);
+  memo.Store(SyntheticKey(3), SyntheticResult(100));
+  EXPECT_NE(memo.Lookup(SyntheticKey(1), 100), nullptr);
+  EXPECT_EQ(memo.Lookup(SyntheticKey(2), 100), nullptr);
+}
+
+TEST(CampaignMemoBoundedTest, LongerCoverageReplacesUnderBound) {
+  sim::CampaignMemo memo(2);
+  memo.Store(SyntheticKey(1), SyntheticResult(100));
+  // A racing shorter campaign must not clobber the longer cached one...
+  memo.Store(SyntheticKey(1), SyntheticResult(50));
+  EXPECT_NE(memo.Lookup(SyntheticKey(1), 100), nullptr);
+  // ...while a longer one replaces it, still within the same single slot.
+  memo.Store(SyntheticKey(1), SyntheticResult(200));
+  EXPECT_EQ(memo.Size(), 1u);
+  const auto entry = memo.Lookup(SyntheticKey(1), 200);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->covered_patterns, 200u);
+  EXPECT_EQ(memo.Evictions(), 0u);
+}
+
+TEST(CampaignMemoBoundedTest, ZeroCapacityMeansUnbounded) {
+  sim::CampaignMemo memo;  // Default: the single-session shape, no eviction.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    memo.Store(SyntheticKey(i), SyntheticResult(100));
+  }
+  EXPECT_EQ(memo.Size(), 64u);
+  EXPECT_EQ(memo.Evictions(), 0u);
+  // An evicted-free memo still answers everything it ever stored.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(memo.Lookup(SyntheticKey(i), 100), nullptr) << i;
+  }
+}
+
+TEST_F(CampaignMemoTest, BoundedMemoStillServesCampaigns) {
+  // The RunFirstDetectMemoized path over a capacity-1 memo: same exactness
+  // contract as the unbounded memo for the entry that stays resident.
+  sim::CampaignMemo memo(1);
+  const auto reference = RunOnce(512, nullptr);
+  const auto first = RunOnce(512, &memo);
+  sim::CampaignStats stats;
+  const auto second = RunOnce(512, &memo, &stats);
+  EXPECT_EQ(memo.Hits(), 1u);
+  EXPECT_EQ(stats.patterns, 0u);
+  EXPECT_EQ(first, reference);
+  EXPECT_EQ(second, reference);
+  EXPECT_EQ(memo.Size(), 1u);
+}
+
 TEST_F(CampaignMemoTest, ProfileGeneratorsShareTheRandomPhase) {
   sim::CampaignMemo memo;
   ProfileGeneratorConfig config;

@@ -17,6 +17,7 @@
 //   bistdse_cli dict query --in cut.fdict --seed 3 --mmap --samples 20
 //   bistdse_cli dict serve --in cut.fdict --seed 3 --shards 4 --queries 256
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,7 @@
 #include "dse/report.hpp"  // WriteFrontCsv, DescribeImplementation, SummarizeFront
 #include "model/spec_io.hpp"
 #include "net/session_executor.hpp"
+#include "serve/server.hpp"
 
 using namespace bistdse;
 
@@ -113,6 +115,13 @@ int Usage() {
       "           [--top-k K]\n"
       "  dict serve --in FILE --seed N [--window N] [--mmap] [--shards S]\n"
       "           [--queries N] [--samples N] [--top-k K] [--threads K]\n"
+      "           [--max-inflight N] [--frame-loss P] [--corrupt P]\n"
+      "           [--reorder P] [--period MS] [--trace-out FILE]\n"
+      "           [--reload FILE] [--reload-after N]\n"
+      "           (exit 0: all answered; 1: rejected/failed/unanswered\n"
+      "            requests; 2: usage; 3: artifact or trace open error.\n"
+      "            --reload FILE arms SIGHUP-triggered dictionary rollover;\n"
+      "            --reload-after N triggers it after N answered requests)\n"
       "  (--block-width W: W in {1, 2, 4, 8, 16}, validated at parse time)\n"
       "  plan     --spec FILE --impl FILE [--deadline MS]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n");
@@ -394,8 +403,11 @@ int RunStumps(const Flags& flags) {
 // or --mmap zero-copy), regenerates faulty sessions for sampled dictionary
 // faults, and reports diagnosis accuracy plus open/query timing; `dict
 // serve` registers the artifact under --shards (ECU, profile) keys and runs
-// one DiagnoseBatch over --queries round-robin queries — the fleet-serving
-// path.
+// a serve::DiagnosisServer over --queries round-robin requests: each
+// request's fail data travels to the server as a segmented upload over the
+// simulated diagnostic bus (optionally lossy), is diagnosed in batches, and
+// the ranking returns as a segmented reply. SIGHUP (with --reload FILE) or
+// --reload-after N rolls the dictionary generation over while serving.
 
 bist::StumpsConfig DictStumpsConfig(const Flags& flags) {
   bist::StumpsConfig config = casestudy::PaperStumpsConfig();
@@ -544,6 +556,20 @@ int RunDictQuery(const Flags& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_reload_requested = 0;
+void HandleReloadSignal(int) { g_reload_requested = 1; }
+
+/// One artifact registered under `shards` (ECU, profile) keys — the
+/// fleet-store shape; with --mmap the shards share the kernel page cache.
+bist::DictionaryStore LoadShardedStore(const std::string& path,
+                                       std::size_t shards, bool mapped) {
+  bist::DictionaryStore store;
+  for (std::size_t s = 0; s < shards; ++s) {
+    store.AddFromFile({"ecu-" + std::to_string(s), "p1"}, path, mapped);
+  }
+  return store;
+}
+
 int RunDictServe(const Flags& flags) {
   if (!flags.Has("in")) {
     std::fprintf(stderr, "dict serve requires --in\n");
@@ -554,13 +580,13 @@ int RunDictServe(const Flags& flags) {
   const std::size_t shards = std::max<std::uint64_t>(1, flags.U64("shards", 4));
   const std::size_t num_queries =
       std::max<std::uint64_t>(1, flags.U64("queries", 256));
-  const std::size_t top_k = flags.U64("top-k", 5);
 
-  // One artifact registered under `shards` (ECU, profile) keys — the
-  // fleet-store shape; with --mmap the shards share the kernel page cache.
   bist::DictionaryStore store;
-  for (std::size_t s = 0; s < shards; ++s) {
-    store.AddFromFile({"ecu-" + std::to_string(s), "p1"}, path, mapped);
+  try {
+    store = LoadShardedStore(path, shards, mapped);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(), e.what());
+    return 3;
   }
 
   const auto cut = DictCut(flags);
@@ -572,43 +598,133 @@ int RunDictServe(const Flags& flags) {
                  "%s was built for a different CUT or session config "
                  "(check --seed/--window)\n",
                  path.c_str());
-    return 1;
+    return 3;
   }
   const auto samples =
       SampleFailData(cut, config, *shard0, flags.U64("samples", 30));
   if (samples.empty()) {
     std::fprintf(stderr, "no failing sample sessions — nothing to serve\n");
-    return 1;
+    return 3;
   }
-  std::vector<bist::DictQuery> queries;
-  queries.reserve(num_queries);
+  // Copy the injected faults out by value: the store (and with it the
+  // Faults() span) moves into the server, and a rollover retires the
+  // generation it became once the old dictionaries drain.
+  const auto faults = shard0->Faults();
+  std::vector<sim::StuckAtFault> injected(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
-    queries.push_back({{"ecu-" + std::to_string(q % shards), "p1"},
-                       samples[q % samples.size()].second});
+    injected[q] = faults[samples[q % samples.size()].first];
   }
 
-  const std::size_t threads = flags.U64("threads", 0);
+  serve::DiagnosisServerConfig server_config;
+  server_config.top_k = flags.U64("top-k", 5);
+  server_config.threads = flags.U64("threads", 0);
+  server_config.max_inflight = std::max<std::uint64_t>(
+      1, flags.U64("max-inflight", 64));
+  server_config.slot_period_ms = flags.Real("period", 1.0);
+  server_config.faults.drop_rate = flags.Real("frame-loss", 0.0);
+  server_config.faults.corrupt_rate = flags.Real("corrupt", 0.0);
+  server_config.faults.reorder_rate = flags.Real("reorder", 0.0);
+  server_config.faults.seed = flags.U64("seed", 3);
+
+  net::EventTrace trace;
+  const bool want_trace = flags.Has("trace-out");
+  serve::DiagnosisServer server(std::move(store), server_config,
+                                want_trace ? &trace : nullptr);
+
+  // Pace each ECU's offered load to its carrier capacity (with headroom for
+  // retransmissions) so the default run is admission-clean; crank --queries
+  // against a small --max-inflight to exercise busy rejections instead.
+  std::vector<double> next_release(shards, 0.0);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const std::size_t s = q % shards;
+    const std::size_t sample = q % samples.size();
+    bist::DictQuery query{{"ecu-" + std::to_string(s), "p1"},
+                          samples[sample].second};
+    const std::uint64_t id = server.Submit(std::move(query), next_release[s]);
+    const double frames = static_cast<double>(
+        (server.Outcome(id).upload_bytes + server_config.payload_bytes - 1) /
+        server_config.payload_bytes);
+    next_release[s] += 1.25 * frames * server_config.slot_period_ms + 5.0;
+  }
+
+  const std::string reload_path = flags.Str("reload", "");
+  if (!reload_path.empty()) std::signal(SIGHUP, HandleReloadSignal);
+  const std::uint64_t reload_after = flags.U64("reload-after", 0);
+  bool reload_after_armed = reload_after > 0 && !reload_path.empty();
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = store.DiagnoseBatch(queries, top_k, threads);
-  const double batch_s =
+  // Chunked horizon: poll the rollover triggers every 50 simulated ms.
+  while (!server.AllDone()) {
+    const double before_ms = server.NowMs();
+    server.Run(before_ms + 50.0);
+    const bool signaled = g_reload_requested != 0;
+    const bool counted =
+        reload_after_armed && server.Stats().answered >= reload_after;
+    if (signaled || counted) {
+      g_reload_requested = 0;
+      reload_after_armed = false;
+      try {
+        const std::uint32_t version =
+            server.Store().Reload(LoadShardedStore(reload_path, shards, mapped));
+        std::printf("dict serve: rolled over to %s (generation v%u)\n",
+                    reload_path.c_str(), version);
+      } catch (const std::exception& e) {
+        // Non-disruptive by design: the serving generation is untouched.
+        std::fprintf(stderr, "dict serve: reload rejected: %s\n", e.what());
+      }
+    }
+    if (server.NowMs() <= before_ms) break;  // No progress: stuck requests.
+  }
+  const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  const serve::ServerStats& stats = server.Stats();
   std::size_t top1 = 0;
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    const auto& injected =
-        shard0->Faults()[samples[q % samples.size()].first];
-    top1 += RankOf(results[q], injected) == 1;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const auto& outcome = server.Outcome(q);
+    if (outcome.status != serve::RequestStatus::Answered) continue;
+    top1 += RankOf(outcome.ranking, injected[q]) == 1;
   }
-  std::printf("dict serve (%s): %zu shards, %zu queries in %.3f s "
-              "(%.0f queries/s, threads %zu), top-1 %.0f %%\n",
-              mapped ? "mmap" : "load", store.ShardCount(), queries.size(),
-              batch_s,
-              batch_s > 0 ? static_cast<double>(queries.size()) / batch_s
-                          : 0.0,
-              threads,
-              100.0 * static_cast<double>(top1) /
-                  static_cast<double>(queries.size()));
-  return 0;
+  std::printf(
+      "dict serve (%s): %zu shards, %llu/%llu answered over the bus in "
+      "%.1f ms simulated (%.3f s wall, threads %zu, loss %.2f %%), "
+      "top-1 %.0f %%\n",
+      mapped ? "mmap" : "load", shards,
+      static_cast<unsigned long long>(stats.answered),
+      static_cast<unsigned long long>(stats.submitted), server.NowMs(),
+      wall_s, server_config.threads, 100.0 * server_config.faults.drop_rate,
+      stats.answered == 0 ? 0.0
+                          : 100.0 * static_cast<double>(top1) /
+                                static_cast<double>(stats.answered));
+  std::printf(
+      "  rejected busy %llu, upload failures %llu, response failures %llu, "
+      "%llu batches, max in-flight %zu, mean latency %.1f ms, "
+      "generations v%u (%llu reloads, %llu rejected)\n",
+      static_cast<unsigned long long>(stats.rejected_busy),
+      static_cast<unsigned long long>(stats.upload_failures),
+      static_cast<unsigned long long>(stats.response_failures),
+      static_cast<unsigned long long>(stats.batches),
+      stats.max_inflight_observed,
+      stats.answered == 0 ? 0.0
+                          : stats.total_latency_ms /
+                                static_cast<double>(stats.answered),
+      server.Store().Version(),
+      static_cast<unsigned long long>(server.Store().Reloads()),
+      static_cast<unsigned long long>(server.Store().ReloadRejects()));
+
+  if (want_trace) {
+    const std::string trace_path = flags.Str("trace-out", "trace.jsonl");
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 3;
+    }
+    trace.WriteJsonl(out);
+    std::printf("event trace (%zu events) written to %s\n",
+                trace.Events().size(), trace_path.c_str());
+  }
+  return stats.answered == stats.submitted ? 0 : 1;
 }
 
 int RunDict(int argc, char** argv) {
