@@ -1,14 +1,16 @@
 #include "dse/decoder.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace bistdse::dse {
 
 SatDecoder::SatDecoder(const model::Specification& spec,
                        const model::BistAugmentation& augmentation,
-                       bool validate_each_decode)
+                       bool validate_each_decode,
+                       const sat::SolverConfig& solver_config)
     : spec_(spec),
-      problem_(spec, augmentation),
+      problem_(spec, augmentation, solver_config),
       validate_each_decode_(validate_each_decode) {}
 
 std::optional<model::Implementation> SatDecoder::Decode(
@@ -28,7 +30,14 @@ std::optional<model::Implementation> SatDecoder::Decode(
   }
   problem_.SolverRef().SetDecisionPolicy(var_order, phases);
 
-  if (problem_.SolverRef().Solve() != sat::SolveResult::Sat) {
+  const auto solve_start = std::chrono::steady_clock::now();
+  const sat::SolveResult result = problem_.SolverRef().Solve();
+  stats_.decode_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_start)
+          .count();
+  stats_.solver = problem_.SolverRef().Stats();
+  if (result != sat::SolveResult::Sat) {
     ++stats_.infeasible;
     return std::nullopt;
   }

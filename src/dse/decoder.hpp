@@ -14,6 +14,19 @@ struct DecoderStats {
   std::uint64_t decodes = 0;
   std::uint64_t infeasible = 0;
   std::uint64_t validation_failures = 0;
+  /// Wall time spent inside sat::Solver::Solve() across all decodes.
+  double decode_seconds = 0.0;
+  /// Per-phase counters of the underlying solver (search / propagation /
+  /// inprocessing), snapshotted after the latest decode.
+  sat::SolverStats solver;
+
+  void MergeFrom(const DecoderStats& o) {
+    decodes += o.decodes;
+    infeasible += o.infeasible;
+    validation_failures += o.validation_failures;
+    decode_seconds += o.decode_seconds;
+    solver.MergeFrom(o.solver);
+  }
 };
 
 class SatDecoder {
@@ -21,7 +34,8 @@ class SatDecoder {
   /// `spec` and `augmentation` must outlive the decoder.
   SatDecoder(const model::Specification& spec,
              const model::BistAugmentation& augmentation,
-             bool validate_each_decode = false);
+             bool validate_each_decode = false,
+             const sat::SolverConfig& solver_config = {});
 
   /// Genes required per genotype (= number of mapping options).
   std::size_t GenotypeSize() const { return problem_.MappingVars().size(); }

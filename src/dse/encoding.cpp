@@ -12,8 +12,9 @@ using sat::NegLit;
 using sat::Var;
 
 EncodedProblem::EncodedProblem(const model::Specification& spec,
-                               const model::BistAugmentation& augmentation)
-    : spec_(spec) {
+                               const model::BistAugmentation& augmentation,
+                               const sat::SolverConfig& solver_config)
+    : spec_(spec), solver_(solver_config) {
   const ApplicationGraph& app = spec.Application();
   const auto mappings = spec.Mappings();
 

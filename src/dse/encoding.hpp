@@ -27,7 +27,8 @@ class EncodedProblem {
   /// Builds the PB instance for `spec` (must outlive this object).
   /// `augmentation` links each b^T to its b^D for Eq. 3b.
   EncodedProblem(const model::Specification& spec,
-                 const model::BistAugmentation& augmentation);
+                 const model::BistAugmentation& augmentation,
+                 const sat::SolverConfig& solver_config = {});
 
   sat::Solver& SolverRef() { return solver_; }
 

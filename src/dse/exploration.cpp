@@ -53,6 +53,7 @@ EvaluationEngineConfig EngineConfigFrom(const ExplorationConfig& config) {
   engine_config.stages =
       config.stages.empty() ? DefaultStages(config.include_transition_objective)
                             : config.stages;
+  engine_config.solver = config.solver;
   return engine_config;
 }
 

@@ -51,6 +51,9 @@ struct ExplorationConfig {
   /// Explicit objective pipeline; empty derives it from
   /// `include_transition_objective` via DefaultStages().
   StageList stages;
+  /// SAT-decoding core knobs (inprocessing, learned-clause reduction, tail
+  /// decision policy) handed to every decoder session.
+  sat::SolverConfig solver;
 };
 
 struct ExplorationEntry {

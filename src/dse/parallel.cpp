@@ -25,6 +25,7 @@ ParallelResult ExploreParallel(const model::Specification& spec,
   engine_config.threads = base_config.threads;
   engine_config.evaluation = base_config.evaluation;
   engine_config.stages = base_config.stages;
+  engine_config.solver = base_config.solver;
   EvaluationEngine engine(spec, augmentation, engine_config);
 
   // Islands run on the shared executor — the same pool the fault-simulation
@@ -50,10 +51,7 @@ ParallelResult ExploreParallel(const model::Specification& spec,
     merged.evaluations += result.evaluations;
     merged.eval_cache_hits += result.eval_cache_hits;
     merged.island_front_sizes.push_back(result.pareto.size());
-    merged.decoder_stats.decodes += result.decoder_stats.decodes;
-    merged.decoder_stats.infeasible += result.decoder_stats.infeasible;
-    merged.decoder_stats.validation_failures +=
-        result.decoder_stats.validation_failures;
+    merged.decoder_stats.MergeFrom(result.decoder_stats);
     for (const auto& entry : result.pareto) {
       const auto vec = engine.Minimize(entry.objectives);
       if (archive.Offer(vec, store.size())) store.push_back(&entry);

@@ -1,6 +1,7 @@
 #include "dse/routing_encoding.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 
@@ -18,8 +19,9 @@ using sat::Var;
 
 RoutedEncodedProblem::RoutedEncodedProblem(
     const model::Specification& spec,
-    const model::BistAugmentation& augmentation, std::uint32_t max_hops)
-    : spec_(spec), max_hops_(max_hops) {
+    const model::BistAugmentation& augmentation, std::uint32_t max_hops,
+    const sat::SolverConfig& solver_config)
+    : spec_(spec), max_hops_(max_hops), solver_(solver_config) {
   for (std::size_t i = 0; i < spec.Mappings().size(); ++i) {
     mapping_vars_.push_back(solver_.NewVar());
   }
@@ -237,11 +239,13 @@ model::Implementation RoutedEncodedProblem::ImplementationFromModel() const {
 
 RoutedSatDecoder::RoutedSatDecoder(const model::Specification& spec,
                                    const model::BistAugmentation& augmentation,
-                                   std::uint32_t max_hops)
-    : spec_(spec), problem_(spec, augmentation, max_hops) {}
+                                   std::uint32_t max_hops,
+                                   const sat::SolverConfig& solver_config)
+    : spec_(spec), problem_(spec, augmentation, max_hops, solver_config) {}
 
 std::optional<model::Implementation> RoutedSatDecoder::Decode(
     const moea::Genotype& genotype) {
+  ++stats_.decodes;
   if (genotype.Size() != GenotypeSize())
     throw std::invalid_argument("genotype size mismatch");
   const auto order = genotype.DecisionOrder();
@@ -252,7 +256,15 @@ std::optional<model::Implementation> RoutedSatDecoder::Decode(
     phases.push_back(genotype.phases[gene]);
   }
   problem_.SolverRef().SetDecisionPolicy(var_order, phases);
-  if (problem_.SolverRef().Solve() != sat::SolveResult::Sat) {
+  const auto solve_start = std::chrono::steady_clock::now();
+  const sat::SolveResult result = problem_.SolverRef().Solve();
+  stats_.decode_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    solve_start)
+          .count();
+  stats_.solver = problem_.SolverRef().Stats();
+  if (result != sat::SolveResult::Sat) {
+    ++stats_.infeasible;
     return std::nullopt;
   }
   return problem_.ImplementationFromModel();

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "dse/decoder.hpp"
 #include "model/implementation.hpp"
 #include "model/specification.hpp"
 #include "moea/genotype.hpp"
@@ -34,7 +35,8 @@ class RoutedEncodedProblem {
  public:
   RoutedEncodedProblem(const model::Specification& spec,
                        const model::BistAugmentation& augmentation,
-                       std::uint32_t max_hops = 5);
+                       std::uint32_t max_hops = 5,
+                       const sat::SolverConfig& solver_config = {});
 
   sat::Solver& SolverRef() { return solver_; }
   const std::vector<sat::Var>& MappingVars() const { return mapping_vars_; }
@@ -69,16 +71,20 @@ class RoutedSatDecoder {
  public:
   RoutedSatDecoder(const model::Specification& spec,
                    const model::BistAugmentation& augmentation,
-                   std::uint32_t max_hops = 5);
+                   std::uint32_t max_hops = 5,
+                   const sat::SolverConfig& solver_config = {});
 
   std::size_t GenotypeSize() const { return problem_.MappingVars().size(); }
   std::size_t VariableCount() const { return problem_.VariableCount(); }
 
   std::optional<model::Implementation> Decode(const moea::Genotype& genotype);
 
+  const DecoderStats& Stats() const { return stats_; }
+
  private:
   const model::Specification& spec_;
   RoutedEncodedProblem problem_;
+  DecoderStats stats_;
 };
 
 }  // namespace bistdse::dse

@@ -1,0 +1,473 @@
+#include "sat/reference_solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace bistdse::sat::reference {
+
+namespace {
+
+constexpr Lit kNoLit = static_cast<Lit>(-1);
+
+/// Luby restart sequence (MiniSat formulation).
+std::uint64_t Luby(std::uint64_t x) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(Value::Unassigned);
+  levels_.push_back(0);
+  reasons_.push_back({});
+  saved_phase_.push_back(0);
+  trail_pos_.push_back(0);
+  clause_watches_.emplace_back();
+  clause_watches_.emplace_back();
+  pb_occurrences_.emplace_back();
+  pb_occurrences_.emplace_back();
+  return v;
+}
+
+void Solver::Enqueue(Lit l, Reason reason) {
+  const Var v = VarOf(l);
+  assigns_[v] = IsNeg(l) ? Value::False : Value::True;
+  levels_[v] = static_cast<std::uint32_t>(trail_lim_.size());
+  reasons_[v] = reason;
+  trail_pos_[v] = static_cast<std::uint32_t>(trail_.size());
+  trail_.push_back(l);
+}
+
+void Solver::AttachClause(std::uint32_t index) {
+  const Clause& cl = clauses_[index];
+  clause_watches_[cl.lits[0]].push_back(index);
+  clause_watches_[cl.lits[1]].push_back(index);
+}
+
+void Solver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return;
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && VarOf(lits[i]) == VarOf(lits[i + 1]))
+      return;  // l and ~l: tautology
+    const Value val = LitValue(lits[i]);
+    if (val == Value::True && levels_[VarOf(lits[i])] == 0) return;
+    if (val == Value::False && levels_[VarOf(lits[i])] == 0) continue;
+    kept.push_back(lits[i]);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (LitValue(kept[0]) == Value::False) {
+      ok_ = false;
+      return;
+    }
+    if (LitValue(kept[0]) == Value::Unassigned) {
+      Enqueue(kept[0], {Reason::Kind::None, 0});  // root-level fact
+      if (Propagate().kind != Reason::Kind::None) ok_ = false;
+    }
+    return;
+  }
+  const auto index = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back({std::move(kept), false});
+  AttachClause(index);
+}
+
+void Solver::AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
+                     std::int64_t bound) {
+  if (!ok_) return;
+  std::map<Lit, std::int64_t> by_lit;
+  for (const auto& [coef, lit] : terms) {
+    if (coef <= 0) throw std::invalid_argument("PB coefficients must be > 0");
+    by_lit[lit] += coef;
+  }
+  PbConstraint pb;
+  pb.bound = bound;
+  for (auto it = by_lit.begin(); it != by_lit.end(); ++it) {
+    const Lit l = it->first;
+    if (!IsNeg(l)) {
+      auto neg = by_lit.find(Negate(l));
+      if (neg != by_lit.end()) {
+        const std::int64_t both = std::min(it->second, neg->second);
+        it->second -= both;
+        neg->second -= both;
+        pb.bound -= both;  // one of l/~l is always true
+      }
+    }
+  }
+  for (const auto& [lit, coef] : by_lit) {
+    if (coef <= 0) continue;
+    if (LitValue(lit) == Value::True && levels_[VarOf(lit)] == 0) {
+      pb.bound -= coef;
+      continue;
+    }
+    if (LitValue(lit) == Value::False && levels_[VarOf(lit)] == 0) continue;
+    pb.terms.emplace_back(std::min(coef, std::max<std::int64_t>(pb.bound, 1)),
+                          lit);
+  }
+  if (pb.bound <= 0) return;  // trivially satisfied
+  std::int64_t total = 0;
+  for (auto& [coef, lit] : pb.terms) {
+    coef = std::min(coef, pb.bound);
+    total += coef;
+  }
+  pb.slack = total - pb.bound;
+  if (pb.slack < 0) {
+    ok_ = false;
+    return;
+  }
+  const auto index = static_cast<std::uint32_t>(pbs_.size());
+  for (const auto& [coef, lit] : pb.terms) {
+    pb_occurrences_[lit].push_back(index);
+  }
+  const std::int64_t slack = pb.slack;
+  pbs_.push_back(std::move(pb));
+  for (const auto& [coef, lit] : pbs_[index].terms) {
+    if (coef > slack && LitValue(lit) == Value::Unassigned) {
+      Enqueue(lit, {Reason::Kind::None, 0});  // root-level fact
+    }
+  }
+  if (Propagate().kind != Reason::Kind::None) ok_ = false;
+}
+
+void Solver::AddPbLe(std::vector<std::pair<std::int64_t, Lit>> terms,
+                     std::int64_t bound) {
+  std::int64_t total = 0;
+  for (auto& [coef, lit] : terms) {
+    if (coef <= 0) throw std::invalid_argument("PB coefficients must be > 0");
+    total += coef;
+    lit = Negate(lit);
+  }
+  AddPbGe(std::move(terms), total - bound);
+}
+
+void Solver::AddAtMostOne(std::span<const Lit> lits) {
+  if (lits.size() <= 1) return;
+  if (lits.size() <= 5) {
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      for (std::size_t j = i + 1; j < lits.size(); ++j) {
+        AddClause({Negate(lits[i]), Negate(lits[j])});
+      }
+    }
+    return;
+  }
+  std::vector<std::pair<std::int64_t, Lit>> terms;
+  terms.reserve(lits.size());
+  for (Lit l : lits) terms.emplace_back(1, l);
+  AddPbLe(std::move(terms), 1);
+}
+
+void Solver::AddExactlyOne(std::span<const Lit> lits) {
+  AddClause({lits.begin(), lits.end()});
+  AddAtMostOne(lits);
+}
+
+Solver::Reason Solver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    const Lit false_lit = Negate(p);
+
+    // Deliberate fix over the historical code (see header): all of p's PB
+    // slack decrements land before any conflict return, so CancelUntil's
+    // processed-prefix restoration is exact.
+    const auto& pb_occs = pb_occurrences_[false_lit];
+    Reason pb_conflict{Reason::Kind::None, 0};
+    for (const std::uint32_t pi : pb_occs) {
+      PbConstraint& pb = pbs_[pi];
+      for (const auto& [c, l] : pb.terms) {
+        if (l == false_lit) {
+          pb.slack -= c;
+          break;
+        }
+      }
+      if (pb.slack < 0 && pb_conflict.kind == Reason::Kind::None) {
+        pb_conflict = {Reason::Kind::Pb, pi};
+      }
+    }
+    if (pb_conflict.kind != Reason::Kind::None) return pb_conflict;
+    for (const std::uint32_t pi : pb_occs) {
+      PbConstraint& pb = pbs_[pi];
+      for (const auto& [c, l] : pb.terms) {
+        if (c > pb.slack && LitValue(l) == Value::Unassigned) {
+          Enqueue(l, {Reason::Kind::Pb, pi});
+        }
+      }
+    }
+
+    auto& watches = clause_watches_[false_lit];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watches.size(); ++i) {
+      const std::uint32_t ci = watches[i];
+      Clause& cl = clauses_[ci];
+      if (cl.lits[0] == false_lit) std::swap(cl.lits[0], cl.lits[1]);
+      if (LitValue(cl.lits[0]) == Value::True) {
+        watches[keep++] = ci;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < cl.lits.size(); ++k) {
+        if (LitValue(cl.lits[k]) != Value::False) {
+          std::swap(cl.lits[1], cl.lits[k]);
+          clause_watches_[cl.lits[1]].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      watches[keep++] = ci;
+      if (LitValue(cl.lits[0]) == Value::False) {
+        for (std::size_t j = i + 1; j < watches.size(); ++j)
+          watches[keep++] = watches[j];
+        watches.resize(keep);
+        return {Reason::Kind::Clause, ci};
+      }
+      Enqueue(cl.lits[0], {Reason::Kind::Clause, ci});
+    }
+    watches.resize(keep);
+  }
+  return {Reason::Kind::None, 0};
+}
+
+void Solver::CancelUntil(std::uint32_t level) {
+  if (trail_lim_.size() <= level) return;
+  const std::size_t target = trail_lim_[level];
+  while (trail_.size() > target) {
+    // Deliberate fix over the historical code: only literals the propagation
+    // loop processed had their slack contribution subtracted (see header).
+    const bool processed = trail_.size() <= qhead_;
+    const Lit p = trail_.back();
+    trail_.pop_back();
+    const Var v = VarOf(p);
+    saved_phase_[v] = assigns_[v] == Value::True ? 1 : 0;
+    assigns_[v] = Value::Unassigned;
+    reasons_[v] = {Reason::Kind::None, 0};
+    if (!processed) continue;
+    for (const std::uint32_t pi : pb_occurrences_[Negate(p)]) {
+      PbConstraint& pb = pbs_[pi];
+      for (const auto& [c, l] : pb.terms) {
+        if (l == Negate(p)) {
+          pb.slack += c;
+          break;
+        }
+      }
+    }
+  }
+  trail_lim_.resize(level);
+  qhead_ = trail_.size();
+  decision_head_ = 0;
+}
+
+std::vector<Lit> Solver::ReasonLits(Reason reason, Lit implied) const {
+  switch (reason.kind) {
+    case Reason::Kind::Clause:
+      return clauses_[reason.index].lits;
+    case Reason::Kind::Pb: {
+      const PbConstraint& pb = pbs_[reason.index];
+      std::vector<Lit> lits;
+      if (implied != kNoLit) lits.push_back(implied);
+      const std::uint32_t implied_pos =
+          implied == kNoLit ? static_cast<std::uint32_t>(trail_.size())
+                            : trail_pos_[VarOf(implied)];
+      for (const auto& [c, l] : pb.terms) {
+        if (LitValue(l) == Value::False && trail_pos_[VarOf(l)] < implied_pos) {
+          lits.push_back(l);
+        }
+      }
+      return lits;
+    }
+    default:
+      return {};
+  }
+}
+
+void Solver::Analyze(Reason conflict, std::vector<Lit>& learnt,
+                     std::uint32_t& backjump_level) {
+  learnt.assign(1, kNoLit);
+  std::vector<std::uint8_t> seen(assigns_.size(), 0);
+  const auto current_level = static_cast<std::uint32_t>(trail_lim_.size());
+  std::uint32_t counter = 0;
+  Lit p = kNoLit;
+  Reason reason = conflict;
+  std::size_t idx = trail_.size();
+
+  for (;;) {
+    for (const Lit q : ReasonLits(reason, p)) {
+      if (q == p) continue;
+      const Var v = VarOf(q);
+      if (seen[v] || levels_[v] == 0) continue;
+      seen[v] = 1;
+      if (levels_[v] >= current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    while (idx > 0 && !seen[VarOf(trail_[idx - 1])]) --idx;
+    p = trail_[--idx];
+    const Var pv = VarOf(p);
+    seen[pv] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason = reasons_[pv];
+  }
+  learnt[0] = Negate(p);
+
+  for (const Lit q : learnt) seen[VarOf(q)] = 1;
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!LitRedundant(learnt[i], seen)) learnt[keep++] = learnt[i];
+  }
+  learnt.resize(keep);
+
+  backjump_level = 0;
+  std::size_t max_pos = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (levels_[VarOf(learnt[i])] > backjump_level) {
+      backjump_level = levels_[VarOf(learnt[i])];
+      max_pos = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_pos]);
+}
+
+bool Solver::LitRedundant(Lit lit, std::vector<std::uint8_t>& seen) const {
+  const Reason root = reasons_[VarOf(lit)];
+  if (root.kind != Reason::Kind::Clause && root.kind != Reason::Kind::Pb) {
+    return false;
+  }
+  std::vector<Lit> pending{lit};
+  std::vector<Var> marked;
+  std::size_t steps = 0;
+  while (!pending.empty()) {
+    if (++steps > 64) {
+      for (Var v : marked) seen[v] = 0;
+      return false;
+    }
+    const Lit cur = pending.back();
+    pending.pop_back();
+    const Reason reason = reasons_[VarOf(cur)];
+    if (reason.kind != Reason::Kind::Clause && reason.kind != Reason::Kind::Pb) {
+      for (Var v : marked) seen[v] = 0;
+      return false;
+    }
+    for (const Lit q : ReasonLits(reason, Negate(cur))) {
+      if (q == Negate(cur)) continue;
+      const Var v = VarOf(q);
+      if (seen[v] || levels_[v] == 0) continue;
+      seen[v] = 1;
+      marked.push_back(v);
+      pending.push_back(q);
+    }
+  }
+  return true;
+}
+
+void Solver::SetDecisionPolicy(std::span<const Var> order,
+                               std::span<const std::uint8_t> phases) {
+  if (order.size() != phases.size())
+    throw std::invalid_argument("order/phases size mismatch");
+  decision_order_.assign(order.begin(), order.end());
+  decision_phase_.resize(assigns_.size());
+  std::vector<std::uint8_t> in_order(assigns_.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    decision_phase_[order[i]] = phases[i] ? 1 : 0;
+    in_order[order[i]] = 1;
+  }
+  for (Var v = 0; v < assigns_.size(); ++v) {
+    if (!in_order[v]) decision_order_.push_back(v);
+  }
+  decision_head_ = 0;
+}
+
+bool Solver::PickBranch(Lit& decision) {
+  ++stats_.decisions;
+  if (decision_order_.size() != assigns_.size()) {
+    decision_order_.resize(assigns_.size());
+    for (Var v = 0; v < assigns_.size(); ++v) decision_order_[v] = v;
+    decision_phase_.assign(assigns_.size(), 0);
+    decision_head_ = 0;
+  }
+  while (decision_head_ < decision_order_.size()) {
+    const Var v = decision_order_[decision_head_];
+    if (assigns_[v] == Value::Unassigned) {
+      decision = decision_phase_[v] ? PosLit(v) : NegLit(v);
+      return true;
+    }
+    ++decision_head_;
+  }
+  return false;
+}
+
+SolveResult Solver::Solve() {
+  if (!ok_) return SolveResult::Unsat;
+  CancelUntil(0);
+  if (Propagate().kind != Reason::Kind::None) {
+    ok_ = false;
+    return SolveResult::Unsat;
+  }
+
+  std::uint64_t restart_index = 0;
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t restart_budget = 64 * Luby(restart_index);
+
+  for (;;) {
+    const Reason conflict = Propagate();
+    if (conflict.kind != Reason::Kind::None) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SolveResult::Unsat;
+      }
+      std::vector<Lit> learnt;
+      std::uint32_t backjump = 0;
+      Analyze(conflict, learnt, backjump);
+      CancelUntil(backjump);
+      if (learnt.size() == 1) {
+        if (LitValue(learnt[0]) == Value::False) {
+          ok_ = false;
+          return SolveResult::Unsat;
+        }
+        if (LitValue(learnt[0]) == Value::Unassigned) {
+          Enqueue(learnt[0], {Reason::Kind::None, 0});
+        }
+      } else {
+        const auto ci = static_cast<std::uint32_t>(clauses_.size());
+        clauses_.push_back({std::move(learnt), true});
+        AttachClause(ci);
+        ++stats_.learned_clauses;
+        Enqueue(clauses_[ci].lits[0], {Reason::Kind::Clause, ci});
+      }
+      if (conflicts_since_restart >= restart_budget) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_budget = 64 * Luby(++restart_index);
+        CancelUntil(0);
+      }
+      continue;
+    }
+    Lit decision;
+    if (!PickBranch(decision)) return SolveResult::Sat;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    Enqueue(decision, {Reason::Kind::Decision, 0});
+  }
+}
+
+}  // namespace bistdse::sat::reference

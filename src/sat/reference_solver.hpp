@@ -1,0 +1,130 @@
+// Frozen copy of the pre-refactor monolithic CDCL+PB solver, kept verbatim
+// as the oracle for differential fuzzing (tools/sat_fuzz.cpp) against the
+// layered core in sat/solver.hpp. Do not evolve this file alongside the
+// solver — its value is being the old behavior.
+//
+// Two deliberate deviations from the historical code (applied identically to
+// the new Propagator), both fixing the same PB slack invariant — slack must
+// track exactly the processed trail prefix, or later PB conflicts are masked
+// and an invalid model gets through (unusable in an oracle):
+//   1. CancelUntil restores PB slack only for literals the propagation loop
+//      actually processed. The original restored slack for every popped
+//      literal, including enqueued-but-unprocessed ones a conflict stranded.
+//   2. Propagate applies all of a literal's PB slack decrements before any
+//      conflict return (PB pass first, decrements completed even when one of
+//      them conflicts). The original could return from the clause pass or
+//      mid-way through the PB occurrence list, leaving the literal
+//      half-subtracted while counting as processed — found by sat_fuzz.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bistdse::sat::reference {
+
+using Var = std::uint32_t;
+/// Literal encoding: lit = 2*var + (negated ? 1 : 0).
+using Lit = std::uint32_t;
+
+constexpr Lit PosLit(Var v) { return 2 * v; }
+constexpr Lit NegLit(Var v) { return 2 * v + 1; }
+constexpr Var VarOf(Lit l) { return l >> 1; }
+constexpr bool IsNeg(Lit l) { return l & 1; }
+constexpr Lit Negate(Lit l) { return l ^ 1; }
+
+enum class Value : std::uint8_t { False = 0, True = 1, Unassigned = 2 };
+
+enum class SolveResult : std::uint8_t { Sat, Unsat };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+class Solver {
+ public:
+  Var NewVar();
+  std::size_t VarCount() const { return assigns_.size(); }
+
+  void AddClause(std::vector<Lit> lits);
+
+  /// sum coef_i * lit_i >= bound (coefficients must be > 0).
+  void AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
+               std::int64_t bound);
+  /// sum coef_i * lit_i <= bound.
+  void AddPbLe(std::vector<std::pair<std::int64_t, Lit>> terms,
+               std::int64_t bound);
+
+  void AddAtMostOne(std::span<const Lit> lits);
+  void AddExactlyOne(std::span<const Lit> lits);
+
+  void SetDecisionPolicy(std::span<const Var> order,
+                         std::span<const std::uint8_t> phases);
+
+  SolveResult Solve();
+
+  Value ValueOf(Var v) const { return assigns_[v]; }
+  bool IsTrue(Var v) const { return assigns_[v] == Value::True; }
+
+  const SolverStats& Stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+  struct PbConstraint {
+    std::vector<std::pair<std::int64_t, Lit>> terms;  // coef > 0
+    std::int64_t bound = 0;
+    std::int64_t slack = 0;  // sum of coefs of not-false lits minus bound
+  };
+  struct Reason {
+    enum class Kind : std::uint8_t { None, Decision, Clause, Pb } kind =
+        Kind::None;
+    std::uint32_t index = 0;
+  };
+
+  Value LitValue(Lit l) const {
+    const Value v = assigns_[VarOf(l)];
+    if (v == Value::Unassigned) return Value::Unassigned;
+    const bool is_true = (v == Value::True) != IsNeg(l);
+    return is_true ? Value::True : Value::False;
+  }
+
+  void Enqueue(Lit l, Reason reason);
+  Reason Propagate();
+  void CancelUntil(std::uint32_t level);
+  void Analyze(Reason conflict, std::vector<Lit>& learnt,
+               std::uint32_t& backjump_level);
+  std::vector<Lit> ReasonLits(Reason reason, Lit implied) const;
+  bool LitRedundant(Lit lit, std::vector<std::uint8_t>& seen) const;
+  void AttachClause(std::uint32_t index);
+  bool PickBranch(Lit& decision);
+
+  std::vector<Value> assigns_;
+  std::vector<std::uint32_t> levels_;
+  std::vector<Reason> reasons_;
+  std::vector<std::uint8_t> saved_phase_;
+  std::vector<std::uint32_t> trail_pos_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::size_t decision_head_ = 0;
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::uint32_t>> clause_watches_;  // per lit
+  std::vector<PbConstraint> pbs_;
+  std::vector<std::vector<std::uint32_t>> pb_occurrences_;  // per lit
+
+  std::vector<Var> decision_order_;
+  std::vector<std::uint8_t> decision_phase_;
+
+  bool ok_ = true;  // false once a top-level contradiction is found
+  SolverStats stats_;
+};
+
+}  // namespace bistdse::sat::reference

@@ -1,0 +1,360 @@
+#include "sat/searcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bistdse::sat {
+
+namespace {
+
+/// Luby restart sequence (MiniSat formulation).
+std::uint64_t Luby(std::uint64_t x) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+void Searcher::AddVar() {
+  phase_.push_back(0);
+  in_policy_.push_back(0);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(0);
+  seen_.push_back(0);
+  level_seen_.push_back(0);
+}
+
+void Searcher::SetDecisionPolicy(std::span<const Var> order,
+                                 std::span<const std::uint8_t> phases) {
+  if (order.size() != phases.size())
+    throw std::invalid_argument("order/phases size mismatch");
+  order_.assign(order.begin(), order.end());
+  std::fill(in_policy_.begin(), in_policy_.end(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= in_policy_.size())
+      throw std::invalid_argument("decision policy names an unknown variable");
+    phase_[order[i]] = phases[i] ? 1 : 0;
+    in_policy_[order[i]] = 1;
+  }
+  decision_head_ = 0;
+  tail_head_ = 0;
+}
+
+bool Searcher::PickBranch(Lit& decision) {
+  // Pinned policy prefix: the first variable whose equivalence class is
+  // still unassigned decides its representative with the projected phase.
+  while (decision_head_ < order_.size()) {
+    const Var v = order_[decision_head_];
+    const Lit root = db_.Resolve(PosLit(v));
+    if (prop_.ValueOfVar(VarOf(root)) == Value::Unassigned) {
+      decision = phase_[v] ? root : Negate(root);
+      return true;
+    }
+    ++decision_head_;
+  }
+  if (config_.tail_policy == SolverConfig::TailPolicy::kIndexOrder) {
+    // Historical SAT-decoding tail: ascending index, preferred phase false.
+    const auto n = static_cast<Var>(prop_.VarCount());
+    while (tail_head_ < n) {
+      const Var v = tail_head_;
+      if (!in_policy_[v]) {
+        const Lit root = db_.Resolve(NegLit(v));
+        if (prop_.ValueOfVar(VarOf(root)) == Value::Unassigned) {
+          decision = root;
+          return true;
+        }
+      }
+      ++tail_head_;
+    }
+    return false;
+  }
+  // Activity tail: highest-activity unassigned representative, saved phase.
+  while (!heap_.empty()) {
+    const Var v = heap_.front();
+    const Lit root = db_.Resolve(PosLit(v));
+    const Var rv = VarOf(root);
+    if (in_policy_[v] || v != rv ||
+        prop_.ValueOfVar(rv) != Value::Unassigned) {
+      heap_pos_[v] = 0;
+      heap_.front() = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) {
+        heap_pos_[heap_.front()] = 1;
+        HeapSiftDown(0);
+      }
+      continue;
+    }
+    decision = prop_.SavedPhase(rv) ? PosLit(rv) : NegLit(rv);
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t Searcher::ComputeLbd(const std::vector<Lit>& lits) {
+  ++level_stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::uint32_t level = prop_.LevelOf(VarOf(l));
+    if (level_seen_[level] != level_stamp_) {
+      level_seen_[level] = level_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Searcher::Analyze(const Conflict& conflict, std::vector<Lit>& learnt,
+                       std::uint32_t& backjump_level, std::uint32_t& lbd) {
+  learnt.assign(1, kNoLit);
+  ++seen_stamp_;
+  const std::uint32_t current_level = prop_.DecisionLevel();
+  std::uint32_t counter = 0;
+  Lit p = kNoLit;
+  const auto& trail = prop_.Trail();
+  std::size_t idx = trail.size();
+  std::vector<Lit> reason_lits = prop_.ConflictLits(conflict);
+
+  for (;;) {
+    for (const Lit q : reason_lits) {
+      if (q == p) continue;
+      const Var v = VarOf(q);
+      if (Seen(v) || prop_.LevelOf(v) == 0) continue;
+      MarkSeen(v);
+      BumpActivity(v);
+      if (prop_.LevelOf(v) >= current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    while (idx > 0 && !Seen(VarOf(trail[idx - 1]))) --idx;
+    p = trail[--idx];
+    const Var pv = VarOf(p);
+    UnmarkSeen(pv);
+    --counter;
+    if (counter == 0) break;
+    reason_lits = prop_.ReasonLits(prop_.ReasonOf(pv), p);
+  }
+  learnt[0] = Negate(p);
+
+  // Conflict-clause minimization (MiniSat-style): drop literals whose reason
+  // is fully covered by the remaining learnt literals.
+  for (const Lit q : learnt) MarkSeen(VarOf(q));
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!LitRedundant(learnt[i])) learnt[keep++] = learnt[i];
+  }
+  learnt.resize(keep);
+
+  backjump_level = 0;
+  std::size_t max_pos = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (prop_.LevelOf(VarOf(learnt[i])) > backjump_level) {
+      backjump_level = prop_.LevelOf(VarOf(learnt[i]));
+      max_pos = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_pos]);
+  lbd = ComputeLbd(learnt);
+}
+
+bool Searcher::LitRedundant(Lit lit) {
+  // `lit` is redundant if it was implied (non-decision) and every literal of
+  // its reason is already in the learnt clause (seen) or recursively
+  // redundant. Bounded depth keeps worst-case cost negligible.
+  const auto implied_kind = [](Reason::Kind k) {
+    return k == Reason::Kind::Clause || k == Reason::Kind::Binary ||
+           k == Reason::Kind::Pb;
+  };
+  if (!implied_kind(prop_.ReasonOf(VarOf(lit)).kind)) return false;
+  std::vector<Lit> pending{lit};
+  std::vector<Var> marked;  // temporarily marked as known-redundant
+  std::size_t steps = 0;
+  while (!pending.empty()) {
+    if (++steps > 64) {
+      for (Var v : marked) UnmarkSeen(v);
+      return false;
+    }
+    const Lit cur = pending.back();
+    pending.pop_back();
+    const Reason reason = prop_.ReasonOf(VarOf(cur));
+    if (!implied_kind(reason.kind)) {
+      for (Var v : marked) UnmarkSeen(v);
+      return false;
+    }
+    for (const Lit q : prop_.ReasonLits(reason, Negate(cur))) {
+      if (q == Negate(cur)) continue;
+      const Var v = VarOf(q);
+      if (Seen(v) || prop_.LevelOf(v) == 0) continue;
+      MarkSeen(v);
+      marked.push_back(v);
+      pending.push_back(q);
+    }
+  }
+  // Keep the marks: anything proven redundant stays covered for later
+  // literals of the same learnt clause.
+  return true;
+}
+
+void Searcher::ReduceLearned() {
+  struct Entry {
+    std::uint32_t lbd;
+    std::uint32_t size;
+    std::uint32_t index;
+  };
+  std::vector<Entry> candidates;
+  for (std::uint32_t i = 0; i < db_.ClauseCount(); ++i) {
+    const Clause& cl = db_.ClauseAt(i);
+    if (cl.removed || !cl.learned) continue;
+    if (cl.lbd <= 2) continue;  // glue clauses always survive
+    candidates.push_back(
+        {cl.lbd, static_cast<std::uint32_t>(cl.lits.size()), i});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.lbd != b.lbd) return a.lbd > b.lbd;
+              if (a.size != b.size) return a.size > b.size;
+              return a.index > b.index;  // prefer deleting younger clauses
+            });
+  const std::size_t drop = candidates.size() / 2;
+  for (std::size_t i = 0; i < drop; ++i) db_.Remove(candidates[i].index);
+  stats_.reduced_clauses += drop;
+}
+
+void Searcher::CancelUntil(std::uint32_t level) {
+  prop_.CancelUntil(level);
+  decision_head_ = 0;
+  tail_head_ = 0;
+  if (config_.tail_policy == SolverConfig::TailPolicy::kActivity) {
+    for (const Var v : prop_.LastUnassigned()) HeapInsert(v);
+  }
+}
+
+SolveResult Searcher::Search() {
+  if (config_.tail_policy == SolverConfig::TailPolicy::kActivity) {
+    RebuildHeap();
+  }
+  decision_head_ = 0;
+  tail_head_ = 0;
+  std::uint64_t restart_index = 0;
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t restart_budget = 64 * Luby(restart_index);
+
+  for (;;) {
+    const Conflict conflict = prop_.Propagate();
+    if (conflict.IsConflict()) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (prop_.DecisionLevel() == 0) return SolveResult::Unsat;
+      std::vector<Lit> learnt;
+      std::uint32_t backjump = 0;
+      std::uint32_t lbd = 0;
+      Analyze(conflict, learnt, backjump, lbd);
+      CancelUntil(backjump);
+      if (learnt.size() == 1) {
+        if (prop_.LitValue(learnt[0]) == Value::False) {
+          return SolveResult::Unsat;
+        }
+        if (prop_.LitValue(learnt[0]) == Value::Unassigned) {
+          prop_.Enqueue(learnt[0], {Reason::Kind::None, 0});  // root fact
+        }
+      } else if (learnt.size() == 2) {
+        db_.AddBinary(learnt[0], learnt[1]);
+        ++stats_.learned_clauses;
+        prop_.Enqueue(learnt[0],
+                      {Reason::Kind::Binary, Negate(learnt[1])});
+      } else {
+        const std::uint32_t ci = db_.AddLong(std::move(learnt), true, lbd);
+        ++stats_.learned_clauses;
+        prop_.Enqueue(db_.ClauseAt(ci).lits[0], {Reason::Kind::Clause, ci});
+      }
+      DecayActivities();
+      if (conflicts_since_restart >= restart_budget) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_budget = 64 * Luby(++restart_index);
+        CancelUntil(0);
+        if (config_.reduce_learned &&
+            db_.LiveLearnedLong() >= config_.reduce_min_learned) {
+          ReduceLearned();
+        }
+      }
+      continue;
+    }
+    Lit decision;
+    if (!PickBranch(decision)) return SolveResult::Sat;
+    ++stats_.decisions;
+    prop_.PushDecision(decision);
+  }
+}
+
+// --- activity heap ---------------------------------------------------------
+
+void Searcher::HeapInsert(Var v) {
+  if (heap_pos_[v] != 0) return;
+  heap_.push_back(v);
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void Searcher::HeapSiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[heap_[i]]) break;
+    std::swap(heap_[parent], heap_[i]);
+    heap_pos_[heap_[parent]] = static_cast<std::uint32_t>(parent + 1);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i + 1);
+    i = parent;
+  }
+}
+
+void Searcher::HeapSiftDown(std::size_t i) {
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1, right = 2 * i + 2;
+    if (left < heap_.size() &&
+        activity_[heap_[left]] > activity_[heap_[best]])
+      best = left;
+    if (right < heap_.size() &&
+        activity_[heap_[right]] > activity_[heap_[best]])
+      best = right;
+    if (best == i) break;
+    std::swap(heap_[best], heap_[i]);
+    heap_pos_[heap_[best]] = static_cast<std::uint32_t>(best + 1);
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i + 1);
+    i = best;
+  }
+}
+
+void Searcher::BumpActivity(Var v) {
+  activity_[v] += activity_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+  const std::uint32_t pos = heap_pos_[v];
+  if (pos != 0) HeapSiftUp(pos - 1);
+}
+
+void Searcher::DecayActivities() { activity_inc_ /= 0.95; }
+
+void Searcher::RebuildHeap() {
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), 0);
+  for (Var v = 0; v < static_cast<Var>(prop_.VarCount()); ++v) {
+    if (prop_.ValueOfVar(v) == Value::Unassigned && db_.IsRepresentative(v)) {
+      HeapInsert(v);
+    }
+  }
+}
+
+}  // namespace bistdse::sat

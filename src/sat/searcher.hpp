@@ -1,0 +1,87 @@
+// Search loop of the layered SAT core (dawn-style searcher): decisions
+// follow the pinned SAT-decoding policy first (genotype order + phases,
+// projected through the equivalent-literal map), then fall back to the
+// configured tail rule — historical ascending-index/phase-false order, or a
+// VSIDS-style activity heap with phase saving. Luby restarts; 1-UIP clause
+// learning with recursive minimization; LBD-tagged learned clauses reduced
+// at restart boundaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/clause_db.hpp"
+#include "sat/propagator.hpp"
+#include "sat/types.hpp"
+
+namespace bistdse::sat {
+
+class Searcher {
+ public:
+  Searcher(ClauseDb& db, Propagator& prop, SolverStats& stats,
+           const SolverConfig& config)
+      : db_(db), prop_(prop), stats_(stats), config_(config) {}
+
+  void AddVar();
+
+  /// Installs the SAT-decoding branching policy: variables are decided in
+  /// `order` (earlier = higher priority) with the given preferred phase;
+  /// variables missing from `order` fall to the tail rule.
+  void SetDecisionPolicy(std::span<const Var> order,
+                         std::span<const std::uint8_t> phases);
+
+  /// Runs the CDCL loop from the current root state until a model is found
+  /// or the instance is refuted. The caller must have propagated the root
+  /// level conflict-free.
+  SolveResult Search();
+
+ private:
+  bool PickBranch(Lit& decision);
+  /// 1-UIP analysis; fills the learnt clause (asserting literal first, a
+  /// highest-level literal second) and the backjump level; tags the LBD.
+  void Analyze(const Conflict& conflict, std::vector<Lit>& learnt,
+               std::uint32_t& backjump_level, std::uint32_t& lbd);
+  bool LitRedundant(Lit lit);
+  std::uint32_t ComputeLbd(const std::vector<Lit>& lits);
+  /// Deletes the worst half of the live learned long clauses by (LBD, size);
+  /// glue clauses (LBD <= 2) survive. Runs at decision level 0 only, where
+  /// no learned clause can be a live reason.
+  void ReduceLearned();
+  void CancelUntil(std::uint32_t level);
+
+  bool Seen(Var v) const { return seen_[v] == seen_stamp_; }
+  void MarkSeen(Var v) { seen_[v] = seen_stamp_; }
+  void UnmarkSeen(Var v) { seen_[v] = 0; }
+
+  // --- activity heap (VSIDS) ---------------------------------------------
+  void HeapInsert(Var v);
+  void HeapSiftUp(std::size_t i);
+  void HeapSiftDown(std::size_t i);
+  void BumpActivity(Var v);
+  void DecayActivities();
+  void RebuildHeap();
+
+  ClauseDb& db_;
+  Propagator& prop_;
+  SolverStats& stats_;
+  const SolverConfig& config_;
+
+  std::vector<Var> order_;            // pinned policy prefix
+  std::vector<std::uint8_t> phase_;   // per var, valid for policy vars
+  std::vector<std::uint8_t> in_policy_;
+  std::size_t decision_head_ = 0;
+  Var tail_head_ = 0;
+
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> heap_pos_;  // var -> heap index + 1 (0 = absent)
+
+  std::vector<std::uint32_t> seen_;
+  std::uint32_t seen_stamp_ = 0;
+  std::vector<std::uint32_t> level_seen_;
+  std::uint32_t level_stamp_ = 0;
+};
+
+}  // namespace bistdse::sat

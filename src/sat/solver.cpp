@@ -3,61 +3,31 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 namespace bistdse::sat {
 
-namespace {
-
-constexpr Lit kNoLit = static_cast<Lit>(-1);
-
-/// Luby restart sequence (MiniSat formulation).
-std::uint64_t Luby(std::uint64_t x) {
-  std::uint64_t size = 1, seq = 0;
-  while (size < x + 1) {
-    ++seq;
-    size = 2 * size + 1;
-  }
-  while (size - 1 != x) {
-    size = (size - 1) / 2;
-    --seq;
-    x %= size;
-  }
-  return std::uint64_t{1} << seq;
-}
-
-}  // namespace
-
 Var Solver::NewVar() {
-  const Var v = static_cast<Var>(assigns_.size());
-  assigns_.push_back(Value::Unassigned);
-  levels_.push_back(0);
-  reasons_.push_back({});
-  saved_phase_.push_back(0);
-  trail_pos_.push_back(0);
-  clause_watches_.emplace_back();
-  clause_watches_.emplace_back();
-  pb_occurrences_.emplace_back();
-  pb_occurrences_.emplace_back();
+  const Var v = static_cast<Var>(prop_.VarCount());
+  db_.AddVar();
+  prop_.AddVar();
+  searcher_.AddVar();
   return v;
 }
 
-void Solver::Enqueue(Lit l, Reason reason) {
-  const Var v = VarOf(l);
-  assigns_[v] = IsNeg(l) ? Value::False : Value::True;
-  levels_[v] = static_cast<std::uint32_t>(trail_lim_.size());
-  reasons_[v] = reason;
-  trail_pos_[v] = static_cast<std::uint32_t>(trail_.size());
-  trail_.push_back(l);
-}
-
-void Solver::AttachClause(std::uint32_t index) {
-  const Clause& cl = clauses_[index];
-  clause_watches_[cl.lits[0]].push_back(index);
-  clause_watches_[cl.lits[1]].push_back(index);
+void Solver::AssertRootFact(Lit l) {
+  prop_.Enqueue(l, {Reason::Kind::None, 0});
+  if (prop_.Propagate().IsConflict()) ok_ = false;
 }
 
 void Solver::AddClause(std::vector<Lit> lits) {
   if (!ok_) return;
+  // Constraints are only sound to ingest at the root: assignments left over
+  // from a previous Solve() would otherwise be mistaken for root facts.
+  prop_.CancelUntil(0);
+  // Constraints added after inprocessing merged variables must be expressed
+  // over representatives, or they would never propagate.
+  for (Lit& l : lits) l = db_.Resolve(l);
   // Deduplicate and detect tautologies / satisfied-at-root clauses.
   std::sort(lits.begin(), lits.end());
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
@@ -65,9 +35,9 @@ void Solver::AddClause(std::vector<Lit> lits) {
   for (std::size_t i = 0; i < lits.size(); ++i) {
     if (i + 1 < lits.size() && VarOf(lits[i]) == VarOf(lits[i + 1]))
       return;  // l and ~l: tautology
-    const Value val = LitValue(lits[i]);
-    if (val == Value::True && levels_[VarOf(lits[i])] == 0) return;
-    if (val == Value::False && levels_[VarOf(lits[i])] == 0) continue;
+    const Value val = prop_.LitValue(lits[i]);
+    if (val == Value::True && prop_.LevelOf(VarOf(lits[i])) == 0) return;
+    if (val == Value::False && prop_.LevelOf(VarOf(lits[i])) == 0) continue;
     kept.push_back(lits[i]);
   }
   if (kept.empty()) {
@@ -75,29 +45,43 @@ void Solver::AddClause(std::vector<Lit> lits) {
     return;
   }
   if (kept.size() == 1) {
-    if (LitValue(kept[0]) == Value::False) {
+    if (prop_.LitValue(kept[0]) == Value::False) {
       ok_ = false;
       return;
     }
-    if (LitValue(kept[0]) == Value::Unassigned) {
-      Enqueue(kept[0], {Reason::Kind::None, 0});  // root-level fact
-      if (Propagate().kind != Reason::Kind::None) ok_ = false;
+    if (prop_.LitValue(kept[0]) == Value::Unassigned) {
+      AssertRootFact(kept[0]);
     }
     return;
   }
-  const auto index = static_cast<std::uint32_t>(clauses_.size());
-  clauses_.push_back({std::move(kept), false});
-  AttachClause(index);
+  if (kept.size() == 2) {
+    db_.AddBinary(kept[0], kept[1]);
+    return;
+  }
+  db_.AddLong(std::move(kept), false, 0);
 }
 
 void Solver::AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
                      std::int64_t bound) {
   if (!ok_) return;
+  prop_.CancelUntil(0);  // see AddClause: ingest constraints at root only
   // Merge duplicate literals and opposite-polarity pairs.
   std::map<Lit, std::int64_t> by_lit;
+  std::int64_t coef_sum = 0;
   for (const auto& [coef, lit] : terms) {
-    if (coef <= 0) throw std::invalid_argument("PB coefficients must be > 0");
-    by_lit[lit] += coef;
+    if (coef <= 0) {
+      throw std::invalid_argument("PB coefficients must be > 0, got " +
+                                  std::to_string(coef));
+    }
+    if (__builtin_add_overflow(coef_sum, coef, &coef_sum)) {
+      throw std::overflow_error("PB coefficient sum overflows int64");
+    }
+    by_lit[db_.Resolve(lit)] += coef;
+  }
+  if (by_lit.empty()) {
+    // No terms: the constraint reads 0 >= bound.
+    if (bound > 0) ok_ = false;
+    return;
   }
   PbConstraint pb;
   pb.bound = bound;
@@ -116,11 +100,12 @@ void Solver::AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
   for (const auto& [lit, coef] : by_lit) {
     if (coef <= 0) continue;
     // Literals true at root always contribute; fold them into the bound.
-    if (LitValue(lit) == Value::True && levels_[VarOf(lit)] == 0) {
+    if (prop_.LitValue(lit) == Value::True && prop_.LevelOf(VarOf(lit)) == 0) {
       pb.bound -= coef;
       continue;
     }
-    if (LitValue(lit) == Value::False && levels_[VarOf(lit)] == 0) continue;
+    if (prop_.LitValue(lit) == Value::False && prop_.LevelOf(VarOf(lit)) == 0)
+      continue;
     pb.terms.emplace_back(std::min(coef, std::max<std::int64_t>(pb.bound, 1)),
                           lit);
   }
@@ -133,33 +118,38 @@ void Solver::AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
   }
   pb.slack = total - pb.bound;
   if (pb.slack < 0) {
-    ok_ = false;
+    ok_ = false;  // bound unreachable even with every literal true
     return;
   }
-  const auto index = static_cast<std::uint32_t>(pbs_.size());
-  for (const auto& [coef, lit] : pb.terms) {
-    pb_occurrences_[lit].push_back(index);
-  }
   const std::int64_t slack = pb.slack;
-  pbs_.push_back(std::move(pb));
+  const std::uint32_t index = db_.AddPb(std::move(pb));
   // Root-level propagation.
-  for (const auto& [coef, lit] : pbs_[index].terms) {
-    if (coef > slack && LitValue(lit) == Value::Unassigned) {
-      Enqueue(lit, {Reason::Kind::None, 0});  // root-level fact
+  for (const auto& [coef, lit] : db_.PbAt(index).terms) {
+    if (coef > slack && prop_.LitValue(lit) == Value::Unassigned) {
+      prop_.Enqueue(lit, {Reason::Kind::None, 0});  // root-level fact
     }
   }
-  if (Propagate().kind != Reason::Kind::None) ok_ = false;
+  if (prop_.Propagate().IsConflict()) ok_ = false;
 }
 
 void Solver::AddPbLe(std::vector<std::pair<std::int64_t, Lit>> terms,
                      std::int64_t bound) {
   std::int64_t total = 0;
   for (auto& [coef, lit] : terms) {
-    if (coef <= 0) throw std::invalid_argument("PB coefficients must be > 0");
-    total += coef;
+    if (coef <= 0) {
+      throw std::invalid_argument("PB coefficients must be > 0, got " +
+                                  std::to_string(coef));
+    }
+    if (__builtin_add_overflow(total, coef, &total)) {
+      throw std::overflow_error("PB coefficient sum overflows int64");
+    }
     lit = Negate(lit);
   }
-  AddPbGe(std::move(terms), total - bound);
+  std::int64_t ge_bound = 0;
+  if (__builtin_sub_overflow(total, bound, &ge_bound)) {
+    throw std::overflow_error("PB bound overflows int64 after normalization");
+  }
+  AddPbGe(std::move(terms), ge_bound);
 }
 
 void Solver::AddAtMostOne(std::span<const Lit> lits) {
@@ -183,296 +173,33 @@ void Solver::AddExactlyOne(std::span<const Lit> lits) {
   AddAtMostOne(lits);
 }
 
-Solver::Reason Solver::Propagate() {
-  while (qhead_ < trail_.size()) {
-    const Lit p = trail_[qhead_++];
-    ++stats_.propagations;
-    const Lit false_lit = Negate(p);
-
-    // --- two-watched-literal clause propagation -------------------------
-    auto& watches = clause_watches_[false_lit];
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < watches.size(); ++i) {
-      const std::uint32_t ci = watches[i];
-      Clause& cl = clauses_[ci];
-      if (cl.lits[0] == false_lit) std::swap(cl.lits[0], cl.lits[1]);
-      if (LitValue(cl.lits[0]) == Value::True) {
-        watches[keep++] = ci;
-        continue;
-      }
-      bool moved = false;
-      for (std::size_t k = 2; k < cl.lits.size(); ++k) {
-        if (LitValue(cl.lits[k]) != Value::False) {
-          std::swap(cl.lits[1], cl.lits[k]);
-          clause_watches_[cl.lits[1]].push_back(ci);
-          moved = true;
-          break;
-        }
-      }
-      if (moved) continue;
-      // Unit or conflict on cl.lits[0].
-      watches[keep++] = ci;
-      if (LitValue(cl.lits[0]) == Value::False) {
-        for (std::size_t j = i + 1; j < watches.size(); ++j)
-          watches[keep++] = watches[j];
-        watches.resize(keep);
-        return {Reason::Kind::Clause, ci};
-      }
-      Enqueue(cl.lits[0], {Reason::Kind::Clause, ci});
-    }
-    watches.resize(keep);
-
-    // --- PB counter propagation -----------------------------------------
-    for (const std::uint32_t pi : pb_occurrences_[false_lit]) {
-      PbConstraint& pb = pbs_[pi];
-      std::int64_t coef = 0;
-      for (const auto& [c, l] : pb.terms) {
-        if (l == false_lit) {
-          coef = c;
-          break;
-        }
-      }
-      pb.slack -= coef;
-      if (pb.slack < 0) return {Reason::Kind::Pb, pi};
-      for (const auto& [c, l] : pb.terms) {
-        if (c > pb.slack && LitValue(l) == Value::Unassigned) {
-          Enqueue(l, {Reason::Kind::Pb, pi});
-        }
-      }
-    }
-  }
-  return {Reason::Kind::None, 0};
-}
-
-void Solver::CancelUntil(std::uint32_t level) {
-  if (trail_lim_.size() <= level) return;
-  const std::size_t target = trail_lim_[level];
-  while (trail_.size() > target) {
-    const Lit p = trail_.back();
-    trail_.pop_back();
-    const Var v = VarOf(p);
-    saved_phase_[v] = assigns_[v] == Value::True ? 1 : 0;
-    assigns_[v] = Value::Unassigned;
-    reasons_[v] = {Reason::Kind::None, 0};
-    for (const std::uint32_t pi : pb_occurrences_[Negate(p)]) {
-      PbConstraint& pb = pbs_[pi];
-      for (const auto& [c, l] : pb.terms) {
-        if (l == Negate(p)) {
-          pb.slack += c;
-          break;
-        }
-      }
-    }
-  }
-  trail_lim_.resize(level);
-  qhead_ = trail_.size();
-  decision_head_ = 0;
-}
-
-std::vector<Lit> Solver::ReasonLits(Reason reason, Lit implied) const {
-  switch (reason.kind) {
-    case Reason::Kind::Clause:
-      return clauses_[reason.index].lits;
-    case Reason::Kind::Pb: {
-      // Clause certificate: implied literal (if any) or'ed with every term
-      // literal that was false before the implication.
-      const PbConstraint& pb = pbs_[reason.index];
-      std::vector<Lit> lits;
-      if (implied != kNoLit) lits.push_back(implied);
-      const std::uint32_t implied_pos =
-          implied == kNoLit ? static_cast<std::uint32_t>(trail_.size())
-                            : trail_pos_[VarOf(implied)];
-      for (const auto& [c, l] : pb.terms) {
-        if (LitValue(l) == Value::False && trail_pos_[VarOf(l)] < implied_pos) {
-          lits.push_back(l);
-        }
-      }
-      return lits;
-    }
-    default:
-      return {};
-  }
-}
-
-void Solver::Analyze(Reason conflict, std::vector<Lit>& learnt,
-                     std::uint32_t& backjump_level) {
-  learnt.assign(1, kNoLit);
-  std::vector<std::uint8_t> seen(assigns_.size(), 0);
-  const auto current_level = static_cast<std::uint32_t>(trail_lim_.size());
-  std::uint32_t counter = 0;
-  Lit p = kNoLit;
-  Reason reason = conflict;
-  std::size_t idx = trail_.size();
-
-  for (;;) {
-    for (const Lit q : ReasonLits(reason, p)) {
-      if (q == p) continue;
-      const Var v = VarOf(q);
-      if (seen[v] || levels_[v] == 0) continue;
-      seen[v] = 1;
-      if (levels_[v] >= current_level) {
-        ++counter;
-      } else {
-        learnt.push_back(q);
-      }
-    }
-    while (idx > 0 && !seen[VarOf(trail_[idx - 1])]) --idx;
-    p = trail_[--idx];
-    const Var pv = VarOf(p);
-    seen[pv] = 0;
-    --counter;
-    if (counter == 0) break;
-    reason = reasons_[pv];
-  }
-  learnt[0] = Negate(p);
-
-  // Conflict-clause minimization (MiniSat-style): drop literals whose reason
-  // is fully covered by the remaining learnt literals.
-  for (const Lit q : learnt) seen[VarOf(q)] = 1;
-  std::size_t keep = 1;
-  for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (!LitRedundant(learnt[i], seen)) learnt[keep++] = learnt[i];
-  }
-  learnt.resize(keep);
-
-  backjump_level = 0;
-  std::size_t max_pos = 1;
-  for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (levels_[VarOf(learnt[i])] > backjump_level) {
-      backjump_level = levels_[VarOf(learnt[i])];
-      max_pos = i;
-    }
-  }
-  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_pos]);
-}
-
-bool Solver::LitRedundant(Lit lit, std::vector<std::uint8_t>& seen) const {
-  // `lit` is redundant if it was implied (non-decision) and every literal of
-  // its reason is already in the learnt clause (seen) or recursively
-  // redundant. Bounded depth keeps worst-case cost negligible.
-  const Reason root = reasons_[VarOf(lit)];
-  if (root.kind != Reason::Kind::Clause && root.kind != Reason::Kind::Pb) {
-    return false;
-  }
-  std::vector<Lit> pending{lit};
-  std::vector<Var> marked;  // temporarily marked as known-redundant
-  std::size_t steps = 0;
-  while (!pending.empty()) {
-    if (++steps > 64) {
-      for (Var v : marked) seen[v] = 0;
-      return false;
-    }
-    const Lit cur = pending.back();
-    pending.pop_back();
-    const Reason reason = reasons_[VarOf(cur)];
-    if (reason.kind != Reason::Kind::Clause && reason.kind != Reason::Kind::Pb) {
-      for (Var v : marked) seen[v] = 0;
-      return false;
-    }
-    for (const Lit q : ReasonLits(reason, Negate(cur))) {
-      if (q == Negate(cur)) continue;
-      const Var v = VarOf(q);
-      if (seen[v] || levels_[v] == 0) continue;
-      seen[v] = 1;
-      marked.push_back(v);
-      pending.push_back(q);
-    }
-  }
-  // Keep the marks: anything proven redundant stays covered for later
-  // literals of the same learnt clause.
-  return true;
-}
-
 void Solver::SetDecisionPolicy(std::span<const Var> order,
                                std::span<const std::uint8_t> phases) {
-  if (order.size() != phases.size())
-    throw std::invalid_argument("order/phases size mismatch");
-  decision_order_.assign(order.begin(), order.end());
-  decision_phase_.resize(assigns_.size());
-  std::vector<std::uint8_t> in_order(assigns_.size(), 0);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    decision_phase_[order[i]] = phases[i] ? 1 : 0;
-    in_order[order[i]] = 1;
-  }
-  for (Var v = 0; v < assigns_.size(); ++v) {
-    if (!in_order[v]) decision_order_.push_back(v);
-  }
-  decision_head_ = 0;
-}
-
-bool Solver::PickBranch(Lit& decision) {
-  ++stats_.decisions;
-  if (decision_order_.size() != assigns_.size()) {
-    // No policy installed: ascending variable order, saved phase.
-    decision_order_.resize(assigns_.size());
-    for (Var v = 0; v < assigns_.size(); ++v) decision_order_[v] = v;
-    decision_phase_.assign(assigns_.size(), 0);
-    decision_head_ = 0;
-  }
-  while (decision_head_ < decision_order_.size()) {
-    const Var v = decision_order_[decision_head_];
-    if (assigns_[v] == Value::Unassigned) {
-      decision = decision_phase_[v] ? PosLit(v) : NegLit(v);
-      return true;
-    }
-    ++decision_head_;
-  }
-  return false;
+  searcher_.SetDecisionPolicy(order, phases);
 }
 
 SolveResult Solver::Solve() {
+  ++stats_.solves;
   if (!ok_) return SolveResult::Unsat;
-  CancelUntil(0);
-  if (Propagate().kind != Reason::Kind::None) {
+  prop_.CancelUntil(0);
+  if (prop_.Propagate().IsConflict()) {
     ok_ = false;
     return SolveResult::Unsat;
   }
-
-  std::uint64_t restart_index = 0;
-  std::uint64_t conflicts_since_restart = 0;
-  std::uint64_t restart_budget = 64 * Luby(restart_index);
-
-  for (;;) {
-    const Reason conflict = Propagate();
-    if (conflict.kind != Reason::Kind::None) {
-      ++stats_.conflicts;
-      ++conflicts_since_restart;
-      if (trail_lim_.empty()) {
-        ok_ = false;
-        return SolveResult::Unsat;
-      }
-      std::vector<Lit> learnt;
-      std::uint32_t backjump = 0;
-      Analyze(conflict, learnt, backjump);
-      CancelUntil(backjump);
-      if (learnt.size() == 1) {
-        if (LitValue(learnt[0]) == Value::False) {
-          ok_ = false;
-          return SolveResult::Unsat;
-        }
-        if (LitValue(learnt[0]) == Value::Unassigned) {
-          Enqueue(learnt[0], {Reason::Kind::None, 0});
-        }
-      } else {
-        const auto ci = static_cast<std::uint32_t>(clauses_.size());
-        clauses_.push_back({std::move(learnt), true});
-        AttachClause(ci);
-        ++stats_.learned_clauses;
-        Enqueue(clauses_[ci].lits[0], {Reason::Kind::Clause, ci});
-      }
-      if (conflicts_since_restart >= restart_budget) {
-        ++stats_.restarts;
-        conflicts_since_restart = 0;
-        restart_budget = 64 * Luby(++restart_index);
-        CancelUntil(0);
-      }
-      continue;
+  if (config_.inprocess &&
+      (!inprocessed_once_ ||
+       stats_.conflicts - conflicts_at_last_inprocess_ >=
+           config_.inprocess_conflict_interval)) {
+    inprocessed_once_ = true;
+    if (!inprocessor_.Run()) {
+      ok_ = false;
+      return SolveResult::Unsat;
     }
-    Lit decision;
-    if (!PickBranch(decision)) return SolveResult::Sat;
-    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
-    Enqueue(decision, {Reason::Kind::Decision, 0});
+    conflicts_at_last_inprocess_ = stats_.conflicts;
   }
+  const SolveResult result = searcher_.Search();
+  if (result == SolveResult::Unsat) ok_ = false;
+  return result;
 }
 
 }  // namespace bistdse::sat

@@ -3,9 +3,17 @@
 // This is the feasibility core of SAT-decoding (Lukasiewycz et al., [17] of
 // the paper): the MOEA genotype supplies a branching *order* and *phase* per
 // variable; the solver completes it to a feasible assignment via unit
-// propagation, PB counter propagation, 1-UIP clause learning and
-// non-chronological backtracking. Re-solving the same instance with a
-// different decision policy is cheap: learned clauses persist across calls.
+// propagation, binary-implication propagation, PB counter propagation, 1-UIP
+// clause learning and non-chronological backtracking. Re-solving the same
+// instance with a different decision policy is cheap: learned clauses
+// persist across calls, and root-level inprocessing (failed-literal probing,
+// equivalent-literal elimination, subsumption) amortizes across the many
+// decodes of one exploration.
+//
+// The class is a thin facade over the layered core (ClauseDb / Propagator /
+// Searcher / Inprocessor — see sat/types.hpp for the layering map); the
+// public surface is unchanged from the historical monolithic solver except
+// for the optional SolverConfig constructor argument.
 //
 // PB constraints are normalized to  sum_i a_i * lit_i >= bound  with a_i > 0;
 // AtMostOne/AtLeastOne/ExactlyOne helpers build on clauses + PB.
@@ -15,40 +23,31 @@
 #include <span>
 #include <vector>
 
+#include "sat/clause_db.hpp"
+#include "sat/inprocess.hpp"
+#include "sat/propagator.hpp"
+#include "sat/searcher.hpp"
+#include "sat/types.hpp"
+
 namespace bistdse::sat {
-
-using Var = std::uint32_t;
-/// Literal encoding: lit = 2*var + (negated ? 1 : 0).
-using Lit = std::uint32_t;
-
-constexpr Lit PosLit(Var v) { return 2 * v; }
-constexpr Lit NegLit(Var v) { return 2 * v + 1; }
-constexpr Var VarOf(Lit l) { return l >> 1; }
-constexpr bool IsNeg(Lit l) { return l & 1; }
-constexpr Lit Negate(Lit l) { return l ^ 1; }
-
-enum class Value : std::uint8_t { False = 0, True = 1, Unassigned = 2 };
-
-enum class SolveResult : std::uint8_t { Sat, Unsat };
-
-struct SolverStats {
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learned_clauses = 0;
-};
 
 class Solver {
  public:
+  Solver() = default;
+  explicit Solver(const SolverConfig& config) : config_(config) {}
+
+  const SolverConfig& Config() const { return config_; }
+
   Var NewVar();
-  std::size_t VarCount() const { return assigns_.size(); }
+  std::size_t VarCount() const { return prop_.VarCount(); }
 
   /// Adds a disjunction (at least one literal true). An empty clause makes
   /// the instance trivially unsatisfiable.
   void AddClause(std::vector<Lit> lits);
 
-  /// sum coef_i * lit_i >= bound (coefficients must be > 0).
+  /// sum coef_i * lit_i >= bound (coefficients must be > 0; throws
+  /// std::invalid_argument otherwise and std::overflow_error when the
+  /// coefficient sum exceeds the int64 range).
   void AddPbGe(std::vector<std::pair<std::int64_t, Lit>> terms,
                std::int64_t bound);
   /// sum coef_i * lit_i <= bound.
@@ -60,77 +59,35 @@ class Solver {
 
   /// Installs the SAT-decoding branching policy: variables are decided in
   /// `order` (earlier = higher priority) with the given preferred phase.
-  /// Variables missing from `order` are decided last, phase false.
+  /// Variables missing from `order` are decided last by the configured tail
+  /// policy (historically: ascending index, phase false).
   void SetDecisionPolicy(std::span<const Var> order,
                          std::span<const std::uint8_t> phases);
 
   /// Solves from scratch (prior learned clauses are kept and reused).
   SolveResult Solve();
 
-  /// Model value after Solve() == Sat.
-  Value ValueOf(Var v) const { return assigns_[v]; }
-  bool IsTrue(Var v) const { return assigns_[v] == Value::True; }
+  /// Model value after Solve() == Sat. Reads through the equivalent-literal
+  /// map, so values of variables merged by inprocessing are reconstructed.
+  Value ValueOf(Var v) const { return prop_.LitValue(db_.Resolve(PosLit(v))); }
+  bool IsTrue(Var v) const { return ValueOf(v) == Value::True; }
 
   const SolverStats& Stats() const { return stats_; }
 
  private:
-  struct Clause {
-    std::vector<Lit> lits;
-    bool learned = false;
-  };
-  struct PbConstraint {
-    std::vector<std::pair<std::int64_t, Lit>> terms;  // coef > 0
-    std::int64_t bound = 0;
-    std::int64_t slack = 0;  // sum of coefs of not-false lits minus bound
-  };
-  struct Reason {
-    enum class Kind : std::uint8_t { None, Decision, Clause, Pb } kind =
-        Kind::None;
-    std::uint32_t index = 0;
-  };
+  /// Asserts a root fact and propagates; clears ok_ on conflict.
+  void AssertRootFact(Lit l);
 
-  Value LitValue(Lit l) const {
-    const Value v = assigns_[VarOf(l)];
-    if (v == Value::Unassigned) return Value::Unassigned;
-    const bool is_true = (v == Value::True) != IsNeg(l);
-    return is_true ? Value::True : Value::False;
-  }
-
-  void Enqueue(Lit l, Reason reason);
-  /// Returns conflict reason or kind None.
-  Reason Propagate();
-  void CancelUntil(std::uint32_t level);
-  /// 1-UIP analysis; fills learnt clause (asserting literal first) and the
-  /// backjump level.
-  void Analyze(Reason conflict, std::vector<Lit>& learnt,
-               std::uint32_t& backjump_level);
-  std::vector<Lit> ReasonLits(Reason reason, Lit implied) const;
-  /// True iff `lit`'s reason is covered by literals already in the learnt
-  /// clause (marked in `seen`), recursively — conflict-clause minimization.
-  bool LitRedundant(Lit lit, std::vector<std::uint8_t>& seen) const;
-  void AttachClause(std::uint32_t index);
-  bool PickBranch(Lit& decision);
-
-  std::vector<Value> assigns_;
-  std::vector<std::uint32_t> levels_;
-  std::vector<Reason> reasons_;
-  std::vector<std::uint8_t> saved_phase_;
-  std::vector<std::uint32_t> trail_pos_;
-  std::vector<Lit> trail_;
-  std::vector<std::uint32_t> trail_lim_;
-  std::size_t qhead_ = 0;
-  std::size_t decision_head_ = 0;
-
-  std::vector<Clause> clauses_;
-  std::vector<std::vector<std::uint32_t>> clause_watches_;  // per lit
-  std::vector<PbConstraint> pbs_;
-  std::vector<std::vector<std::uint32_t>> pb_occurrences_;  // per lit
-
-  std::vector<Var> decision_order_;
-  std::vector<std::uint8_t> decision_phase_;
+  SolverConfig config_{};
+  SolverStats stats_{};
+  ClauseDb db_{};
+  Propagator prop_{db_, stats_};
+  Searcher searcher_{db_, prop_, stats_, config_};
+  Inprocessor inprocessor_{db_, prop_, stats_, config_};
 
   bool ok_ = true;  // false once a top-level contradiction is found
-  SolverStats stats_;
+  bool inprocessed_once_ = false;
+  std::uint64_t conflicts_at_last_inprocess_ = 0;
 };
 
 }  // namespace bistdse::sat

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "casestudy/casestudy.hpp"
 #include "dse/decoder.hpp"
 #include "dse/exploration.hpp"
 #include "dse/objectives.hpp"
+#include "dse/parallel.hpp"
 
 namespace bistdse::dse {
 namespace {
@@ -255,6 +258,73 @@ TEST(Exploration, StagnationStopsEarly) {
   const auto result = explorer.Run();
   EXPECT_LT(result.evaluations, cfg.evaluations);
   EXPECT_GT(result.pareto.size(), 2u);
+}
+
+/// FNV-1a fingerprint of a Pareto front: objective vectors plus bindings.
+/// The recorded constants below were produced by the pre-refactor monolithic
+/// solver; the layered core (inprocessing on, pinned decision order) must
+/// reproduce them bit-identically — see the canonicity notes in sat/.
+std::uint64_t FrontFingerprint(const std::vector<ExplorationEntry>& pareto) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto bytes = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto u64 = [&bytes](std::uint64_t v) { bytes(&v, sizeof v); };
+  u64(pareto.size());
+  for (const auto& e : pareto) {
+    const auto v = e.objectives.ToMinimizationVector();
+    u64(v.size());
+    for (double d : v) bytes(&d, sizeof d);
+    u64(e.implementation.binding.size());
+    for (std::size_t m : e.implementation.binding) u64(m);
+  }
+  return h;
+}
+
+TEST(Exploration, FrontFingerprintMatchesSeedSolverAt600Evals) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 600;
+  cfg.population_size = 24;
+  cfg.seed = 5;
+  cfg.validate_each_decode = true;
+  Explorer explorer(cs.spec, cs.augmentation, cfg);
+  const auto result = explorer.Run();
+  EXPECT_EQ(FrontFingerprint(result.pareto), 0xb4fad4f200a66d11ULL);
+  // The decode telemetry must be plumbed through the exploration result.
+  EXPECT_EQ(result.decoder_stats.decodes, 600u);
+  EXPECT_GT(result.decoder_stats.decode_seconds, 0.0);
+  EXPECT_GT(result.decoder_stats.solver.propagations, 0u);
+}
+
+TEST(Exploration, FrontFingerprintMatchesSeedSolverAt200Evals) {
+  auto cs = SmallCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 200;
+  cfg.population_size = 16;
+  cfg.seed = 9;
+  Explorer explorer(cs.spec, cs.augmentation, cfg);
+  EXPECT_EQ(FrontFingerprint(explorer.Run().pareto), 0xe23eb57fbb12e1d8ULL);
+}
+
+TEST(Exploration, ParallelFrontFingerprintMatchesSeedSolver) {
+  // Full case study, two islands over the shared engine: the merged front
+  // (and the per-island Offer sequences behind it) must reproduce the
+  // pre-refactor bytes exactly.
+  auto cs = casestudy::BuildCaseStudy();
+  ExplorationConfig cfg;
+  cfg.evaluations = 1000;
+  cfg.population_size = 100;
+  cfg.seed = 1;
+  const auto result = ExploreParallel(cs.spec, cs.augmentation, cfg, 2);
+  EXPECT_EQ(FrontFingerprint(result.pareto), 0xaabcf3abec95651aULL);
+  EXPECT_EQ(result.decoder_stats.decodes, 2000u);
+  EXPECT_GT(result.decoder_stats.decode_seconds, 0.0);
+  EXPECT_GE(result.decoder_stats.solver.inprocess_runs, 1u);
 }
 
 TEST(Exploration, DeterministicForFixedSeed) {

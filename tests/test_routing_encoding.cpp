@@ -145,6 +145,67 @@ TEST(RoutingEncoding, AgreesWithDerivedDecoderOnTreeTopology) {
   }
 }
 
+/// FNV-1a fingerprint over decoded implementations (binding + full routing).
+/// The recorded constants were produced by the pre-refactor solver; the
+/// layered core must reproduce them bit-identically in its default config.
+struct ImplFingerprint {
+  std::uint64_t h = 1469598103934665603ULL;
+  void U64(std::uint64_t v) {
+    const auto* p = reinterpret_cast<const unsigned char*>(&v);
+    for (std::size_t i = 0; i < sizeof v; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void Add(const model::Implementation& impl) {
+    U64(impl.binding.size());
+    for (std::size_t m : impl.binding) U64(m);
+    U64(impl.routing.size());
+    for (const auto& [c, path] : impl.routing) {
+      U64(c);
+      U64(path.size());
+      for (auto r : path) U64(r);
+    }
+  }
+};
+
+TEST(RoutingEncoding, DecodeFingerprintMatchesSeedSolverOnFixture) {
+  RoutedFixture fx;
+  RoutedSatDecoder decoder(fx.spec, fx.augmentation);
+  util::SplitMix64 rng(1);
+  ImplFingerprint f;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto genotype =
+        moea::RandomGenotypeBiased(decoder.GenotypeSize(), rng.UnitReal(), rng);
+    const auto impl = decoder.Decode(genotype);
+    ASSERT_TRUE(impl.has_value()) << "trial " << trial;
+    f.Add(*impl);
+  }
+  EXPECT_EQ(f.h, 0x56454691c678fe0fULL);
+  // Decode telemetry flows through the routed decoder as well.
+  EXPECT_EQ(decoder.Stats().decodes, 30u);
+  EXPECT_GT(decoder.Stats().decode_seconds, 0.0);
+  EXPECT_GT(decoder.Stats().solver.propagations, 0u);
+}
+
+TEST(RoutingEncoding, DecodeFingerprintMatchesSeedSolverOnCaseStudy) {
+  auto profiles = casestudy::PaperTableI();
+  profiles.resize(2);
+  auto cs = casestudy::BuildCaseStudy(profiles, 42);
+  RoutedSatDecoder routed(cs.spec, cs.augmentation, 5);
+  util::SplitMix64 rng(3);
+  ImplFingerprint f;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto genotype =
+        moea::RandomGenotypeBiased(routed.GenotypeSize(), 0.2, rng);
+    const auto impl = routed.Decode(genotype);
+    ASSERT_TRUE(impl.has_value()) << "trial " << trial;
+    f.Add(*impl);
+  }
+  EXPECT_EQ(f.h, 0x82d60ba76425e5cfULL);
+  EXPECT_GE(routed.Stats().solver.inprocess_runs, 1u);
+}
+
 TEST(RoutingEncoding, SupportsRedundantArchitectures) {
   // With a redundant direct bus between the ECUs, the derived shortest-path
   // router always picks one route; the full encoding may pick either — both

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <bitset>
+#include <limits>
+#include <stdexcept>
 
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
@@ -115,6 +117,86 @@ TEST(SatSolver, PbInfeasibleBound) {
   const Var a = s.NewVar(), b = s.NewVar();
   s.AddPbGe({{1, PosLit(a)}, {1, PosLit(b)}}, 3);
   EXPECT_EQ(s.Solve(), SolveResult::Unsat);
+}
+
+TEST(SatSolver, PbRejectsNonPositiveCoefficients) {
+  Solver s;
+  const Var a = s.NewVar(), b = s.NewVar();
+  EXPECT_THROW(s.AddPbGe({{0, PosLit(a)}, {1, PosLit(b)}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(s.AddPbGe({{-3, PosLit(a)}}, 1), std::invalid_argument);
+  EXPECT_THROW(s.AddPbLe({{1, PosLit(a)}, {-1, PosLit(b)}}, 1),
+               std::invalid_argument);
+  // The rejected constraints must not have corrupted the instance.
+  EXPECT_EQ(s.Solve(), SolveResult::Sat);
+}
+
+TEST(SatSolver, PbEmptyTermList) {
+  // "0 >= bound" is trivially true for bound <= 0 and contradictory above.
+  Solver ok;
+  ok.NewVar();
+  ok.AddPbGe({}, 0);
+  ok.AddPbGe({}, -5);
+  ok.AddPbLe({}, 0);
+  ok.AddPbLe({}, 7);
+  EXPECT_EQ(ok.Solve(), SolveResult::Sat);
+
+  Solver bad_ge;
+  bad_ge.NewVar();
+  bad_ge.AddPbGe({}, 1);
+  EXPECT_EQ(bad_ge.Solve(), SolveResult::Unsat);
+
+  Solver bad_le;
+  bad_le.NewVar();
+  bad_le.AddPbLe({}, -1);  // 0 <= -1
+  EXPECT_EQ(bad_le.Solve(), SolveResult::Unsat);
+}
+
+TEST(SatSolver, PbTriviallyTrueBoundConstrainsNothing) {
+  Solver s;
+  const Var a = s.NewVar(), b = s.NewVar();
+  s.AddPbGe({{2, PosLit(a)}, {3, PosLit(b)}}, 0);   // always holds
+  s.AddPbGe({{2, PosLit(a)}, {3, PosLit(b)}}, -4);  // always holds
+  s.AddPbLe({{2, PosLit(a)}, {3, PosLit(b)}}, 5);   // = coefficient sum
+  s.AddClause({NegLit(a)});
+  s.AddClause({NegLit(b)});
+  ASSERT_EQ(s.Solve(), SolveResult::Sat);
+  EXPECT_FALSE(s.IsTrue(a));
+  EXPECT_FALSE(s.IsTrue(b));
+}
+
+TEST(SatSolver, PbTriviallyFalseBoundIsUnsat) {
+  Solver ge;
+  const Var a = ge.NewVar(), b = ge.NewVar();
+  ge.AddPbGe({{2, PosLit(a)}, {3, PosLit(b)}}, 6);  // sum of coefs is 5
+  EXPECT_EQ(ge.Solve(), SolveResult::Unsat);
+
+  Solver le;
+  const Var c = le.NewVar();
+  le.NewVar();
+  le.AddPbLe({{4, PosLit(c)}}, -1);  // even all-false reaches only 0
+  EXPECT_EQ(le.Solve(), SolveResult::Unsat);
+}
+
+TEST(SatSolver, PbCoefficientSumOverflowThrows) {
+  constexpr std::int64_t kHuge = std::numeric_limits<std::int64_t>::max() / 2;
+  Solver s;
+  const Var a = s.NewVar(), b = s.NewVar(), c = s.NewVar();
+  EXPECT_THROW(
+      s.AddPbGe({{kHuge, PosLit(a)}, {kHuge, PosLit(b)}, {kHuge, PosLit(c)}},
+                1),
+      std::overflow_error);
+  EXPECT_THROW(
+      s.AddPbLe({{kHuge, PosLit(a)}, {kHuge, PosLit(b)}, {kHuge, PosLit(c)}},
+                kHuge),
+      std::overflow_error);
+  // Le normalization computes total - bound; a representable total with a
+  // far-negative bound overflows there.
+  EXPECT_THROW(
+      s.AddPbLe({{kHuge, PosLit(a)}},
+                std::numeric_limits<std::int64_t>::min() + 2),
+      std::overflow_error);
+  EXPECT_EQ(s.Solve(), SolveResult::Sat);
 }
 
 TEST(SatSolver, ExactlyOne) {

@@ -1,0 +1,315 @@
+// Differential fuzzer for the layered SAT core (sat/solver.hpp) against the
+// frozen pre-refactor solver (sat/reference_solver.hpp).
+//
+// Per iteration a random CNF+PB instance is generated and loaded into four
+// solvers: the reference, the new solver in pinned-order bit-identity mode,
+// the new solver with default inprocessing, and the new solver with the
+// VSIDS activity tail. Each instance is solved under several decision
+// policies (learned clauses and inprocessing state persist across solves):
+//
+//   * full policies (every variable pinned): all four verdicts must agree
+//     AND all four models must be bit-identical — with a total pinned order
+//     the CDCL result is the unique policy-preferred model regardless of
+//     propagation order, learned clauses, restarts, or the model-set-
+//     preserving inprocessing transforms. One new-solver instance receives
+//     the constraints in shuffled order to confirm insertion order does not
+//     perturb the canonical model either.
+//   * partial policies (half the variables pinned): verdicts must agree;
+//     every SAT model is verified against the original constraint list
+//     (models may legitimately differ between tail policies).
+//
+// Usage: sat_fuzz [--iters N] [--seed S]   (defaults: 200 iterations, seed 1)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sat/reference_solver.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bistdse::sat::Lit;
+using bistdse::sat::NegLit;
+using bistdse::sat::PosLit;
+using bistdse::sat::Var;
+using bistdse::util::SplitMix64;
+
+struct PbRecord {
+  std::vector<std::pair<std::int64_t, Lit>> terms;
+  std::int64_t bound = 0;
+  bool is_ge = true;
+};
+
+/// One random instance plus the ground-truth constraint list for model
+/// verification.
+struct Instance {
+  std::size_t vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+  std::vector<PbRecord> pbs;
+};
+
+Instance RandomInstance(SplitMix64& rng) {
+  Instance inst;
+  inst.vars = 8 + rng.Below(17);  // 8..24 variables
+  const std::size_t n_clauses = inst.vars + rng.Below(2 * inst.vars);
+  for (std::size_t i = 0; i < n_clauses; ++i) {
+    // Mostly 2-4 literals; the occasional unit keeps root facts exercised.
+    const std::size_t len = rng.Chance(0.08) ? 1 : 2 + rng.Below(3);
+    std::vector<Lit> clause;
+    for (std::size_t k = 0; k < len; ++k) {
+      const Var v = static_cast<Var>(rng.Below(inst.vars));
+      clause.push_back(rng.Chance(0.5) ? PosLit(v) : NegLit(v));
+    }
+    inst.clauses.push_back(std::move(clause));
+  }
+  const std::size_t n_pbs = rng.Below(4);
+  for (std::size_t i = 0; i < n_pbs; ++i) {
+    PbRecord pb;
+    const std::size_t len = 2 + rng.Below(5);
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      const auto coef = static_cast<std::int64_t>(1 + rng.Below(5));
+      const Var v = static_cast<Var>(rng.Below(inst.vars));
+      pb.terms.emplace_back(coef, rng.Chance(0.5) ? PosLit(v) : NegLit(v));
+      total += coef;
+    }
+    pb.is_ge = rng.Chance(0.5);
+    // Mostly satisfiable bounds; occasionally tight/infeasible ones.
+    pb.bound = static_cast<std::int64_t>(rng.Below(
+        static_cast<std::uint64_t>(total) + 2));
+    inst.pbs.push_back(std::move(pb));
+  }
+  return inst;
+}
+
+template <typename SolverT>
+void Load(SolverT& solver, const Instance& inst,
+          const std::vector<std::size_t>& clause_order,
+          const std::vector<std::size_t>& pb_order) {
+  for (std::size_t i = 0; i < inst.vars; ++i) solver.NewVar();
+  for (const std::size_t ci : clause_order) {
+    solver.AddClause(inst.clauses[ci]);
+  }
+  for (const std::size_t pi : pb_order) {
+    const PbRecord& pb = inst.pbs[pi];
+    auto terms = pb.terms;
+    if (pb.is_ge) {
+      solver.AddPbGe(std::move(terms), pb.bound);
+    } else {
+      solver.AddPbLe(std::move(terms), pb.bound);
+    }
+  }
+}
+
+template <typename SolverT>
+std::vector<std::uint8_t> Model(const SolverT& solver, std::size_t vars) {
+  std::vector<std::uint8_t> model(vars);
+  for (std::size_t v = 0; v < vars; ++v) {
+    model[v] = solver.IsTrue(static_cast<Var>(v)) ? 1 : 0;
+  }
+  return model;
+}
+
+bool ModelSatisfies(const Instance& inst, const std::vector<std::uint8_t>& m) {
+  const auto lit_true = [&](Lit l) {
+    const bool pos = m[bistdse::sat::VarOf(l)] != 0;
+    return bistdse::sat::IsNeg(l) ? !pos : pos;
+  };
+  for (const auto& clause : inst.clauses) {
+    bool sat = false;
+    for (const Lit l : clause) sat = sat || lit_true(l);
+    if (!sat) return false;
+  }
+  for (const PbRecord& pb : inst.pbs) {
+    std::int64_t sum = 0;
+    for (const auto& [coef, lit] : pb.terms) {
+      if (lit_true(lit)) sum += coef;
+    }
+    if (pb.is_ge ? sum < pb.bound : sum > pb.bound) return false;
+  }
+  return true;
+}
+
+void DumpInstance(const Instance& inst, const std::vector<std::uint8_t>* m) {
+  std::fprintf(stderr, "vars=%zu\n", inst.vars);
+  for (const auto& clause : inst.clauses) {
+    std::fprintf(stderr, "clause:");
+    for (const Lit l : clause) {
+      std::fprintf(stderr, " %s%u", bistdse::sat::IsNeg(l) ? "-" : "",
+                   bistdse::sat::VarOf(l));
+    }
+    std::fprintf(stderr, "\n");
+  }
+  for (const PbRecord& pb : inst.pbs) {
+    std::fprintf(stderr, "pb %s %lld:", pb.is_ge ? ">=" : "<=",
+                 static_cast<long long>(pb.bound));
+    for (const auto& [coef, lit] : pb.terms) {
+      std::fprintf(stderr, " %lld*%s%u", static_cast<long long>(coef),
+                   bistdse::sat::IsNeg(lit) ? "-" : "",
+                   bistdse::sat::VarOf(lit));
+    }
+    std::fprintf(stderr, "\n");
+  }
+  if (m != nullptr) {
+    std::fprintf(stderr, "model:");
+    for (std::size_t v = 0; v < m->size(); ++v) {
+      std::fprintf(stderr, " %zu=%d", v, (*m)[v]);
+    }
+    std::fprintf(stderr, "\n");
+  }
+}
+
+struct Policy {
+  std::vector<Var> order;
+  std::vector<std::uint8_t> phases;
+};
+
+Policy RandomPolicy(SplitMix64& rng, std::size_t vars, bool full) {
+  Policy p;
+  std::vector<Var> all(vars);
+  std::iota(all.begin(), all.end(), 0);
+  for (std::size_t i = vars; i > 1; --i) {
+    std::swap(all[i - 1], all[rng.Below(i)]);
+  }
+  const std::size_t take = full ? vars : vars / 2;
+  p.order.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take));
+  for (std::size_t i = 0; i < take; ++i) {
+    p.phases.push_back(rng.Chance(0.5) ? 1 : 0);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 200;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: sat_fuzz [--iters N] [--seed S]\n");
+      return 2;
+    }
+  }
+
+  std::uint64_t sat_count = 0, unsat_count = 0, solve_count = 0;
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + iter);
+    const Instance inst = RandomInstance(rng);
+
+    std::vector<std::size_t> clause_order(inst.clauses.size());
+    std::iota(clause_order.begin(), clause_order.end(), 0);
+    std::vector<std::size_t> pb_order(inst.pbs.size());
+    std::iota(pb_order.begin(), pb_order.end(), 0);
+    std::vector<std::size_t> shuffled_clauses = clause_order;
+    for (std::size_t i = shuffled_clauses.size(); i > 1; --i) {
+      std::swap(shuffled_clauses[i - 1], shuffled_clauses[rng.Below(i)]);
+    }
+    std::vector<std::size_t> shuffled_pbs = pb_order;
+    for (std::size_t i = shuffled_pbs.size(); i > 1; --i) {
+      std::swap(shuffled_pbs[i - 1], shuffled_pbs[rng.Below(i)]);
+    }
+
+    bistdse::sat::reference::Solver ref;
+    bistdse::sat::Solver bitid(bistdse::sat::SolverConfig::BitIdentity());
+    bistdse::sat::Solver inproc;  // default config: inprocessing on
+    bistdse::sat::SolverConfig activity_config;
+    activity_config.tail_policy =
+        bistdse::sat::SolverConfig::TailPolicy::kActivity;
+    bistdse::sat::Solver activity(activity_config);
+    bistdse::sat::SolverConfig shuffle_config;
+    shuffle_config.inprocess_conflict_interval = 50;  // inprocess often
+    bistdse::sat::Solver shuffled(shuffle_config);
+
+    Load(ref, inst, clause_order, pb_order);
+    Load(bitid, inst, clause_order, pb_order);
+    Load(inproc, inst, clause_order, pb_order);
+    Load(activity, inst, clause_order, pb_order);
+    Load(shuffled, inst, shuffled_clauses, shuffled_pbs);
+
+    // Several solves per instance: learned clauses and inprocessing state
+    // persist, mirroring the SAT-decoding usage pattern.
+    const std::size_t rounds = 1 + rng.Below(3);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const bool full = rng.Chance(0.7);
+      const Policy policy = RandomPolicy(rng, inst.vars, full);
+      ref.SetDecisionPolicy(policy.order, policy.phases);
+      bitid.SetDecisionPolicy(policy.order, policy.phases);
+      inproc.SetDecisionPolicy(policy.order, policy.phases);
+      activity.SetDecisionPolicy(policy.order, policy.phases);
+      shuffled.SetDecisionPolicy(policy.order, policy.phases);
+
+      const bool ref_sat =
+          ref.Solve() == bistdse::sat::reference::SolveResult::Sat;
+      const bool bitid_sat = bitid.Solve() == bistdse::sat::SolveResult::Sat;
+      const bool inproc_sat = inproc.Solve() == bistdse::sat::SolveResult::Sat;
+      const bool activity_sat =
+          activity.Solve() == bistdse::sat::SolveResult::Sat;
+      const bool shuffled_sat =
+          shuffled.Solve() == bistdse::sat::SolveResult::Sat;
+      solve_count += 5;
+
+      if (bitid_sat != ref_sat || inproc_sat != ref_sat ||
+          activity_sat != ref_sat || shuffled_sat != ref_sat) {
+        std::fprintf(stderr,
+                     "iter %llu round %zu: verdict mismatch "
+                     "(ref=%d bitid=%d inproc=%d activity=%d shuffled=%d)\n",
+                     static_cast<unsigned long long>(iter), round, ref_sat,
+                     bitid_sat, inproc_sat, activity_sat, shuffled_sat);
+        return 1;
+      }
+      if (!ref_sat) {
+        ++unsat_count;
+        break;  // the instance stays unsat under every later policy
+      }
+      ++sat_count;
+
+      const auto ref_model = Model(ref, inst.vars);
+      const auto models = {Model(bitid, inst.vars), Model(inproc, inst.vars),
+                           Model(activity, inst.vars),
+                           Model(shuffled, inst.vars)};
+      if (!ModelSatisfies(inst, ref_model)) {
+        std::fprintf(stderr, "iter %llu round %zu: reference model invalid\n",
+                     static_cast<unsigned long long>(iter), round);
+        DumpInstance(inst, &ref_model);
+        return 1;
+      }
+      int which = 0;
+      for (const auto& m : models) {
+        ++which;
+        if (!ModelSatisfies(inst, m)) {
+          std::fprintf(stderr,
+                       "iter %llu round %zu: solver %d model invalid\n",
+                       static_cast<unsigned long long>(iter), round, which);
+          DumpInstance(inst, &m);
+          return 1;
+        }
+        // Under a full pinned policy the model is canonical: every solver
+        // (and every constraint insertion order) must reproduce it exactly.
+        if (full && m != ref_model) {
+          std::fprintf(stderr,
+                       "iter %llu round %zu: solver %d model differs under "
+                       "full pinned policy\n",
+                       static_cast<unsigned long long>(iter), round, which);
+          return 1;
+        }
+      }
+    }
+  }
+
+  std::printf("sat_fuzz: %llu iterations, %llu solves (%llu sat, %llu unsat "
+              "rounds), 0 mismatches\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(solve_count),
+              static_cast<unsigned long long>(sat_count),
+              static_cast<unsigned long long>(unsat_count));
+  return 0;
+}
