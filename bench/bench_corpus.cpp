@@ -1,0 +1,92 @@
+// Corpus sweep benchmark: seeded E/E-architecture families (5-50 ECUs,
+// 2-8 classic-CAN/CAN-FD buses) through the full pipeline — generation,
+// DSE, representative pick, and an adversarial frame-level campaign — with
+// the three PERF.md invariants asserted on every round. Reports per-topology
+// structure, exploration and campaign wall time, and the invariant verdicts,
+// and writes them to BENCH_corpus.json.
+//
+// Env: BISTDSE_CORPUS_COUNT (default 10) sampled topologies,
+//      BISTDSE_CORPUS_SEED (default 1) corpus seed,
+//      BISTDSE_CORPUS_EVALS (default 300) DSE evaluations per topology,
+//      BISTDSE_CORPUS_ROUNDS (default 3) adversarial rounds per topology.
+// Arg: output path (default BENCH_corpus.json).
+#include <cstdio>
+
+#include "arch/corpus.hpp"
+#include "bench_util.hpp"
+#include "casestudy/casestudy.hpp"
+
+using namespace bistdse;
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_corpus.json";
+  bench::PrintHeader(
+      "Corpus sweep — the paper's invariants on generated architectures",
+      "Seeded topology families beyond the case study, each explored and\n"
+      "then replayed under randomized loss/corruption/reordering schedules.\n"
+      "Every round must respect the Eq.-1 lower bound, WCRT domination, and\n"
+      "functional-schedule non-intrusiveness.");
+
+  arch::CorpusSpec corpus;
+  corpus.count = bench::EnvU64("BISTDSE_CORPUS_COUNT", 10);
+  corpus.seed = bench::EnvU64("BISTDSE_CORPUS_SEED", 1);
+  corpus.profile_pool = casestudy::ScaledTableI(1.0 / 256, 4);
+
+  arch::CorpusSweepOptions options;
+  options.exploration.evaluations = bench::EnvU64("BISTDSE_CORPUS_EVALS", 300);
+  options.exploration.population_size = 24;
+  options.exploration.seed = corpus.seed;
+  options.campaign.rounds = bench::EnvU64("BISTDSE_CORPUS_ROUNDS", 3);
+  options.campaign.seed = corpus.seed;
+
+  const arch::CorpusSweepReport report = arch::SweepCorpus(corpus, options);
+  std::printf("%s", arch::FormatCorpusReport(report).c_str());
+
+  std::FILE* out = std::fopen(path, "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"corpus_sweep\",\n"
+               "  \"corpus_seed\": %llu,\n"
+               "  \"evaluations\": %llu,\n"
+               "  \"all_passed\": %s,\n"
+               "  \"rounds_executed\": %zu,\n"
+               "  \"topologies\": [\n",
+               static_cast<unsigned long long>(corpus.seed),
+               static_cast<unsigned long long>(
+                   options.exploration.evaluations),
+               report.all_passed ? "true" : "false", report.rounds_executed);
+  for (std::size_t i = 0; i < report.topologies.size(); ++i) {
+    const arch::CorpusTopologyResult& t = report.topologies[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"ecus\": %zu, \"buses\": %zu, "
+        "\"fd_buses\": %zu, \"generations\": %zu, "
+        "\"content_hash\": \"0x%016llx\", \"pareto_size\": %zu, "
+        "\"quality_percent\": %.2f, \"cost\": %.2f, "
+        "\"explore_seconds\": %.3f, \"campaign_seconds\": %.3f, "
+        "\"rounds\": %zu, \"frames_dropped\": %llu, "
+        "\"q_bounded\": %s, \"wcrt_dominated\": %s, "
+        "\"non_intrusive\": %s, \"passed\": %s}%s\n",
+        t.name.c_str(), t.num_ecus, t.num_buses, t.fd_buses, t.generations,
+        static_cast<unsigned long long>(t.content_hash), t.pareto_size,
+        t.representative.test_quality_percent, t.representative.monetary_cost,
+        t.explore_seconds, t.campaign_seconds, t.campaign.rounds.size(),
+        static_cast<unsigned long long>(t.campaign.total_frames_dropped),
+        t.campaign.all_q_bounded ? "true" : "false",
+        t.campaign.all_wcrt_dominated ? "true" : "false",
+        t.campaign.all_non_intrusive ? "true" : "false",
+        t.passed ? "true" : "false",
+        i + 1 < report.topologies.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("corpus benchmark written to %s\n", path);
+
+  // CI acceptance gate: an invariant violation anywhere in the corpus fails
+  // the sweep leg.
+  return report.all_passed ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Corpus-wide invariant sweeps over generated E/E-architecture families.
+//
+// One topology proves the flow works once; a *corpus* probes whether the
+// paper's guarantees (Eq.-1 lower bound, WCRT domination, mirrored
+// non-intrusiveness — see docs/PERF.md) are properties of the method or
+// accidents of the case study. arch::SampleTopologySpec draws structurally
+// distinct TopologySpecs (5-50 ECUs, 2-8 classic-CAN/CAN-FD buses) from a
+// corpus seed; arch::SweepCorpus pushes each generated family through the
+// full pipeline — DSE -> representative pick -> session plan ->
+// net::SessionExecutor under an adversarial fault campaign — and reports the
+// per-topology invariant verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "bist/profile.hpp"
+#include "dse/exploration.hpp"
+#include "net/campaign.hpp"
+
+namespace bistdse::arch {
+
+/// The sampling envelope of a corpus. Bus count is drawn first, then the
+/// ECU count from [max(min_ecus, 2 * buses), max_ecus] — every bus must
+/// host at least two ECUs for the processing chains' mapping options.
+struct CorpusSpec {
+  std::size_t count = 10;
+  std::size_t min_ecus = 5;
+  std::size_t max_ecus = 50;
+  std::size_t min_buses = 2;
+  std::size_t max_buses = 8;
+  /// Probability a sampled bus segment is CAN-FD-capable.
+  double fd_fraction = 0.35;
+  /// Up to this many CUT generations per topology; generation k+1 derives
+  /// from k like the future case study (x3 pattern data, x2.5 session time,
+  /// +0.03 ceiling coverage).
+  std::size_t max_generations = 2;
+  /// Generation-0 profile set of every sampled topology. Use a scaled table
+  /// (casestudy::ScaledTableI) to keep frame-level campaigns fast.
+  std::vector<bist::BistProfile> profile_pool;
+  std::uint64_t seed = 1;
+};
+
+/// The `index`-th member of the corpus family, deterministic in
+/// (spec, index). Throws std::invalid_argument when the envelope itself is
+/// degenerate (empty profile pool, min > max bounds).
+TopologySpec SampleTopologySpec(const CorpusSpec& corpus, std::size_t index);
+
+/// Generation seed paired with SampleTopologySpec(corpus, index).
+std::uint64_t TopologySeed(const CorpusSpec& corpus, std::size_t index);
+
+struct CorpusSweepOptions {
+  /// Per-topology DSE budget; `evaluation.use_can_fd` is set automatically
+  /// for topologies with FD segments.
+  dse::ExplorationConfig exploration;
+  net::SessionExecutorOptions executor;
+  net::CampaignScheduleSpec campaign;
+  /// The representative pushed through the campaign: the cheapest Pareto
+  /// point reaching this quality, falling back to the best-quality point.
+  double min_quality_percent = 80.0;
+};
+
+struct CorpusTopologyResult {
+  std::string name;
+  std::size_t num_ecus = 0;
+  std::size_t num_buses = 0;
+  std::size_t fd_buses = 0;
+  std::size_t generations = 0;
+  std::uint64_t content_hash = 0;
+
+  std::size_t pareto_size = 0;
+  double explore_seconds = 0.0;
+  double campaign_seconds = 0.0;
+  bool representative_meets_quality = false;
+  dse::Objectives representative;
+
+  net::CampaignReport campaign;
+  bool passed = false;  ///< All campaign rounds completed + all invariants.
+};
+
+struct CorpusSweepReport {
+  std::vector<CorpusTopologyResult> topologies;
+  bool all_passed = true;
+  std::size_t rounds_executed = 0;
+};
+
+/// Runs the full pipeline over every sampled member of the corpus.
+CorpusSweepReport SweepCorpus(const CorpusSpec& corpus,
+                              const CorpusSweepOptions& options);
+
+/// One row per topology: structure, front size, representative objectives,
+/// campaign verdicts. Markdown-ish, for the CLI and CI logs.
+std::string FormatCorpusReport(const CorpusSweepReport& report);
+
+}  // namespace bistdse::arch

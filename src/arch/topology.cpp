@@ -1,0 +1,414 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bistdse::arch {
+
+using model::Message;
+using model::ResourceId;
+using model::ResourceKind;
+using model::Task;
+using model::TaskId;
+using model::TaskKind;
+
+namespace {
+
+/// Contiguous balanced split: the first num_ecus % buses buses host one
+/// extra ECU. A ceil-everywhere split would starve trailing buses (23 ECUs
+/// on 7 buses -> the last bus hosts none); exact divisions — both canonical
+/// case studies — are identical under either scheme.
+int BusOfEcu(const TopologySpec& spec, std::size_t e) {
+  const std::size_t buses = spec.buses.size();
+  const std::size_t small = spec.num_ecus / buses;
+  const std::size_t rem = spec.num_ecus % buses;
+  const std::size_t on_big = (small + 1) * rem;
+  const std::size_t bus =
+      e < on_big ? e / (small + 1)
+                 : rem + (e - on_big) / std::max<std::size_t>(small, 1);
+  return static_cast<int>(std::min(bus, buses - 1));
+}
+
+[[noreturn]] void Reject(const std::string& field, const std::string& why) {
+  throw std::invalid_argument("TopologySpec." + field + ": " + why);
+}
+
+/// Adds sensor->processing-chain->actuator control applications (one tree
+/// per shape: tasks - 1 messages) with 2-3 ECU mapping options per
+/// processing task (occasionally one cross-bus option, so some messages
+/// route through the gateway). The draw order of `rng` is load-bearing: the
+/// canonical case-study specs replay the exact pre-refactor stream.
+void BuildControlApps(Topology& topo, const std::vector<ChainShape>& shapes,
+                      const std::vector<std::vector<ResourceId>>& ecus_on_bus,
+                      util::SplitMix64& rng) {
+  model::ApplicationGraph& app = topo.spec.Application();
+  const std::size_t num_buses = ecus_on_bus.size();
+  const std::uint32_t payloads[4] = {1, 2, 4, 8};
+  const double periods[5] = {5, 10, 20, 50, 100};
+  auto message_params = [&](Message& m) {
+    m.payload_bytes = payloads[rng.Below(4)];
+    m.period_ms = periods[rng.Below(5)];
+  };
+
+  for (const ChainShape& shape : shapes) {
+    std::vector<TaskId> sense_tasks;
+    for (int s : shape.sensors) {
+      Task t;
+      t.name = shape.name + ".sense" + std::to_string(s);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      topo.spec.AddMapping(id, topo.sensors[s]);
+      sense_tasks.push_back(id);
+      ++topo.functional_task_count;
+    }
+
+    const std::vector<ResourceId>& home = ecus_on_bus[shape.home_bus];
+    std::vector<TaskId> proc_tasks;
+    for (int p = 0; p < shape.processing; ++p) {
+      Task t;
+      t.name = shape.name + ".proc" + std::to_string(p);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      const std::size_t o1 = rng.Below(home.size());
+      std::size_t o2 = rng.Below(home.size());
+      while (o2 == o1) o2 = rng.Below(home.size());
+      topo.spec.AddMapping(id, home[o1]);
+      topo.spec.AddMapping(id, home[o2]);
+      if (num_buses > 1 && rng.Chance(0.3)) {
+        const std::size_t other_bus =
+            (static_cast<std::size_t>(shape.home_bus) + 1 +
+             rng.Below(num_buses - 1)) %
+            num_buses;
+        const std::vector<ResourceId>& other = ecus_on_bus[other_bus];
+        topo.spec.AddMapping(id, other[rng.Below(other.size())]);
+      }
+      proc_tasks.push_back(id);
+      ++topo.functional_task_count;
+    }
+
+    std::vector<TaskId> act_tasks;
+    for (int a : shape.actuators) {
+      Task t;
+      t.name = shape.name + ".act" + std::to_string(a);
+      t.kind = TaskKind::Functional;
+      const TaskId id = app.AddTask(t);
+      topo.spec.AddMapping(id, topo.actuators[a]);
+      act_tasks.push_back(id);
+      ++topo.functional_task_count;
+    }
+
+    // Tree edges: sensors -> proc[0], proc chain, proc[last] -> actuators.
+    for (TaskId s : sense_tasks) {
+      Message m;
+      m.name = app.GetTask(s).name + ">";
+      m.sender = s;
+      m.receivers = {proc_tasks.front()};
+      message_params(m);
+      app.AddMessage(m);
+      ++topo.functional_message_count;
+    }
+    for (std::size_t p = 0; p + 1 < proc_tasks.size(); ++p) {
+      Message m;
+      m.name = app.GetTask(proc_tasks[p]).name + ">";
+      m.sender = proc_tasks[p];
+      m.receivers = {proc_tasks[p + 1]};
+      message_params(m);
+      app.AddMessage(m);
+      ++topo.functional_message_count;
+    }
+    for (TaskId a : act_tasks) {
+      Message m;
+      m.name =
+          app.GetTask(proc_tasks.back()).name + ">" + app.GetTask(a).name;
+      m.sender = proc_tasks.back();
+      m.receivers = {a};
+      message_params(m);
+      app.AddMessage(m);
+      ++topo.functional_message_count;
+    }
+  }
+}
+
+/// Derived application shapes for specs that leave `chains` empty: one chain
+/// per bus by default, sensors/actuators dealt round-robin (every chain gets
+/// at least one of each), processing lengths drawn from the structure
+/// stream. Deterministic in (spec, seed).
+std::vector<ChainShape> DeriveChains(const TopologySpec& spec,
+                                     util::SplitMix64& structure_rng) {
+  const std::size_t count =
+      spec.derived_chains > 0 ? spec.derived_chains : spec.buses.size();
+  std::vector<ChainShape> shapes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ChainShape& shape = shapes[i];
+    shape.name = "app" + std::to_string(i);
+    shape.home_bus = static_cast<int>(i % spec.buses.size());
+    const std::size_t span = spec.chain_processing_max -
+                             spec.chain_processing_min + 1;
+    shape.processing = static_cast<int>(spec.chain_processing_min +
+                                        structure_rng.Below(span));
+    for (std::size_t s = i; s < spec.num_sensors; s += count) {
+      shape.sensors.push_back(static_cast<int>(s));
+    }
+    if (shape.sensors.empty()) {
+      shape.sensors.push_back(static_cast<int>(i % spec.num_sensors));
+    }
+    for (std::size_t a = i; a < spec.num_actuators; a += count) {
+      shape.actuators.push_back(static_cast<int>(a));
+    }
+    if (shape.actuators.empty()) {
+      shape.actuators.push_back(static_cast<int>(i % spec.num_actuators));
+    }
+  }
+  return shapes;
+}
+
+/// Peripheral bus assignment for specs that leave it implicit: each sensor/
+/// actuator lands on the home bus of the first chain referencing it (so the
+/// short sensing hop stays bus-local), unreferenced ones round-robin.
+std::vector<int> DerivePeripheralBuses(const TopologySpec& spec,
+                                       const std::vector<ChainShape>& chains,
+                                       std::size_t count, bool sensors) {
+  std::vector<int> bus(count, -1);
+  for (const ChainShape& shape : chains) {
+    for (int p : sensors ? shape.sensors : shape.actuators) {
+      if (bus[p] < 0) bus[p] = shape.home_bus;
+    }
+  }
+  for (std::size_t p = 0; p < count; ++p) {
+    if (bus[p] < 0) bus[p] = static_cast<int>(p % spec.buses.size());
+  }
+  return bus;
+}
+
+void ValidateChains(const TopologySpec& spec,
+                    const std::vector<ChainShape>& chains,
+                    std::vector<std::size_t> ecus_per_bus) {
+  for (const ChainShape& shape : chains) {
+    const std::string where = "chains ('" + shape.name + "')";
+    if (shape.home_bus < 0 ||
+        static_cast<std::size_t>(shape.home_bus) >= spec.buses.size()) {
+      Reject(where, "home_bus " + std::to_string(shape.home_bus) +
+                        " out of range (buses: " +
+                        std::to_string(spec.buses.size()) + ")");
+    }
+    if (ecus_per_bus[shape.home_bus] < 2) {
+      Reject(where, "home_bus " + std::to_string(shape.home_bus) +
+                        " hosts fewer than 2 ECUs — processing tasks need "
+                        "two distinct mapping options");
+    }
+    if (shape.processing < 1) {
+      Reject(where, "processing must be >= 1");
+    }
+    if (shape.sensors.empty()) Reject(where, "references no sensors");
+    if (shape.actuators.empty()) Reject(where, "references no actuators");
+    for (int s : shape.sensors) {
+      if (s < 0 || static_cast<std::size_t>(s) >= spec.num_sensors) {
+        Reject(where, "sensor index " + std::to_string(s) +
+                          " out of range (num_sensors: " +
+                          std::to_string(spec.num_sensors) + ")");
+      }
+    }
+    for (int a : shape.actuators) {
+      if (a < 0 || static_cast<std::size_t>(a) >= spec.num_actuators) {
+        Reject(where, "actuator index " + std::to_string(a) +
+                          " out of range (num_actuators: " +
+                          std::to_string(spec.num_actuators) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ValidateTopologySpec(const TopologySpec& spec) {
+  if (spec.num_ecus == 0) Reject("num_ecus", "must be >= 1");
+  if (spec.buses.empty()) Reject("buses", "must contain at least one bus");
+  if (!spec.has_gateway && spec.buses.size() > 1) {
+    Reject("has_gateway",
+           "a multi-bus topology without a gateway is disconnected");
+  }
+  if (!spec.has_gateway && !spec.profile_sets.empty()) {
+    Reject("has_gateway",
+           "the BIST augmentation needs the gateway collector b^R");
+  }
+  if (spec.ecu_cost_period == 0) Reject("ecu_cost_period", "must be >= 1");
+  for (const BusSpec& bus : spec.buses) {
+    if (bus.bitrate_bps <= 0) Reject("buses", "bitrate_bps must be > 0");
+  }
+  if (!spec.sensor_bus.empty() &&
+      spec.sensor_bus.size() != spec.num_sensors) {
+    Reject("sensor_bus", "size " + std::to_string(spec.sensor_bus.size()) +
+                             " != num_sensors " +
+                             std::to_string(spec.num_sensors));
+  }
+  if (!spec.actuator_bus.empty() &&
+      spec.actuator_bus.size() != spec.num_actuators) {
+    Reject("actuator_bus",
+           "size " + std::to_string(spec.actuator_bus.size()) +
+               " != num_actuators " + std::to_string(spec.num_actuators));
+  }
+  for (int b : spec.sensor_bus) {
+    if (b < 0 || static_cast<std::size_t>(b) >= spec.buses.size()) {
+      Reject("sensor_bus", "bus index " + std::to_string(b) + " out of range");
+    }
+  }
+  for (int b : spec.actuator_bus) {
+    if (b < 0 || static_cast<std::size_t>(b) >= spec.buses.size()) {
+      Reject("actuator_bus",
+             "bus index " + std::to_string(b) + " out of range");
+    }
+  }
+  const bool derive_chains = spec.chains.empty();
+  if (derive_chains) {
+    if (spec.num_sensors == 0) {
+      Reject("num_sensors", "derived chains need at least one sensor");
+    }
+    if (spec.num_actuators == 0) {
+      Reject("num_actuators", "derived chains need at least one actuator");
+    }
+    if (spec.chain_processing_min < 1 ||
+        spec.chain_processing_max < spec.chain_processing_min) {
+      Reject("chain_processing_min/max",
+             "need 1 <= min <= max for derived processing lengths");
+    }
+  }
+  std::vector<std::size_t> ecus_per_bus(spec.buses.size(), 0);
+  for (std::size_t e = 0; e < spec.num_ecus; ++e) {
+    ++ecus_per_bus[BusOfEcu(spec, e)];
+  }
+  if (!spec.chains.empty()) {
+    ValidateChains(spec, spec.chains, ecus_per_bus);
+  } else {
+    // Derived chains put a home on every bus — each must host >= 2 ECUs.
+    for (std::size_t b = 0; b < spec.buses.size(); ++b) {
+      if (ecus_per_bus[b] < 2) {
+        Reject("num_ecus",
+               "bus " + std::to_string(b) + " hosts " +
+                   std::to_string(ecus_per_bus[b]) +
+                   " ECUs; derived chains need >= 2 per bus (have " +
+                   std::to_string(spec.num_ecus) + " ECUs on " +
+                   std::to_string(spec.buses.size()) + " buses)");
+      }
+    }
+  }
+  if (spec.profile_sets.size() > spec.num_ecus) {
+    Reject("profile_sets", "more CUT generations than ECUs");
+  }
+}
+
+Topology GenerateTopology(const TopologySpec& spec, std::uint64_t seed) {
+  ValidateTopologySpec(spec);
+
+  // Two independent deterministic streams: `app_rng` replays the historical
+  // application-construction draws (bit-identity for the canonical specs
+  // depends on it seeing exactly the pre-refactor sequence), `structure_rng`
+  // covers everything the hand-built case studies specified explicitly.
+  util::SplitMix64 app_rng(seed);
+  util::SplitMix64 structure_rng(seed ^ 0x746f706f6c6f6779ULL);  // "topology"
+
+  std::vector<ChainShape> derived;
+  const std::vector<ChainShape>& chains =
+      spec.chains.empty()
+          ? (derived = DeriveChains(spec, structure_rng), derived)
+          : spec.chains;
+  if (spec.chains.empty()) {
+    std::vector<std::size_t> ecus_per_bus(spec.buses.size(), 0);
+    for (std::size_t e = 0; e < spec.num_ecus; ++e) {
+      ++ecus_per_bus[BusOfEcu(spec, e)];
+    }
+    ValidateChains(spec, chains, ecus_per_bus);
+  }
+  const std::vector<int> sensor_bus =
+      spec.sensor_bus.empty()
+          ? DerivePeripheralBuses(spec, chains, spec.num_sensors, true)
+          : spec.sensor_bus;
+  const std::vector<int> actuator_bus =
+      spec.actuator_bus.empty()
+          ? DerivePeripheralBuses(spec, chains, spec.num_actuators, false)
+          : spec.actuator_bus;
+
+  Topology topo;
+  auto& arch = topo.spec.Architecture();
+
+  if (spec.has_gateway) {
+    topo.gateway =
+        arch.AddResource({"gateway", ResourceKind::Gateway,
+                          spec.gateway_base_cost, spec.gateway_cost_per_byte,
+                          0.0});
+  }
+  for (std::size_t b = 0; b < spec.buses.size(); ++b) {
+    const ResourceId bus = arch.AddResource(
+        {"can" + std::to_string(b), ResourceKind::Bus, spec.buses[b].cost,
+         0.0, spec.buses[b].bitrate_bps});
+    if (spec.has_gateway) arch.AddLink(bus, topo.gateway);
+    topo.buses.push_back(bus);
+  }
+  std::vector<std::vector<ResourceId>> ecus_on_bus(spec.buses.size());
+  const std::size_t generations = spec.profile_sets.size();
+  for (std::size_t e = 0; e < spec.num_ecus; ++e) {
+    const ResourceId ecu = arch.AddResource(
+        {"ecu" + std::to_string(e), ResourceKind::Ecu,
+         spec.ecu_base_cost +
+             spec.ecu_cost_step *
+                 static_cast<double>(e % spec.ecu_cost_period),
+         spec.ecu_cost_per_byte, 0.0});
+    const int bus = BusOfEcu(spec, e);
+    arch.AddLink(ecu, topo.buses[bus]);
+    ecus_on_bus[bus].push_back(ecu);
+    topo.ecus.push_back(ecu);
+    if (generations > 1) {
+      topo.cut_type_by_ecu[ecu] =
+          static_cast<std::uint32_t>(e * generations / spec.num_ecus);
+    }
+  }
+  for (std::size_t s = 0; s < spec.num_sensors; ++s) {
+    const ResourceId sensor = arch.AddResource(
+        {"sensor" + std::to_string(s), ResourceKind::Sensor,
+         spec.sensor_base_cost, 0.0, 0.0});
+    arch.AddLink(sensor, topo.buses[sensor_bus[s]]);
+    topo.sensors.push_back(sensor);
+  }
+  for (std::size_t a = 0; a < spec.num_actuators; ++a) {
+    const ResourceId actuator = arch.AddResource(
+        {"actuator" + std::to_string(a), ResourceKind::Actuator,
+         spec.actuator_base_cost, 0.0, 0.0});
+    arch.AddLink(actuator, topo.buses[actuator_bus[a]]);
+    topo.actuators.push_back(actuator);
+  }
+
+  BuildControlApps(topo, chains, ecus_on_bus, app_rng);
+
+  if (!spec.profile_sets.empty()) {
+    std::map<ResourceId, std::vector<bist::BistProfile>> by_ecu;
+    for (std::size_t e = 0; e < spec.num_ecus; ++e) {
+      const std::size_t gen =
+          generations > 1 ? e * generations / spec.num_ecus : 0;
+      by_ecu[topo.ecus[e]] = spec.profile_sets[gen];
+    }
+    topo.augmentation =
+        model::AugmentWithBist(topo.spec, by_ecu, topo.cut_type_by_ecu);
+  }
+  topo.spec.Validate();
+  return topo;
+}
+
+std::size_t CountFdBuses(const TopologySpec& spec) {
+  std::size_t fd = 0;
+  for (const BusSpec& bus : spec.buses) fd += bus.fd;
+  return fd;
+}
+
+std::vector<bist::BistProfile> NextGenerationProfiles(
+    std::vector<bist::BistProfile> profiles) {
+  for (bist::BistProfile& p : profiles) {
+    p.data_bytes *= 3;
+    p.runtime_ms *= 2.5;
+    p.fault_coverage_percent =
+        std::min(99.95, p.fault_coverage_percent + 0.03);
+  }
+  return profiles;
+}
+
+}  // namespace bistdse::arch

@@ -11,13 +11,6 @@
 
 namespace bistdse::casestudy {
 
-using model::Message;
-using model::ResourceId;
-using model::ResourceKind;
-using model::Task;
-using model::TaskId;
-using model::TaskKind;
-
 std::vector<bist::BistProfile> PaperTableI() {
   // profile, #PRPs, c(b) [%], l(b) [ms], s(b) [Bytes] — Table I, verbatim.
   struct Row {
@@ -100,227 +93,69 @@ netlist::RandomCircuitSpec ScaledCutSpec(std::uint64_t seed) {
   return spec;
 }
 
-
 namespace {
 
-struct AppShape {
-  const char* name;
-  int home_bus;
-  std::vector<int> sensors;    // indices into cs.sensors
-  std::vector<int> actuators;  // indices into cs.actuators
-  int processing;
-};
-
-/// Adds sensor->processing-chain->actuator control applications (one tree
-/// per shape: tasks - 1 messages) with 2-3 ECU mapping options per
-/// processing task (occasionally one cross-bus option, so some messages
-/// route through the gateway).
-void BuildControlApps(CaseStudy& cs, const std::vector<AppShape>& shapes,
-                      int ecus_per_bus, int num_buses,
-                      util::SplitMix64& rng) {
-  model::ApplicationGraph& app = cs.spec.Application();
-  const std::array<std::uint32_t, 4> payloads = {1, 2, 4, 8};
-  const std::array<double, 5> periods = {5, 10, 20, 50, 100};
-  auto message_params = [&](Message& m) {
-    m.payload_bytes = payloads[rng.Below(payloads.size())];
-    m.period_ms = periods[rng.Below(periods.size())];
-  };
-
-  for (const AppShape& shape : shapes) {
-    std::vector<TaskId> sense_tasks;
-    for (int s : shape.sensors) {
-      Task t;
-      t.name = std::string(shape.name) + ".sense" + std::to_string(s);
-      t.kind = TaskKind::Functional;
-      const TaskId id = app.AddTask(t);
-      cs.spec.AddMapping(id, cs.sensors[s]);
-      sense_tasks.push_back(id);
-      ++cs.functional_task_count;
-    }
-
-    std::vector<TaskId> proc_tasks;
-    for (int p = 0; p < shape.processing; ++p) {
-      Task t;
-      t.name = std::string(shape.name) + ".proc" + std::to_string(p);
-      t.kind = TaskKind::Functional;
-      const TaskId id = app.AddTask(t);
-      const int base = shape.home_bus * ecus_per_bus;
-      const int o1 = base + static_cast<int>(rng.Below(ecus_per_bus));
-      int o2 = base + static_cast<int>(rng.Below(ecus_per_bus));
-      while (o2 == o1) o2 = base + static_cast<int>(rng.Below(ecus_per_bus));
-      cs.spec.AddMapping(id, cs.ecus[o1]);
-      cs.spec.AddMapping(id, cs.ecus[o2]);
-      if (rng.Chance(0.3)) {
-        const int other_bus =
-            (shape.home_bus + 1 + static_cast<int>(rng.Below(num_buses - 1))) %
-            num_buses;
-        cs.spec.AddMapping(
-            id, cs.ecus[other_bus * ecus_per_bus + rng.Below(ecus_per_bus)]);
-      }
-      proc_tasks.push_back(id);
-      ++cs.functional_task_count;
-    }
-
-    std::vector<TaskId> act_tasks;
-    for (int a : shape.actuators) {
-      Task t;
-      t.name = std::string(shape.name) + ".act" + std::to_string(a);
-      t.kind = TaskKind::Functional;
-      const TaskId id = app.AddTask(t);
-      cs.spec.AddMapping(id, cs.actuators[a]);
-      act_tasks.push_back(id);
-      ++cs.functional_task_count;
-    }
-
-    // Tree edges: sensors -> proc[0], proc chain, proc[last] -> actuators.
-    for (TaskId s : sense_tasks) {
-      Message m;
-      m.name = app.GetTask(s).name + ">";
-      m.sender = s;
-      m.receivers = {proc_tasks.front()};
-      message_params(m);
-      app.AddMessage(m);
-      ++cs.functional_message_count;
-    }
-    for (std::size_t p = 0; p + 1 < proc_tasks.size(); ++p) {
-      Message m;
-      m.name = app.GetTask(proc_tasks[p]).name + ">";
-      m.sender = proc_tasks[p];
-      m.receivers = {proc_tasks[p + 1]};
-      message_params(m);
-      app.AddMessage(m);
-      ++cs.functional_message_count;
-    }
-    for (TaskId a : act_tasks) {
-      Message m;
-      m.name =
-          app.GetTask(proc_tasks.back()).name + ">" + app.GetTask(a).name;
-      m.sender = proc_tasks.back();
-      m.receivers = {a};
-      message_params(m);
-      app.AddMessage(m);
-      ++cs.functional_message_count;
-    }
-  }
+/// Table I, materialized once per process for the defaulted builders.
+const std::vector<bist::BistProfile>& CachedTableI() {
+  static const std::vector<bist::BistProfile> kTable = PaperTableI();
+  return kTable;
 }
 
 }  // namespace
 
-CaseStudy BuildCaseStudy(const std::vector<bist::BistProfile>& profiles,
-                         std::uint64_t seed) {
-  util::SplitMix64 rng(seed);
-  CaseStudy cs;
-  auto& arch = cs.spec.Architecture();
-
-  // --- architecture: 3 CAN buses, gateway, 15 ECUs, 9 sensors, 5 actuators.
-  cs.gateway = arch.AddResource(
-      {"gateway", ResourceKind::Gateway, 25.0, 1e-6, 0.0});
-  for (int b = 0; b < 3; ++b) {
-    const ResourceId bus = arch.AddResource(
-        {"can" + std::to_string(b), ResourceKind::Bus, 1.0, 0.0, 500e3});
-    arch.AddLink(bus, cs.gateway);
-    cs.buses.push_back(bus);
-  }
-  for (int e = 0; e < 15; ++e) {
-    const ResourceId ecu = arch.AddResource(
-        {"ecu" + std::to_string(e), ResourceKind::Ecu,
-         12.0 + 2.0 * (e % 5), 2e-5, 0.0});
-    arch.AddLink(ecu, cs.buses[e / 5]);  // 5 ECUs per bus
-    cs.ecus.push_back(ecu);
-  }
+arch::TopologySpec CaseStudySpec(
+    const std::vector<bist::BistProfile>& profiles) {
+  arch::TopologySpec spec;
+  spec.name = "paper-subnet";
+  // 3 CAN buses, gateway, 15 ECUs (5 per bus), 9 sensors, 5 actuators.
+  spec.num_ecus = 15;
+  spec.buses = {{}, {}, {}};
+  spec.num_sensors = 9;
+  spec.num_actuators = 5;
   // Sensors per bus: 5 on can0 (apps 0 and 3), 2 on can1, 2 on can2.
-  const std::array<int, 9> sensor_bus = {0, 0, 0, 1, 1, 2, 2, 0, 0};
-  for (int s = 0; s < 9; ++s) {
-    const ResourceId sensor = arch.AddResource(
-        {"sensor" + std::to_string(s), ResourceKind::Sensor, 2.0, 0.0, 0.0});
-    arch.AddLink(sensor, cs.buses[sensor_bus[s]]);
-    cs.sensors.push_back(sensor);
-  }
-  const std::array<int, 5> actuator_bus = {0, 0, 1, 2, 0};
-  for (int a = 0; a < 5; ++a) {
-    const ResourceId actuator = arch.AddResource(
-        {"actuator" + std::to_string(a), ResourceKind::Actuator, 3.0, 0.0,
-         0.0});
-    arch.AddLink(actuator, cs.buses[actuator_bus[a]]);
-    cs.actuators.push_back(actuator);
-  }
-
-  // --- applications: 4 control chains, 45 tasks / 41 messages total.
-  const std::vector<AppShape> shapes = {
+  spec.sensor_bus = {0, 0, 0, 1, 1, 2, 2, 0, 0};
+  spec.actuator_bus = {0, 0, 1, 2, 0};
+  // 4 control chains, 45 tasks / 41 messages total.
+  spec.chains = {
       {"engine", 0, {0, 1, 2}, {0, 1}, 8},
       {"chassis", 1, {3, 4}, {2}, 8},
       {"body", 2, {5, 6}, {3}, 8},
       {"comfort", 0, {7, 8}, {4}, 7},
   };
-  BuildControlApps(cs, shapes, /*ecus_per_bus=*/5, /*num_buses=*/3, rng);
+  spec.profile_sets = {profiles};  // every ECU carries the full set
+  return spec;
+}
 
+CaseStudy BuildCaseStudy(const std::vector<bist::BistProfile>& profiles,
+                         std::uint64_t seed) {
+  CaseStudy cs = arch::GenerateTopology(CaseStudySpec(profiles), seed);
   if (cs.functional_task_count != 45 || cs.functional_message_count != 41) {
     throw std::logic_error("case study counts drifted from the paper");
   }
-
-  // --- BIST augmentation: every ECU carries the profile set.
-  std::map<ResourceId, std::vector<bist::BistProfile>> by_ecu;
-  for (ResourceId ecu : cs.ecus) by_ecu[ecu] = profiles;
-  cs.augmentation = model::AugmentWithBist(cs.spec, by_ecu);
-  cs.spec.Validate();
   return cs;
 }
 
+CaseStudy BuildCaseStudy(std::uint64_t seed) {
+  return BuildCaseStudy(CachedTableI(), seed);
+}
 
-CaseStudy BuildFutureCaseStudy(const std::vector<bist::BistProfile>& gen0,
-                               std::vector<bist::BistProfile> gen1,
-                               std::uint64_t seed) {
-  if (gen1.empty()) {
-    // Default second generation: a larger die of the same family — x3
-    // pattern data, x2.5 session time, slightly higher ceiling coverage.
-    gen1 = gen0;
-    for (auto& p : gen1) {
-      p.data_bytes *= 3;
-      p.runtime_ms *= 2.5;
-      p.fault_coverage_percent =
-          std::min(99.95, p.fault_coverage_percent + 0.03);
-    }
-  }
+arch::TopologySpec FutureCaseStudySpec(
+    const std::vector<bist::BistProfile>& gen0,
+    std::vector<bist::BistProfile> gen1) {
+  if (gen1.empty()) gen1 = arch::NextGenerationProfiles(gen0);
 
-  util::SplitMix64 rng(seed);
-  CaseStudy cs;
-  auto& arch = cs.spec.Architecture();
-
-  cs.gateway =
-      arch.AddResource({"gateway", ResourceKind::Gateway, 40.0, 1e-6, 0.0});
-  for (int b = 0; b < 4; ++b) {
-    // can3 is the high-speed backbone segment.
-    const double bitrate = b == 3 ? 1e6 : 500e3;
-    const ResourceId bus = arch.AddResource(
-        {"can" + std::to_string(b), ResourceKind::Bus, 1.0, 0.0, bitrate});
-    arch.AddLink(bus, cs.gateway);
-    cs.buses.push_back(bus);
-  }
-  for (int e = 0; e < 20; ++e) {
-    const ResourceId ecu = arch.AddResource(
-        {"ecu" + std::to_string(e), ResourceKind::Ecu,
-         11.0 + 2.0 * (e % 5), 2e-5, 0.0});
-    arch.AddLink(ecu, cs.buses[e / 5]);
-    cs.ecus.push_back(ecu);
-    cs.cut_type_by_ecu[ecu] = e < 10 ? 0u : 1u;  // two silicon generations
-  }
-  const std::array<int, 12> sensor_bus = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 3, 3};
-  for (int s = 0; s < 12; ++s) {
-    const ResourceId sensor = arch.AddResource(
-        {"sensor" + std::to_string(s), ResourceKind::Sensor, 2.0, 0.0, 0.0});
-    arch.AddLink(sensor, cs.buses[sensor_bus[s]]);
-    cs.sensors.push_back(sensor);
-  }
-  const std::array<int, 8> actuator_bus = {0, 0, 1, 1, 1, 2, 2, 3};
-  for (int a = 0; a < 8; ++a) {
-    const ResourceId actuator = arch.AddResource(
-        {"actuator" + std::to_string(a), ResourceKind::Actuator, 3.0, 0.0,
-         0.0});
-    arch.AddLink(actuator, cs.buses[actuator_bus[a]]);
-    cs.actuators.push_back(actuator);
-  }
-
-  const std::vector<AppShape> shapes = {
+  arch::TopologySpec spec;
+  spec.name = "future-subnet";
+  spec.num_ecus = 20;
+  spec.buses = {{}, {}, {}, {}};
+  spec.buses[3].bitrate_bps = 1e6;  // high-speed backbone segment
+  spec.gateway_base_cost = 40.0;
+  spec.ecu_base_cost = 11.0;
+  spec.num_sensors = 12;
+  spec.num_actuators = 8;
+  spec.sensor_bus = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 3, 3};
+  spec.actuator_bus = {0, 0, 1, 1, 1, 2, 2, 3};
+  spec.chains = {
       {"powertrain", 0, {0, 1}, {0}, 6},
       {"transmission", 0, {2, 3}, {1}, 6},
       {"chassis", 1, {4, 5}, {2, 3}, 7},
@@ -328,15 +163,21 @@ CaseStudy BuildFutureCaseStudy(const std::vector<bist::BistProfile>& gen0,
       {"body", 2, {8, 9}, {5, 6}, 7},
       {"adas", 3, {10, 11}, {7}, 6},
   };
-  BuildControlApps(cs, shapes, /*ecus_per_bus=*/5, /*num_buses=*/4, rng);
+  // Two silicon generations in contiguous blocks: ECUs 0-9 are gen 0,
+  // 10-19 gen 1. Gateway pattern memory is shared only within a generation.
+  spec.profile_sets = {gen0, std::move(gen1)};
+  return spec;
+}
 
-  std::map<ResourceId, std::vector<bist::BistProfile>> by_ecu;
-  for (ResourceId ecu : cs.ecus) {
-    by_ecu[ecu] = cs.cut_type_by_ecu[ecu] == 0 ? gen0 : gen1;
-  }
-  cs.augmentation = model::AugmentWithBist(cs.spec, by_ecu, cs.cut_type_by_ecu);
-  cs.spec.Validate();
-  return cs;
+CaseStudy BuildFutureCaseStudy(const std::vector<bist::BistProfile>& gen0,
+                               std::vector<bist::BistProfile> gen1,
+                               std::uint64_t seed) {
+  return arch::GenerateTopology(FutureCaseStudySpec(gen0, std::move(gen1)),
+                                seed);
+}
+
+CaseStudy BuildFutureCaseStudy(std::uint64_t seed) {
+  return BuildFutureCaseStudy(CachedTableI(), {}, seed);
 }
 
 double BaselineCost(std::uint64_t seed) {

@@ -2,15 +2,21 @@
 // subnet with 4 control applications (45 tasks, 41 messages), 15 ECUs,
 // 9 sensors, 5 actuators on 3 CAN buses bridged by a central gateway, and
 // 36 BIST profiles per ECU (Table I).
+//
+// Both case studies are canonical arch::TopologySpecs run through
+// arch::GenerateTopology — the same generator that samples the corpus
+// families (arch/corpus.hpp). Their construction is pinned bit-identical to
+// the historical hand-built graphs by content hashes and Pareto-front
+// fingerprints in tests/test_casestudy.cpp / test_future_casestudy.cpp /
+// test_arch.cpp.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "arch/topology.hpp"
 #include "bist/profile.hpp"
 #include "bist/stumps.hpp"
-#include "model/implementation.hpp"
-#include "model/specification.hpp"
 #include "netlist/random_circuit.hpp"
 
 namespace bistdse::casestudy {
@@ -41,28 +47,25 @@ bist::StumpsConfig PaperStumpsConfig();
 /// 36 Table-I configurations stays laptop-feasible.
 netlist::RandomCircuitSpec ScaledCutSpec(std::uint64_t seed = 1);
 
-struct CaseStudy {
-  model::Specification spec;
-  model::BistAugmentation augmentation;
+/// The case-study handle is the generator's topology bundle: specification,
+/// augmentation, and every resource id downstream layers consume.
+using CaseStudy = arch::Topology;
 
-  std::vector<model::ResourceId> ecus;
-  std::vector<model::ResourceId> sensors;
-  std::vector<model::ResourceId> actuators;
-  std::vector<model::ResourceId> buses;
-  model::ResourceId gateway = model::kInvalidId;
-  /// CUT generation per ECU (BuildFutureCaseStudy assigns two generations).
-  std::map<model::ResourceId, std::uint32_t> cut_type_by_ecu;
+/// The canonical TopologySpec of the paper subnet, carrying `profiles` on
+/// every ECU. Exposed so corpus tooling can perturb the paper family.
+arch::TopologySpec CaseStudySpec(
+    const std::vector<bist::BistProfile>& profiles);
 
-  std::size_t functional_task_count = 0;
-  std::size_t functional_message_count = 0;
-};
+/// Builds the case-study specification from explicit profiles (pass
+/// profiles produced by bist::ProfileGenerator to run the whole flow
+/// end-to-end on the synthetic CUT).
+CaseStudy BuildCaseStudy(const std::vector<bist::BistProfile>& profiles,
+                         std::uint64_t seed = 42);
 
-/// Builds the case-study specification. `profiles` defaults to Table I;
-/// pass profiles produced by bist::ProfileGenerator to run the whole flow
-/// end-to-end on the synthetic CUT.
-CaseStudy BuildCaseStudy(
-    const std::vector<bist::BistProfile>& profiles = PaperTableI(),
-    std::uint64_t seed = 42);
+/// Table-I default. The table is materialized once per process (hoisted out
+/// of the old `= PaperTableI()` default argument, which rebuilt all 36
+/// profiles at every defaulted call site).
+CaseStudy BuildCaseStudy(std::uint64_t seed = 42);
 
 /// Cost of the diagnosis-free reference design: the cheapest implementation
 /// found for the same subnet with an empty profile set (used for the paper's
@@ -70,14 +73,24 @@ CaseStudy BuildCaseStudy(
 /// construction seed.
 double BaselineCost(std::uint64_t seed = 42);
 
+/// The canonical TopologySpec of the forward-looking heterogeneous subnet.
+arch::TopologySpec FutureCaseStudySpec(
+    const std::vector<bist::BistProfile>& gen0,
+    std::vector<bist::BistProfile> gen1);
+
 /// A forward-looking heterogeneous subnet (beyond the paper's case study):
 /// 20 ECUs of two CUT generations on 4 CAN buses (one of them a high-speed
 /// backbone segment), 12 sensors, 8 actuators, 6 control applications.
-/// Gateway pattern memory is shared only within a CUT generation; the
-/// second generation's profiles default to a scaled variant of Table I
-/// (larger die: x3 pattern data, x2.5 session time).
-CaseStudy BuildFutureCaseStudy(
-    const std::vector<bist::BistProfile>& gen0 = PaperTableI(),
-    std::vector<bist::BistProfile> gen1 = {}, std::uint64_t seed = 43);
+/// Gateway pattern memory is shared only within a CUT generation; an empty
+/// `gen1` derives the second generation from `gen0` via
+/// arch::NextGenerationProfiles (larger die: x3 pattern data, x2.5 session
+/// time).
+CaseStudy BuildFutureCaseStudy(const std::vector<bist::BistProfile>& gen0,
+                               std::vector<bist::BistProfile> gen1 = {},
+                               std::uint64_t seed = 43);
+
+/// Table-I default of the future subnet (same per-process hoisting as the
+/// seed-only BuildCaseStudy overload).
+CaseStudy BuildFutureCaseStudy(std::uint64_t seed = 43);
 
 }  // namespace bistdse::casestudy

@@ -68,6 +68,20 @@ std::string DescribeImplementation(const model::Specification& spec,
   return ss.str();
 }
 
+std::vector<const ExplorationEntry*> RankCheapestMeetingQuality(
+    const ExplorationResult& result, double min_quality_percent) {
+  std::vector<const ExplorationEntry*> picks;
+  for (const auto& e : result.pareto) {
+    if (e.objectives.test_quality_percent >= min_quality_percent) {
+      picks.push_back(&e);
+    }
+  }
+  std::sort(picks.begin(), picks.end(), [](const auto* a, const auto* b) {
+    return a->objectives.monetary_cost < b->objectives.monetary_cost;
+  });
+  return picks;
+}
+
 std::string SummarizeFront(const ExplorationResult& result,
                            double quality_bar_percent) {
   std::ostringstream ss;

@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "dse/exploration.hpp"
 
@@ -19,6 +20,13 @@ std::string FrontCsvString(const ExplorationResult& result);
 std::string DescribeImplementation(const model::Specification& spec,
                                    const model::BistAugmentation& augmentation,
                                    const ExplorationEntry& entry);
+
+/// Pareto entries reaching `min_quality_percent`, cheapest first — the
+/// representative-pick rule shared by the CLI's --report flag and the
+/// corpus sweep. Pointers index into `result.pareto`; empty when no entry
+/// reaches the bar.
+std::vector<const ExplorationEntry*> RankCheapestMeetingQuality(
+    const ExplorationResult& result, double min_quality_percent);
 
 /// Markdown summary of a front: counts, objective extremes, shut-off-class
 /// split, and the paper-style headline (min diagnosis overhead at >= the

@@ -62,6 +62,69 @@ void Specification::Validate() const {
   }
 }
 
+std::uint64_t ContentHash(const Specification& spec) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto bytes = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto u64 = [&bytes](std::uint64_t v) { bytes(&v, sizeof v); };
+  const auto real = [&bytes](double v) { bytes(&v, sizeof v); };
+  const auto str = [&bytes, &u64](const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  };
+
+  const ArchitectureGraph& arch = spec.Architecture();
+  u64(arch.ResourceCount());
+  for (ResourceId r = 0; r < arch.ResourceCount(); ++r) {
+    const Resource& res = arch.GetResource(r);
+    str(res.name);
+    u64(static_cast<std::uint64_t>(res.kind));
+    real(res.base_cost);
+    real(res.cost_per_byte);
+    real(res.bus_bitrate_bps);
+    const auto neighbors = arch.Neighbors(r);
+    u64(neighbors.size());
+    for (ResourceId n : neighbors) u64(n);
+  }
+
+  const ApplicationGraph& app = spec.Application();
+  u64(app.TaskCount());
+  for (TaskId t = 0; t < app.TaskCount(); ++t) {
+    const Task& task = app.GetTask(t);
+    str(task.name);
+    u64(static_cast<std::uint64_t>(task.kind));
+    u64(task.target_ecu);
+    u64(task.profile_index);
+    real(task.fault_coverage_percent);
+    real(task.transition_coverage_percent);
+    real(task.runtime_ms);
+    u64(task.data_bytes);
+  }
+  u64(app.MessageCount());
+  for (MessageId c = 0; c < app.MessageCount(); ++c) {
+    const Message& msg = app.GetMessage(c);
+    str(msg.name);
+    u64(msg.sender);
+    u64(msg.receivers.size());
+    for (TaskId r : msg.receivers) u64(r);
+    u64(msg.payload_bytes);
+    real(msg.period_ms);
+    u64(msg.diagnostic ? 1 : 0);
+  }
+
+  u64(spec.Mappings().size());
+  for (const MappingOption& m : spec.Mappings()) {
+    u64(m.task);
+    u64(m.resource);
+  }
+  return h;
+}
+
 BistAugmentation AugmentWithBist(
     Specification& spec,
     const std::map<ResourceId, std::vector<bist::BistProfile>>& profiles,

@@ -68,6 +68,15 @@ struct BistAugmentation {
   std::map<ResourceId, std::vector<BistProgram>> programs_by_ecu;
 };
 
+/// FNV-1a fingerprint of everything a Specification holds: resources (name,
+/// kind, costs, bitrate), adjacency, tasks (all attributes), messages
+/// (sender, receivers, payload, period), and mapping options, in id order.
+/// Two specifications with equal hashes are structurally identical for every
+/// consumer in this repo (decoder, objectives, session executor); the
+/// generator tests use it to pin bit-identical rebuilds and to tell
+/// different-seed topologies apart.
+std::uint64_t ContentHash(const Specification& spec);
+
 /// Augments `spec` with the diagnosis application of Fig. 3: a mandatory
 /// collection task b^R mapped to the gateway and, per (ECU, profile), an
 /// optional b^T (mappable only to that ECU), an optional b^D (mappable to

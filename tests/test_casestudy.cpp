@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "casestudy/casestudy.hpp"
+#include "test_helpers.hpp"
 
 namespace bistdse::casestudy {
 namespace {
@@ -68,13 +69,9 @@ TEST(CaseStudyBuilder, DeterministicForSeed) {
   }
 }
 
-TEST(CaseStudyBuilder, EveryEcuReachesGateway) {
-  const auto cs = BuildCaseStudy();
-  for (auto ecu : cs.ecus) {
-    const auto path = cs.spec.Architecture().ShortestPath(ecu, cs.gateway);
-    ASSERT_TRUE(path.has_value());
-    EXPECT_EQ(path->size(), 3u);  // ecu -> bus -> gateway
-  }
+TEST(CaseStudyBuilder, TopologyIsStructurallyValid) {
+  // Shared validity checks, the same ones generated corpus members satisfy.
+  bistdse::testing::ExpectValidTopology(BuildCaseStudy());
 }
 
 TEST(CaseStudyBuilder, PaperStumpsTiming) {

@@ -4,6 +4,7 @@
 #include "dse/decoder.hpp"
 #include "dse/exploration.hpp"
 #include "dse/objectives.hpp"
+#include "test_helpers.hpp"
 
 namespace bistdse::casestudy {
 namespace {
@@ -16,6 +17,7 @@ std::vector<bist::BistProfile> SmallSet() {
 
 TEST(FutureCaseStudy, BuildsHeterogeneousFleet) {
   const auto cs = BuildFutureCaseStudy(SmallSet(), {}, 43);
+  bistdse::testing::ExpectValidTopology(cs);
   EXPECT_EQ(cs.ecus.size(), 20u);
   EXPECT_EQ(cs.sensors.size(), 12u);
   EXPECT_EQ(cs.actuators.size(), 8u);

@@ -1,13 +1,72 @@
 // Shared fixtures for bistdse tests.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <string>
 
+#include "arch/topology.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/random_circuit.hpp"
 
 namespace bistdse::testing {
+
+/// Structural validity of a topology — canonical case studies and generated
+/// corpus members alike: every handle indexes a resource of the right kind,
+/// every ECU/sensor/actuator hangs off exactly one bus, every ECU reaches
+/// the gateway in one hop (ecu -> bus -> gateway), the functional graph is
+/// non-trivial, and the BIST augmentation (when present) carries one
+/// program per (ECU, profile) with the collect task on the gateway.
+inline void ExpectValidTopology(const arch::Topology& topo) {
+  const auto& graph = topo.spec.Architecture();
+  ASSERT_FALSE(topo.ecus.empty());
+  ASSERT_FALSE(topo.buses.empty());
+  EXPECT_GT(topo.functional_task_count, 0u);
+  EXPECT_GT(topo.functional_message_count, 0u);
+  EXPECT_NO_THROW(topo.spec.Validate());
+
+  for (model::ResourceId bus : topo.buses) {
+    EXPECT_EQ(graph.GetResource(bus).kind, model::ResourceKind::Bus);
+    EXPECT_GT(graph.GetResource(bus).bus_bitrate_bps, 0.0);
+  }
+  const auto on_one_bus = [&](model::ResourceId r,
+                              model::ResourceKind kind) {
+    EXPECT_EQ(graph.GetResource(r).kind, kind);
+    std::size_t buses = 0;
+    for (model::ResourceId n : graph.Neighbors(r)) {
+      buses += graph.GetResource(n).kind == model::ResourceKind::Bus;
+    }
+    EXPECT_EQ(buses, 1u) << graph.GetResource(r).name;
+  };
+  for (model::ResourceId ecu : topo.ecus) {
+    on_one_bus(ecu, model::ResourceKind::Ecu);
+  }
+  for (model::ResourceId s : topo.sensors) {
+    on_one_bus(s, model::ResourceKind::Sensor);
+  }
+  for (model::ResourceId a : topo.actuators) {
+    on_one_bus(a, model::ResourceKind::Actuator);
+  }
+  if (topo.gateway != model::kInvalidId) {
+    EXPECT_EQ(graph.GetResource(topo.gateway).kind,
+              model::ResourceKind::Gateway);
+    for (model::ResourceId ecu : topo.ecus) {
+      const auto path = graph.ShortestPath(ecu, topo.gateway);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(path->size(), 3u);  // ecu -> bus -> gateway
+    }
+  }
+  for (const auto& [ecu, programs] : topo.augmentation.programs_by_ecu) {
+    EXPECT_EQ(graph.GetResource(ecu).kind, model::ResourceKind::Ecu);
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      EXPECT_EQ(programs[p].profile_index, p);
+    }
+  }
+  if (topo.augmentation.collect_task != model::kInvalidId) {
+    ASSERT_NE(topo.gateway, model::kInvalidId);
+  }
+}
 
 /// The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
 inline const char* kC17 = R"(

@@ -1,6 +1,8 @@
 // bistdse command-line front end.
 //
 //   bistdse_cli explore   — run the DSE on a case study, export the front
+//   bistdse_cli corpus    — sweep generated topology families through
+//                           DSE + adversarial session campaigns
 //   bistdse_cli profiles  — generate BIST profiles for a synthetic CUT
 //   bistdse_cli diagnose  — measure diagnosis accuracy on a synthetic CUT
 //   bistdse_cli stumps    — batch faulty STUMPS sessions on a synthetic CUT
@@ -26,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/corpus.hpp"
 #include "bist/diagnosis_eval.hpp"
 #include "bist/dictionary_store.hpp"
 #include "bist/profile_generator.hpp"
@@ -103,6 +106,14 @@ int Usage() {
       "           [--csv FILE] [--islands K] [--plan]\n"
       "           [--report K] [--deadline MS] [--min-quality PCT]\n"
       "           [--simulate-sessions] [--frame-loss P] [--trace-out FILE]\n"
+      "  corpus   --count N --seed N [--spec] [--min-ecus N] [--max-ecus N]\n"
+      "           [--min-buses N] [--max-buses N] [--fd-fraction P]\n"
+      "           [--profiles K] [--data-scale X] [--evals N] [--pop N]\n"
+      "           [--min-quality PCT] [--rounds N] [--max-drop P]\n"
+      "           [--max-corrupt P] [--max-reorder P]\n"
+      "           (--spec: print the sampled topology structures and stop;\n"
+      "            exit 0: every campaign round upheld the PERF.md\n"
+      "            invariants; 1: violation or incomplete session)\n"
       "  profiles --seed N [--prps A,B,C] [--scale X] [--threads K]\n"
       "           [--block-width W] [--no-shortcuts]\n"
       "  diagnose --seed N [--patterns N] [--samples N] [--window N]\n"
@@ -250,13 +261,7 @@ int RunExplore(const Flags& flags) {
   const std::size_t report_k = flags.U64("report", 0);
   if (report_k > 0) {
     // Cheapest implementations reaching the quality bar.
-    std::vector<const dse::ExplorationEntry*> picks;
-    for (const auto& e : result.pareto) {
-      if (e.objectives.test_quality_percent >= min_quality) picks.push_back(&e);
-    }
-    std::sort(picks.begin(), picks.end(), [](const auto* a, const auto* b) {
-      return a->objectives.monetary_cost < b->objectives.monetary_cost;
-    });
+    const auto picks = dse::RankCheapestMeetingQuality(result, min_quality);
     for (std::size_t i = 0; i < picks.size() && i < report_k; ++i) {
       std::printf("\n--- implementation %zu ---\n%s", i + 1,
                   dse::DescribeImplementation(cs.spec, cs.augmentation,
@@ -276,6 +281,57 @@ int RunExplore(const Flags& flags) {
     }
   }
   return 0;
+}
+
+// `corpus`: seeded sweep over generated E/E-architecture families. Each
+// sampled topology runs the full pipeline — DSE, representative pick,
+// adversarial session campaign — and the exit code reflects whether the
+// PERF.md invariants held on every round of every member.
+int RunCorpus(const Flags& flags) {
+  arch::CorpusSpec corpus;
+  corpus.count = flags.U64("count", 10);
+  corpus.seed = flags.U64("seed", 1);
+  corpus.min_ecus = flags.U64("min-ecus", 5);
+  corpus.max_ecus = flags.U64("max-ecus", 50);
+  corpus.min_buses = flags.U64("min-buses", 2);
+  corpus.max_buses = flags.U64("max-buses", 8);
+  corpus.fd_fraction = flags.Real("fd-fraction", 0.35);
+  // Scaled profiles keep the frame-level campaigns tractable; --data-scale 1
+  // replays full Table-I pattern sets.
+  corpus.profile_pool = casestudy::ScaledTableI(
+      flags.Real("data-scale", 1.0 / 256), flags.U64("profiles", 4));
+
+  if (flags.Has("spec")) {
+    std::printf("| topology | ecus | buses (fd) | sensors | actuators | "
+                "gens | content hash |\n");
+    for (std::size_t i = 0; i < corpus.count; ++i) {
+      const auto spec = arch::SampleTopologySpec(corpus, i);
+      const auto topo =
+          arch::GenerateTopology(spec, arch::TopologySeed(corpus, i));
+      std::printf("| %s | %zu | %zu (%zu) | %zu | %zu | %zu | %016llx |\n",
+                  spec.name.c_str(), spec.num_ecus, spec.buses.size(),
+                  arch::CountFdBuses(spec), spec.num_sensors,
+                  spec.num_actuators, spec.profile_sets.size(),
+                  static_cast<unsigned long long>(
+                      model::ContentHash(topo.spec)));
+    }
+    return 0;
+  }
+
+  arch::CorpusSweepOptions options;
+  options.exploration.evaluations = flags.U64("evals", 300);
+  options.exploration.population_size = flags.U64("pop", 24);
+  options.exploration.seed = corpus.seed;
+  options.min_quality_percent = flags.Real("min-quality", 80.0);
+  options.campaign.rounds = flags.U64("rounds", 3);
+  options.campaign.max_drop_rate = flags.Real("max-drop", 0.04);
+  options.campaign.max_corrupt_rate = flags.Real("max-corrupt", 0.02);
+  options.campaign.max_reorder_rate = flags.Real("max-reorder", 0.02);
+  options.campaign.seed = corpus.seed;
+
+  const auto report = arch::SweepCorpus(corpus, options);
+  std::printf("%s", arch::FormatCorpusReport(report).c_str());
+  return report.all_passed ? 0 : 1;
 }
 
 int RunProfiles(const Flags& flags) {
@@ -793,6 +849,7 @@ int main(int argc, char** argv) {
   if (command == "dict") return RunDict(argc, argv);
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "explore") return RunExplore(flags);
+  if (command == "corpus") return RunCorpus(flags);
   if (command == "profiles") return RunProfiles(flags);
   if (command == "diagnose") return RunDiagnose(flags);
   if (command == "stumps") return RunStumps(flags);
